@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (§5) over the synthetic datasets:
+//
+//	experiments -exp all -scale 0.001 -seed 1
+//	experiments -exp table6
+//	experiments -exp monotonicity
+//
+// Available experiments: table2, table3, table4, table5, table6, table7,
+// fig6, monotonicity, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/s3pg/s3pg/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run")
+	scale := flag.Float64("scale", 0.001, "dataset scale relative to the paper's full size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	minSupport := flag.Float64("minsupport", 0.02, "shape extraction pruning threshold")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed, W: os.Stdout, MinSupport: *minSupport}
+	e := exp.NewEnv(cfg)
+
+	var err error
+	switch *which {
+	case "all":
+		err = exp.RunAll(e)
+	case "table2":
+		err = exp.RunTable2(e)
+	case "table3":
+		err = exp.RunTable3(e)
+	case "table4":
+		_, err = exp.RunTable4(e)
+	case "table5":
+		err = exp.RunTable5(e)
+	case "table6":
+		_, err = exp.RunTable6(e)
+	case "table7":
+		_, err = exp.RunTable7(e)
+	case "fig6":
+		_, err = exp.RunFig6(e)
+	case "monotonicity":
+		_, err = exp.RunMonotonicity(e)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *which)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/s3pg/s3pg"
+)
+
+func TestRunGeneratesDatasetAndShapes(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.nt")
+	shapes := filepath.Join(dir, "shapes.ttl")
+	if err := run("University", 0.5, 7, data, shapes, 0.02, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := s3pg.LoadNTriples(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	src, err := os.ReadFile(shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := s3pg.ShapesFromTurtle(string(src))
+	if err != nil {
+		t.Fatalf("shapes do not parse: %v", err)
+	}
+	if sg.Len() == 0 {
+		t.Fatal("no shapes")
+	}
+}
+
+func TestRunEvolveDelta(t *testing.T) {
+	dir := t.TempDir()
+	delta := filepath.Join(dir, "delta.nt")
+	if err := run("DBpedia2020", 0.0002, 7, delta, "", 0.02, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := s3pg.LoadNTriples(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("empty delta")
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	if err := run("NoSuch", 1, 1, "", "", 0, 0); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}

@@ -1,0 +1,287 @@
+// Command s3pg transforms RDF knowledge graphs into property graphs using
+// SHACL shapes and PG-Schema, as described in "Transforming RDF Graphs to
+// Property Graphs using Standardized Schemas".
+//
+// Usage:
+//
+//	s3pg schema    -shapes shapes.ttl [-mode parsimonious] [-out schema.ddl]
+//	s3pg data      -shapes shapes.ttl -data data.nt [-mode parsimonious]
+//	               [-nodes nodes.csv] [-edges edges.csv] [-schema schema.ddl]
+//	s3pg invert    -schema schema.ddl -nodes nodes.csv -edges edges.csv [-out data.nt]
+//	s3pg validate  -shapes shapes.ttl -data data.nt
+//	s3pg translate -schema schema.ddl -query query.rq
+//	s3pg extract   -data data.nt [-minsupport 0.02] [-out shapes.ttl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/s3pg/s3pg"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "schema":
+		err = cmdSchema(os.Args[2:])
+	case "data":
+		err = cmdData(os.Args[2:])
+	case "invert":
+		err = cmdInvert(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "translate":
+		err = cmdTranslate(os.Args[2:])
+	case "extract":
+		err = cmdExtract(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3pg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: s3pg <schema|data|invert|validate|translate|extract> [flags]")
+	os.Exit(2)
+}
+
+func parseMode(s string) (s3pg.Mode, error) {
+	switch s {
+	case "parsimonious", "":
+		return s3pg.Parsimonious, nil
+	case "nonparsimonious", "non-parsimonious":
+		return s3pg.NonParsimonious, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func loadShapes(path string) (*s3pg.ShapeSchema, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return s3pg.ShapesFromTurtle(string(src))
+}
+
+func loadData(path string) (*s3pg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return s3pg.LoadNTriples(f)
+}
+
+func writeOut(path, content string) error {
+	if path == "" {
+		_, err := fmt.Print(content)
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
+	mode := fs.String("mode", "parsimonious", "parsimonious|nonparsimonious")
+	out := fs.String("out", "", "output DDL file (default stdout)")
+	fs.Parse(args)
+	if *shapesPath == "" {
+		return fmt.Errorf("-shapes is required")
+	}
+	shapes, err := loadShapes(*shapesPath)
+	if err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	schema, err := s3pg.TransformSchema(shapes, m)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, s3pg.WriteDDL(schema))
+}
+
+func cmdData(args []string) error {
+	fs := flag.NewFlagSet("data", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
+	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
+	mode := fs.String("mode", "parsimonious", "parsimonious|nonparsimonious")
+	nodesOut := fs.String("nodes", "nodes.csv", "output nodes CSV")
+	edgesOut := fs.String("edges", "edges.csv", "output edges CSV")
+	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL")
+	fs.Parse(args)
+	if *shapesPath == "" || *dataPath == "" {
+		return fmt.Errorf("-shapes and -data are required")
+	}
+	shapes, err := loadShapes(*shapesPath)
+	if err != nil {
+		return err
+	}
+	g, err := loadData(*dataPath)
+	if err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	store, schema, err := s3pg.Transform(g, shapes, m)
+	if err != nil {
+		return err
+	}
+	nf, err := os.Create(*nodesOut)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Create(*edgesOut)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	if err := store.WriteCSV(nf, ef); err != nil {
+		return err
+	}
+	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "transformed %d triples into %d nodes, %d edges (%d relationship types)\n",
+		g.Len(), store.NumNodes(), store.NumEdges(), store.RelTypes())
+	return nil
+}
+
+func cmdInvert(args []string) error {
+	fs := flag.NewFlagSet("invert", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "PG-Schema DDL file")
+	nodesPath := fs.String("nodes", "", "nodes CSV file")
+	edgesPath := fs.String("edges", "", "edges CSV file")
+	out := fs.String("out", "", "output N-Triples file (default stdout)")
+	fs.Parse(args)
+	if *schemaPath == "" || *nodesPath == "" || *edgesPath == "" {
+		return fmt.Errorf("-schema, -nodes, and -edges are required")
+	}
+	ddl, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	schema, err := s3pg.ParseDDL(string(ddl))
+	if err != nil {
+		return err
+	}
+	nf, err := os.Open(*nodesPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	ef, err := os.Open(*edgesPath)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	store, err := s3pg.LoadCSV(nf, ef)
+	if err != nil {
+		return err
+	}
+	g, err := s3pg.InverseData(store, schema)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return s3pg.WriteNTriples(w, g)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
+	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
+	fs.Parse(args)
+	if *shapesPath == "" || *dataPath == "" {
+		return fmt.Errorf("-shapes and -data are required")
+	}
+	shapes, err := loadShapes(*shapesPath)
+	if err != nil {
+		return err
+	}
+	g, err := loadData(*dataPath)
+	if err != nil {
+		return err
+	}
+	violations := s3pg.ValidateSHACL(g, shapes)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d violation(s)", len(violations))
+	}
+	fmt.Println("graph conforms to the shape schema")
+	return nil
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "PG-Schema DDL file")
+	queryPath := fs.String("query", "", "SPARQL query file")
+	fs.Parse(args)
+	if *schemaPath == "" || *queryPath == "" {
+		return fmt.Errorf("-schema and -query are required")
+	}
+	ddl, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	schema, err := s3pg.ParseDDL(string(ddl))
+	if err != nil {
+		return err
+	}
+	query, err := os.ReadFile(*queryPath)
+	if err != nil {
+		return err
+	}
+	cypherQuery, err := s3pg.TranslateQuery(string(query), schema)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cypherQuery)
+	return nil
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
+	minSupport := fs.Float64("minsupport", 0.02, "type-alternative pruning threshold")
+	out := fs.String("out", "", "output shapes file (default stdout)")
+	fs.Parse(args)
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	g, err := loadData(*dataPath)
+	if err != nil {
+		return err
+	}
+	shapes := s3pg.ExtractShapes(g, *minSupport)
+	ttl, err := s3pg.ShapesToTurtle(shapes)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, ttl)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// writeFixtures materializes the university fixture as CLI input files.
+func writeFixtures(t *testing.T) (dir, shapes, data string) {
+	t.Helper()
+	dir = t.TempDir()
+	shapes = filepath.Join(dir, "shapes.ttl")
+	if err := os.WriteFile(shapes, []byte(fixtures.UniversityShapesTurtle), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var nt bytes.Buffer
+	if err := rio.WriteNTriples(&nt, fixtures.UniversityGraph()); err != nil {
+		t.Fatal(err)
+	}
+	data = filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(data, nt.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, shapes, data
+}
+
+func TestCmdSchemaAndDataAndInvert(t *testing.T) {
+	dir, shapes, data := writeFixtures(t)
+	ddl := filepath.Join(dir, "schema.ddl")
+	nodes := filepath.Join(dir, "nodes.csv")
+	edges := filepath.Join(dir, "edges.csv")
+
+	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	out, err := os.ReadFile(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "CREATE NODE TYPE") {
+		t.Fatalf("unexpected DDL:\n%s", out)
+	}
+
+	if err := cmdData([]string{
+		"-shapes", shapes, "-data", data,
+		"-nodes", nodes, "-edges", edges, "-schema", ddl,
+	}); err != nil {
+		t.Fatalf("data: %v", err)
+	}
+
+	back := filepath.Join(dir, "back.nt")
+	if err := cmdInvert([]string{
+		"-schema", ddl, "-nodes", nodes, "-edges", edges, "-out", back,
+	}); err != nil {
+		t.Fatalf("invert: %v", err)
+	}
+	f, err := os.Open(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := s3pg.LoadNTriples(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(fixtures.UniversityGraph()) {
+		t.Fatal("CLI round trip lost information")
+	}
+}
+
+func TestCmdDataNonParsimonious(t *testing.T) {
+	dir, shapes, data := writeFixtures(t)
+	if err := cmdData([]string{
+		"-shapes", shapes, "-data", data, "-mode", "nonparsimonious",
+		"-nodes", filepath.Join(dir, "n.csv"), "-edges", filepath.Join(dir, "e.csv"),
+		"-schema", filepath.Join(dir, "s.ddl"),
+	}); err != nil {
+		t.Fatalf("data: %v", err)
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	_, shapes, data := writeFixtures(t)
+	if err := cmdValidate([]string{"-shapes", shapes, "-data", data}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// A graph missing a mandatory property must fail validation.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.nt")
+	if err := os.WriteFile(bad, []byte(
+		"<http://example.org/univ#x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/univ#Person> .\n"),
+		0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdValidate([]string{"-shapes", shapes, "-data", bad}); err == nil {
+		t.Fatal("expected validation failure")
+	}
+}
+
+func TestCmdTranslate(t *testing.T) {
+	dir, shapes, _ := writeFixtures(t)
+	ddl := filepath.Join(dir, "schema.ddl")
+	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}); err != nil {
+		t.Fatal(err)
+	}
+	query := filepath.Join(dir, "q.rq")
+	if err := os.WriteFile(query, []byte(
+		"PREFIX ex: <http://example.org/univ#>\nSELECT ?s ?n WHERE { ?s a ex:Person ; ex:name ?n . }"),
+		0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTranslate([]string{"-schema", ddl, "-query", query}); err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+}
+
+func TestCmdExtract(t *testing.T) {
+	dir, _, data := writeFixtures(t)
+	out := filepath.Join(dir, "extracted.ttl")
+	if err := cmdExtract([]string{"-data", data, "-out", out}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := s3pg.ShapesFromTurtle(string(src))
+	if err != nil {
+		t.Fatalf("extracted shapes do not parse: %v", err)
+	}
+	if shapes.Len() == 0 {
+		t.Fatal("no shapes extracted")
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdSchema([]string{}); err == nil {
+		t.Error("schema without -shapes should fail")
+	}
+	if err := cmdData([]string{"-shapes", "/nonexistent", "-data", "/nonexistent"}); err == nil {
+		t.Error("data with missing files should fail")
+	}
+	if err := cmdSchema([]string{"-shapes", "/nonexistent"}); err == nil {
+		t.Error("missing shapes file should fail")
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Error("bogus mode should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package s3pg_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/s3pg/s3pg"
+)
+
+// Example transforms a tiny knowledge graph with a heterogeneous property
+// and shows that nothing is lost.
+func Example() {
+	data := `
+@prefix ex: <http://example.org/#> .
+ex:album1 a ex:Album ;
+  ex:title "California Sunrise" ;
+  ex:writer ex:billy ;
+  ex:writer "Tofer Brown" .
+ex:billy a ex:Person ; ex:name "Billy Montana" .
+`
+	shapesTTL := `
+@prefix sh:  <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex:  <http://example.org/#> .
+ex:AlbumShape a sh:NodeShape ; sh:targetClass ex:Album ;
+  sh:property [ sh:path ex:title ; sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path ex:writer ;
+    sh:or ( [ sh:class ex:Person ] [ sh:datatype xsd:string ] ) ; sh:minCount 1 ] .
+ex:PersonShape a sh:NodeShape ; sh:targetClass ex:Person ;
+  sh:property [ sh:path ex:name ; sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] .
+`
+	g, err := s3pg.ParseTurtle(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes, err := s3pg.ShapesFromTurtle(shapesTTL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, schema, err := s3pg.Transform(g, shapes, s3pg.Parsimonious)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s3pg.EvalCypher(store, `
+MATCH (a:Album)-[:writer]->(w)
+RETURN COALESCE(w.value, w.iri) AS writer
+ORDER BY writer`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0])
+	}
+	back, _ := s3pg.InverseData(store, schema)
+	fmt.Println("lossless:", g.Equal(back))
+	// Output:
+	// Tofer Brown
+	// http://example.org/#billy
+	// lossless: true
+}
+
+// ExampleExtractShapes derives a SHACL schema directly from instance data
+// when no hand-written shapes exist.
+func ExampleExtractShapes() {
+	g, _ := s3pg.ParseTurtle(`
+@prefix ex: <http://example.org/#> .
+ex:a1 a ex:City ; ex:name "Aalborg" ; ex:population 120000 .
+ex:a2 a ex:City ; ex:name "Lyon" ; ex:population 520000 .
+`)
+	shapes := s3pg.ExtractShapes(g, 0)
+	for _, ns := range shapes.Shapes() {
+		fmt.Println(ns.TargetClass, len(ns.Properties), "properties")
+	}
+	// Output:
+	// http://example.org/#City 2 properties
+}
+
+// ExampleTranslateQuery shows the automatic SPARQL → Cypher translation.
+func ExampleTranslateQuery() {
+	g, _ := s3pg.ParseTurtle(`
+@prefix ex: <http://example.org/#> .
+ex:s1 a ex:Student ; ex:name "Ada" .
+`)
+	shapes := s3pg.ExtractShapes(g, 0)
+	_, schema, err := s3pg.Transform(g, shapes, s3pg.Parsimonious)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cypherQ, err := s3pg.TranslateQuery(`
+PREFIX ex: <http://example.org/#>
+SELECT ?s ?n WHERE { ?s a ex:Student ; ex:name ?n . }`, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cypherQ)
+	// Output:
+	// MATCH (n_s:Student)
+	// UNWIND n_s.name AS n
+	// RETURN n_s.iri AS s, n
+	// UNION ALL
+	// MATCH (n_s:Student)-[:name]->(t_n)
+	// RETURN n_s.iri AS s, COALESCE(t_n.value, t_n.iri) AS n
+}

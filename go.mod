@@ -1,0 +1,3 @@
+module github.com/s3pg/s3pg
+
+go 1.22

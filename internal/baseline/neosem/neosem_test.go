@@ -1,0 +1,107 @@
+package neosem_test
+
+import (
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/baseline/neosem"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+func TestTransformBasics(t *testing.T) {
+	st, stats := neosem.Transform(fixtures.UniversityGraph())
+	if stats.DroppedValues != 0 {
+		t.Fatalf("unexpected drops: %+v", stats)
+	}
+	bob := st.NodeByIRI(fixtures.ExNS + "bob")
+	if bob == nil {
+		t.Fatal("bob missing")
+	}
+	// Labels: Resource + the three classes.
+	for _, l := range []string{"Resource", "Person", "Student", "GraduateStudent"} {
+		if !bob.HasLabel(l) {
+			t.Fatalf("bob labels = %v, missing %s", bob.Labels, l)
+		}
+	}
+	// All literals are properties — including the heterogeneous course.
+	if bob.Props["regNo"] != "Bs12" {
+		t.Fatalf("regNo = %v", bob.Props["regNo"])
+	}
+	if bob.Props["takesCourse"] != "Intro to Logic" {
+		t.Fatalf("takesCourse prop = %v", bob.Props["takesCourse"])
+	}
+	// The IRI course is a relationship.
+	db := st.NodeByIRI(fixtures.ExNS + "DB")
+	foundRel := false
+	for _, eid := range st.Out(bob.ID) {
+		e := st.Edge(eid)
+		if e.Label == "takesCourse" && e.To == db.ID {
+			foundRel = true
+		}
+	}
+	if !foundRel {
+		t.Fatal("takesCourse relationship missing")
+	}
+}
+
+func TestMultivalueArrayCoercion(t *testing.T) {
+	g := rdf.NewGraph()
+	s := rdf.NewIRI("http://x/s")
+	p := rdf.NewIRI("http://x/val")
+	g.Add(rdf.NewTriple(s, rdf.A, rdf.NewIRI("http://x/T")))
+	// First value fixes the array type to integer…
+	g.Add(rdf.NewTriple(s, p, rdf.NewTypedLiteral("1", rdf.XSDInteger)))
+	// …a coercible string survives…
+	g.Add(rdf.NewTriple(s, p, rdf.NewLiteral("2")))
+	// …an uncoercible one is dropped.
+	g.Add(rdf.NewTriple(s, p, rdf.NewLiteral("not a number")))
+
+	st, stats := neosem.Transform(g)
+	if stats.DroppedValues != 1 {
+		t.Fatalf("dropped = %d, want 1", stats.DroppedValues)
+	}
+	n := st.NodeByIRI("http://x/s")
+	arr, ok := n.Props["val"].([]pg.Value)
+	if !ok || len(arr) != 2 || arr[0] != int64(1) || arr[1] != int64(2) {
+		t.Fatalf("val = %v", n.Props["val"])
+	}
+}
+
+func TestStringFirstLosesNothing(t *testing.T) {
+	// When the first value is a string, everything coerces (to string).
+	g := rdf.NewGraph()
+	s := rdf.NewIRI("http://x/s")
+	p := rdf.NewIRI("http://x/val")
+	g.Add(rdf.NewTriple(s, rdf.A, rdf.NewIRI("http://x/T")))
+	g.Add(rdf.NewTriple(s, p, rdf.NewLiteral("first")))
+	g.Add(rdf.NewTriple(s, p, rdf.NewTypedLiteral("2", rdf.XSDInteger)))
+	_, stats := neosem.Transform(g)
+	if stats.DroppedValues != 0 {
+		t.Fatalf("dropped = %d", stats.DroppedValues)
+	}
+}
+
+func TestUntypedObjectsBecomeResources(t *testing.T) {
+	g := rdf.NewGraph()
+	s := rdf.NewIRI("http://x/s")
+	g.Add(rdf.NewTriple(s, rdf.A, rdf.NewIRI("http://x/T")))
+	g.Add(rdf.NewTriple(s, rdf.NewIRI("http://x/knows"), rdf.NewIRI("http://x/other")))
+	st, _ := neosem.Transform(g)
+	other := st.NodeByIRI("http://x/other")
+	if other == nil || !other.HasLabel("Resource") {
+		t.Fatalf("other = %+v", other)
+	}
+}
+
+func TestBlankNodes(t *testing.T) {
+	g := rdf.NewGraph()
+	b := rdf.NewBlank("b0")
+	g.Add(rdf.NewTriple(b, rdf.A, rdf.NewIRI("http://x/T")))
+	g.Add(rdf.NewTriple(b, rdf.NewIRI("http://x/p"), rdf.NewLiteral("v")))
+	st, _ := neosem.Transform(g)
+	n := st.NodeByIRI("_:b0")
+	if n == nil || n.Props["p"] != "v" {
+		t.Fatalf("blank node = %+v", n)
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/xsd"
+)
+
+// Transformer implements the S3PG data transformation F_dt (Algorithm 1):
+// a two-phase streaming conversion of RDF triples into a property graph
+// conforming to the PG-Schema produced by F_st. The transformer retains its
+// entity and value-node indexes across calls, so Apply can be invoked again
+// on a delta graph to realize the monotone incremental transformation of
+// §4.2.1 without recomputing anything.
+type Transformer struct {
+	mode    Mode
+	mapping *Mapping
+	store   *pg.Store
+
+	nodeOf  map[rdf.Term]pg.NodeID // Ψ_ETD companion: entity → PG node
+	valNode map[valKey]pg.NodeID   // literal/resource value → value node
+	// edgeOf indexes statement → PG edge, enabling RDF-star annotations
+	// (quoted-triple subjects) to attach to the statement's edge.
+	edgeOf map[rdf.Term]pg.EdgeID
+
+	// lastEntity short-circuits the nodeOf lookup for runs of triples with
+	// the same subject — serializations group triples by subject, so this
+	// removes a term-hash per triple on the hot path.
+	lastEntity rdf.Term
+	lastNode   pg.NodeID
+}
+
+// valKey identifies a value node: the exact lexical, datatype, language tag,
+// and whether it encodes an untyped resource rather than a literal.
+type valKey struct {
+	lex  string
+	dt   string
+	lang string
+	res  bool
+}
+
+// NewTransformer builds the PG-Schema for the shape schema via F_st and
+// returns a transformer ready to convert instance data.
+func NewTransformer(sg *shacl.Schema, mode Mode) (*Transformer, error) {
+	spg, err := TransformSchema(sg, mode)
+	if err != nil {
+		return nil, err
+	}
+	return NewTransformerForSchema(spg, mode)
+}
+
+// NewTransformerForSchema returns a transformer for an existing PG-Schema
+// (for example one parsed back from DDL).
+func NewTransformerForSchema(spg *pgschema.Schema, mode Mode) (*Transformer, error) {
+	m, err := BuildMapping(spg)
+	if err != nil {
+		return nil, err
+	}
+	return &Transformer{
+		mode:    mode,
+		mapping: m,
+		store:   pg.NewStore(),
+		nodeOf:  make(map[rdf.Term]pg.NodeID),
+		valNode: make(map[valKey]pg.NodeID),
+		edgeOf:  make(map[rdf.Term]pg.EdgeID),
+	}, nil
+}
+
+// Mode returns the transformation mode.
+func (t *Transformer) Mode() Mode { return t.mode }
+
+// Store returns the property graph built so far.
+func (t *Transformer) Store() *pg.Store { return t.store }
+
+// Schema returns the PG-Schema (possibly extended by fallback routes).
+func (t *Transformer) Schema() *pgschema.Schema { return t.mapping.Schema() }
+
+// Mapping returns the F_st correspondence table.
+func (t *Transformer) Mapping() *Mapping { return t.mapping }
+
+// Apply converts the triples of g into the property graph. Calling it on an
+// initial graph performs the full transformation; calling it again on a
+// delta graph performs the monotone incremental update: existing nodes are
+// reused and only elements for new triples are created.
+func (t *Transformer) Apply(g *rdf.Graph) error {
+	// Phase 1 (Algorithm 1, lines 4–14): collect entity types and create
+	// PG nodes with labels and the iri key.
+	typePred := rdf.A
+	var err error
+	g.Match(nil, &typePred, nil, func(tr rdf.Triple) bool {
+		if !tr.O.IsIRI() {
+			err = fmt.Errorf("core: rdf:type object %v is not an IRI", tr.O)
+			return false
+		}
+		if tr.S.IsTripleTerm() {
+			err = fmt.Errorf("core: quoted triples cannot be typed: %v", tr)
+			return false
+		}
+		id := t.ensureEntityNode(tr.S)
+		label := t.mapping.LabelOfClass(tr.O.Value)
+		if label == "" {
+			label = t.mapping.EnsureClassLabel(tr.O.Value)
+		}
+		t.store.AddLabel(id, label)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 (lines 15–31): realize every non-type triple as an edge, a
+	// key/value attribute, or an edge to a literal value node. RDF-star
+	// annotations (quoted-triple subjects) are deferred so the statements
+	// they annotate exist first.
+	var annotations []rdf.Triple
+	g.ForEach(func(tr rdf.Triple) bool {
+		if tr.P == rdf.A {
+			return true
+		}
+		if tr.S.IsTripleTerm() {
+			annotations = append(annotations, tr)
+			return true
+		}
+		err = t.applyTriple(tr)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, tr := range annotations {
+		if err := t.applyAnnotation(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyTriple routes one non-type triple.
+func (t *Transformer) applyTriple(tr rdf.Triple) error {
+	if tr.O.IsTripleTerm() {
+		return fmt.Errorf("core: quoted triples in object position are not supported: %v", tr)
+	}
+	sid := t.ensureEntityNode(tr.S)
+	sLabels := t.store.Node(sid).Labels
+	route := t.mapping.Route(sLabels, tr.P.Value)
+
+	// Case 1 (lines 16–20): the object is a known entity → entity edge.
+	if tr.O.IsResource() {
+		var oid pg.NodeID
+		if known, ok := t.nodeOf[tr.O]; ok {
+			oid = known
+		} else {
+			// An IRI or blank object never declared as an entity: encode it
+			// as a resource value node so no information is dropped.
+			oid = t.ensureResourceValueNode(tr.O)
+		}
+		label, fallback := t.edgeLabelFor(route, sLabels, tr.P.Value)
+		e := t.store.AddEdge(sid, oid, label, nil)
+		t.registerStatementEdge(tr, e.ID)
+		if fallback {
+			t.extendTargets(label, oid)
+		}
+		return nil
+	}
+
+	// The object is a literal.
+	lex, dt, lang := tr.O.Value, tr.O.DatatypeIRI(), tr.O.Lang
+
+	// Case 2 (lines 21–23): parsimonious key/value encoding, applicable when
+	// the route says KV and the literal's datatype matches canonically.
+	if route != nil && route.Kind == RouteKV && lang == "" && dt == route.Datatype {
+		if native, canonical := nativeValue(lex, dt); canonical {
+			t.store.AppendProp(sid, route.Name, native)
+			return nil
+		}
+	}
+
+	// Case 3 (lines 24–31): literal value node plus edge.
+	oid := t.ensureLiteralValueNode(lex, dt, lang)
+	label, fallback := t.edgeLabelFor(route, sLabels, tr.P.Value)
+	e := t.store.AddEdge(sid, oid, label, nil)
+	t.registerStatementEdge(tr, e.ID)
+	if fallback {
+		t.extendTargets(label, oid)
+	}
+	return nil
+}
+
+// registerStatementEdge indexes the edge under its statement so RDF-star
+// annotations can find it.
+func (t *Transformer) registerStatementEdge(tr rdf.Triple, id pg.EdgeID) {
+	key, err := rdf.NewTripleTerm(tr)
+	if err != nil {
+		return // exotic terms cannot be annotated; nothing to register
+	}
+	t.edgeOf[key] = id
+}
+
+// applyAnnotation attaches an RDF-star annotation << s p o >> a v to the PG
+// edge realizing the statement (s, p, o), as an edge property. Annotation
+// values must be literals of a standard datatype in canonical form — the
+// edge record is the PG-native representation of statement metadata and,
+// like key/value node properties, cannot carry language tags or exotic
+// lexicals.
+func (t *Transformer) applyAnnotation(tr rdf.Triple) error {
+	eid, ok := t.edgeOf[tr.S]
+	if !ok {
+		base, _ := tr.S.AsTriple()
+		return fmt.Errorf("core: annotated statement %v is not realized as an edge "+
+			"(missing from the data, or key/value-routed — use the non-parsimonious mode)", base)
+	}
+	if !tr.O.IsLiteral() || tr.O.Lang != "" {
+		return fmt.Errorf("core: annotation value %v must be a plain or typed literal", tr.O)
+	}
+	dt := tr.O.DatatypeIRI()
+	if xsd.FromShortName(xsd.ShortName(dt)) != dt {
+		return fmt.Errorf("core: annotation datatype %s is not supported", dt)
+	}
+	native, canonical := nativeValue(tr.O.Value, dt)
+	if !canonical {
+		return fmt.Errorf("core: annotation value %v has a non-canonical lexical form", tr.O)
+	}
+	edge := t.store.Edge(eid)
+	key, err := t.mapping.EnsureAnnotation(edge.Label, tr.P.Value, dt)
+	if err != nil {
+		return err
+	}
+	if cur, exists := edge.Props[key]; exists {
+		if arr, isArr := cur.([]pg.Value); isArr {
+			edge.Props[key] = append(arr, native)
+		} else {
+			edge.Props[key] = []pg.Value{cur, native}
+		}
+	} else {
+		edge.Props[key] = native
+	}
+	return nil
+}
+
+// extendTargets widens a fallback edge type to accept the target node's
+// first label (schema evolution driven by uncovered data).
+func (t *Transformer) extendTargets(edgeLabel string, target pg.NodeID) {
+	labels := t.store.Node(target).Labels
+	if len(labels) > 0 {
+		t.mapping.ExtendEdgeTargets(edgeLabel, labels[0])
+	}
+}
+
+// edgeLabelFor resolves the edge label for a predicate: the route's name
+// when one exists (KV routes share their key as the edge label for values
+// that cannot be inlined), else a fallback edge route is registered. The
+// second result reports whether the label belongs to a fallback route whose
+// targets should grow with the data.
+func (t *Transformer) edgeLabelFor(route *Route, sLabels []string, pred string) (string, bool) {
+	label := ""
+	if len(sLabels) > 0 {
+		label = sLabels[0]
+	}
+	if route != nil {
+		if route.Kind == RouteKV {
+			// Values escaping the KV encoding need the label → predicate
+			// correspondence recorded in the schema for the inverse mapping.
+			t.mapping.EnsureKVEscapeEdge(label, route)
+		}
+		return route.Name, route.Fallback
+	}
+	r := t.mapping.EnsureEdgeRoute(label, pred)
+	return r.Name, true
+}
+
+// ensureEntityNode returns the PG node for an entity, creating it with its
+// iri key on first sight (Algorithm 1, lines 9–14).
+func (t *Transformer) ensureEntityNode(e rdf.Term) pg.NodeID {
+	if e == t.lastEntity {
+		return t.lastNode
+	}
+	id, ok := t.nodeOf[e]
+	if !ok {
+		n := t.store.AddNode(nil, map[string]pg.Value{"iri": termIRI(e)})
+		id = n.ID
+		t.nodeOf[e] = id
+	}
+	t.lastEntity, t.lastNode = e, id
+	return id
+}
+
+// termIRI encodes a resource term as the iri property value.
+func termIRI(e rdf.Term) string {
+	if e.IsBlank() {
+		return "_:" + e.Value
+	}
+	return e.Value
+}
+
+// ensureLiteralValueNode returns (deduplicated) the value node encoding a
+// literal: label from the datatype, value as a typed scalar, plus dt/lang
+// bookkeeping and the exact lexical when formatting would lose it.
+func (t *Transformer) ensureLiteralValueNode(lex, dt, lang string) pg.NodeID {
+	key := valKey{lex: lex, dt: dt, lang: lang}
+	if id, ok := t.valNode[key]; ok {
+		return id
+	}
+	label := t.mapping.EnsureValueLabel(dt)
+	props := map[string]pg.Value{"dt": dt}
+	native, canonical := nativeValue(lex, dt)
+	props["value"] = native
+	if !canonical {
+		props["lex"] = lex
+	}
+	if lang != "" {
+		props["lang"] = lang
+	}
+	n := t.store.AddNode([]string{label}, props)
+	t.valNode[key] = n.ID
+	return n.ID
+}
+
+// ensureResourceValueNode encodes an IRI/blank object that is not an entity.
+func (t *Transformer) ensureResourceValueNode(o rdf.Term) pg.NodeID {
+	key := valKey{lex: termIRI(o), res: true}
+	if id, ok := t.valNode[key]; ok {
+		return id
+	}
+	label := t.mapping.EnsureValueLabel(rdf.XSDAnyURI)
+	n := t.store.AddNode([]string{label}, map[string]pg.Value{
+		"value": termIRI(o),
+		"res":   true,
+	})
+	t.valNode[key] = n.ID
+	return n.ID
+}
+
+// nativeValue converts a lexical form into the typed PG value, reporting
+// whether formatting the value back yields the exact lexical (canonical).
+// Non-canonical values keep their lexical alongside so the inverse mapping
+// is exact.
+func nativeValue(lex, dt string) (pg.Value, bool) {
+	v, err := xsd.Parse(lex, dt)
+	if err != nil {
+		return lex, false
+	}
+	switch v.Kind {
+	case xsd.KindInt:
+		native := v.I
+		return native, pg.FormatValue(native) == lex
+	case xsd.KindFloat:
+		native := v.F
+		return native, pg.FormatValue(native) == lex
+	case xsd.KindBool:
+		return v.B, pg.FormatValue(v.B) == lex
+	case xsd.KindTime:
+		// Times are stored as their lexical strings; always canonical.
+		return lex, true
+	default:
+		return lex, true
+	}
+}
+
+// Transform is a convenience: build the transformer, apply the graph, and
+// return the property graph with its (possibly extended) schema.
+func Transform(g *rdf.Graph, sg *shacl.Schema, mode Mode) (*pg.Store, *pgschema.Schema, error) {
+	t, err := NewTransformer(sg, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := t.Apply(g); err != nil {
+		return nil, nil, err
+	}
+	return t.Store(), t.Schema(), nil
+}

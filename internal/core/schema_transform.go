@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/xsd"
+)
+
+// Mode selects between the two S3PG transformation variants of §4.1/§4.2.
+type Mode uint8
+
+const (
+	// Parsimonious encodes single-type literal properties as key/value
+	// attributes within nodes whenever the shape permits it (Table 1).
+	Parsimonious Mode = iota
+	// NonParsimonious models every property as edges to value nodes, which
+	// keeps the transformation monotone under schema evolution (§4.1.1).
+	NonParsimonious
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == NonParsimonious {
+		return "non-parsimonious"
+	}
+	return "parsimonious"
+}
+
+// schemaBuilder carries the working state of F_st.
+type schemaBuilder struct {
+	sg       *shacl.Schema
+	mode     Mode
+	spg      *pgschema.Schema
+	names    *namer            // class/shape IRI → label
+	edgeSeen map[string]int    // edge type base name → count, for uniqueness
+	valueOf  map[string]string // datatype IRI → value node type name
+}
+
+// TransformSchema is F_st (Problem 1): it converts a SHACL shape schema into
+// a PG-Schema following the Figure 3 taxonomy rules of §4.1. The resulting
+// schema carries IRI metadata making the transformation invertible.
+func TransformSchema(sg *shacl.Schema, mode Mode) (*pgschema.Schema, error) {
+	b := &schemaBuilder{
+		sg:       sg,
+		mode:     mode,
+		spg:      pgschema.NewSchema(),
+		names:    newNamer(),
+		edgeSeen: make(map[string]int),
+		valueOf:  make(map[string]string),
+	}
+
+	// Pass 1: declare a node type per node shape so that inheritance and
+	// edge targets can reference them regardless of declaration order.
+	for _, ns := range sg.Shapes() {
+		label := b.shapeLabel(ns)
+		nt := &pgschema.NodeType{
+			Name:     typeName(label),
+			Label:    label,
+			ClassIRI: ns.TargetClass,
+			ShapeIRI: ns.Name,
+		}
+		for _, parent := range ns.Extends {
+			pShape := sg.Get(parent)
+			if pShape == nil {
+				return nil, fmt.Errorf("core: shape %s extends undeclared shape %s", ns.Name, parent)
+			}
+			nt.Extends = append(nt.Extends, typeName(b.shapeLabel(pShape)))
+		}
+		b.spg.AddNodeType(nt)
+	}
+
+	// Pass 2: transform every owned property shape.
+	for _, ns := range sg.Shapes() {
+		nt := b.spg.NodeType(typeName(b.shapeLabel(ns)))
+		for _, ps := range ns.Properties {
+			if err := b.property(nt, ps); err != nil {
+				return nil, fmt.Errorf("core: shape %s: %w", ns.Name, err)
+			}
+		}
+	}
+	return b.spg, nil
+}
+
+// shapeLabel derives the PG label for a node shape: the local name of its
+// target class when present, else of the shape itself.
+func (b *schemaBuilder) shapeLabel(ns *shacl.NodeShape) string {
+	if ns.TargetClass != "" {
+		return b.names.Name(ns.TargetClass)
+	}
+	return b.names.Name(ns.Name)
+}
+
+// property transforms one property shape φ = ⟨τ_p, T_p, C_p⟩ according to
+// its Figure 3 category and the mode.
+func (b *schemaBuilder) property(src *pgschema.NodeType, ps *shacl.PropertyShape) error {
+	if b.mode == Parsimonious && b.isKeyValue(ps) {
+		return b.keyValueProperty(src, ps)
+	}
+	return b.edgeProperty(src, ps)
+}
+
+// isKeyValue reports whether the property shape qualifies for the Table 1
+// key/value encoding: a single-type literal whose datatype has an exact
+// content-type name (so the datatype survives the round trip).
+func (b *schemaBuilder) isKeyValue(ps *shacl.PropertyShape) bool {
+	if ps.Category() != shacl.SingleTypeLiteral {
+		return false
+	}
+	dt := ps.Types[0].Datatype
+	return xsd.FromShortName(xsd.ShortName(dt)) == dt
+}
+
+// keyValueProperty applies the Table 1 cardinality mapping.
+func (b *schemaBuilder) keyValueProperty(src *pgschema.NodeType, ps *shacl.PropertyShape) error {
+	dt := ps.Types[0].Datatype
+	prop := &pgschema.Property{
+		Key:      b.names.Name(ps.Path),
+		Type:     xsd.ShortName(dt),
+		Optional: ps.MinCount == 0,
+		Array:    ps.MaxCount == shacl.Unbounded || ps.MaxCount > 1,
+		Min:      ps.MinCount,
+		Max:      ps.MaxCount,
+		IRI:      ps.Path,
+	}
+	if !prop.Array {
+		prop.Min, prop.Max = boolInt(!prop.Optional), 1
+	} else if ps.MaxCount == shacl.Unbounded {
+		prop.Max = pgschema.Unbounded
+	}
+	src.Properties = append(src.Properties, prop)
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// edgeProperty transforms a property shape into an edge type plus a PG-Key
+// cardinality constraint. Literal alternatives become value node types
+// (Figure 5d), class alternatives reference the classes' node types
+// (creating bare ones for classes without shapes), and shape references are
+// marked for invertibility (Figure 5e/f).
+func (b *schemaBuilder) edgeProperty(src *pgschema.NodeType, ps *shacl.PropertyShape) error {
+	label := b.names.Name(ps.Path)
+	et := &pgschema.EdgeType{
+		Name:   b.uniqueEdgeTypeName(label),
+		Label:  label,
+		IRI:    ps.Path,
+		Source: src.Name,
+	}
+	var targetLabels []string
+	for _, ref := range ps.Types {
+		switch {
+		case ref.Datatype != "":
+			vt := b.ensureValueType(ref.Datatype)
+			et.Targets = append(et.Targets, vt.Name)
+			et.ShapeRefs = append(et.ShapeRefs, false)
+			targetLabels = append(targetLabels, vt.Label)
+		case ref.Class != "":
+			ct := b.ensureClassType(ref.Class)
+			et.Targets = append(et.Targets, ct.Name)
+			et.ShapeRefs = append(et.ShapeRefs, false)
+			targetLabels = append(targetLabels, ct.Label)
+		case ref.Shape != "":
+			target := b.sg.Get(ref.Shape)
+			if target == nil {
+				return fmt.Errorf("property %s references undeclared shape %s", ps.Path, ref.Shape)
+			}
+			tName := typeName(b.shapeLabel(target))
+			et.Targets = append(et.Targets, tName)
+			et.ShapeRefs = append(et.ShapeRefs, true)
+			targetLabels = append(targetLabels, b.shapeLabel(target))
+		}
+	}
+	b.spg.AddEdgeType(et)
+	max := ps.MaxCount
+	if max == shacl.Unbounded {
+		max = pgschema.Unbounded
+	}
+	b.spg.Keys = append(b.spg.Keys, &pgschema.Key{
+		SourceLabel:  src.Label,
+		EdgeLabel:    label,
+		Min:          ps.MinCount,
+		Max:          max,
+		TargetLabels: targetLabels,
+	})
+	return nil
+}
+
+// uniqueEdgeTypeName derives an unused edge type name from a label.
+func (b *schemaBuilder) uniqueEdgeTypeName(label string) string {
+	base := typeName(label)
+	b.edgeSeen[base]++
+	if n := b.edgeSeen[base]; n > 1 {
+		return fmt.Sprintf("%s_%d", base, n)
+	}
+	return base
+}
+
+// ensureValueType returns (creating on first use) the value node type for a
+// literal datatype, e.g. stringType: STRING.
+func (b *schemaBuilder) ensureValueType(datatype string) *pgschema.NodeType {
+	if name, ok := b.valueOf[datatype]; ok {
+		return b.spg.NodeType(name)
+	}
+	label := xsd.ShortName(datatype)
+	nt := &pgschema.NodeType{
+		Name:     typeName(label),
+		Label:    label,
+		Value:    true,
+		Datatype: datatype,
+	}
+	// Distinct custom datatypes could collide on their short name; suffix
+	// deterministically.
+	for i := 2; b.spg.NodeType(nt.Name) != nil; i++ {
+		nt.Name = fmt.Sprintf("%s_%d", typeName(label), i)
+		nt.Label = fmt.Sprintf("%s_%d", label, i)
+	}
+	b.spg.AddNodeType(nt)
+	b.valueOf[datatype] = nt.Name
+	return nt
+}
+
+// ensureClassType returns the node type for a class: the type of the shape
+// targeting it when one exists, else a bare node type created on demand.
+func (b *schemaBuilder) ensureClassType(class string) *pgschema.NodeType {
+	if ns := b.sg.ShapeForClass(class); ns != nil {
+		return b.spg.NodeType(typeName(b.shapeLabel(ns)))
+	}
+	label := b.names.Name(class)
+	if nt := b.spg.NodeType(typeName(label)); nt != nil {
+		return nt
+	}
+	nt := &pgschema.NodeType{
+		Name:     typeName(label),
+		Label:    label,
+		ClassIRI: class,
+	}
+	b.spg.AddNodeType(nt)
+	return nt
+}

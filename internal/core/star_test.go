@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// starGraph returns the university graph annotated with RDF-star statements
+// about bob's advisedBy and takesCourse edges.
+func starGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g := fixtures.UniversityGraph()
+	advised := rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("advisedBy"), fixtures.Ex("alice"))
+	takes := rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("takesCourse"), fixtures.Ex("DB"))
+	g.Add(rdf.NewTriple(rdf.MustTripleTerm(advised), fixtures.Ex("since"),
+		rdf.NewTypedLiteral("2021", rdf.XSDInteger)))
+	g.Add(rdf.NewTriple(rdf.MustTripleTerm(takes), fixtures.Ex("grade"),
+		rdf.NewLiteral("A")))
+	g.Add(rdf.NewTriple(rdf.MustTripleTerm(takes), fixtures.Ex("certainty"),
+		rdf.NewTypedLiteral("0.9", rdf.XSDDouble)))
+	return g
+}
+
+func TestStarAnnotationsBecomeEdgeProperties(t *testing.T) {
+	g := starGraph(t)
+	store, spg, err := core.Transform(g, fixtures.UniversityShapes(), core.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := store.NodeByIRI(fixtures.ExNS + "bob")
+	var advised, takes *pg.Edge
+	for _, eid := range store.Out(bob.ID) {
+		e := store.Edge(eid)
+		switch {
+		case e.Label == "advisedBy":
+			advised = e
+		case e.Label == "takesCourse" && len(e.Props) > 0:
+			takes = e
+		}
+	}
+	if advised == nil || advised.Props["since"] != int64(2021) {
+		t.Fatalf("advisedBy edge = %+v", advised)
+	}
+	if takes == nil || takes.Props["grade"] != "A" || takes.Props["certainty"] != 0.9 {
+		t.Fatalf("takesCourse edge = %+v", takes)
+	}
+
+	// The annotations are declared in the schema (edge record types).
+	ddl := pgschema.WriteDDL(spg)
+	for _, want := range []string{"since INTEGER", "grade STRING", "certainty DOUBLE"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing annotation declaration %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestStarRoundTrip(t *testing.T) {
+	g := starGraph(t)
+	for _, mode := range []core.Mode{core.Parsimonious, core.NonParsimonious} {
+		store, spg, err := core.Transform(g, fixtures.UniversityShapes(), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		back, err := core.InverseData(store, spg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !g.Equal(back) {
+			g.ForEach(func(tr rdf.Triple) bool {
+				if !back.Has(tr) {
+					t.Errorf("%v: missing %v", mode, tr)
+				}
+				return true
+			})
+			t.Fatalf("%v: RDF-star round trip mismatch (%d vs %d)", mode, g.Len(), back.Len())
+		}
+	}
+}
+
+func TestStarRoundTripThroughSerializedSchema(t *testing.T) {
+	g := starGraph(t)
+	store, spg, err := core.Transform(g, fixtures.UniversityShapes(), core.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := pgschema.ParseDDL(pgschema.WriteDDL(spg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.InverseData(store, reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("annotations lost through schema serialization")
+	}
+}
+
+func TestStarTurtleParsing(t *testing.T) {
+	src := `
+@prefix ex:  <http://example.org/univ#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:bob ex:advisedBy ex:alice .
+<< ex:bob ex:advisedBy ex:alice >> ex:since "2021"^^xsd:integer .
+`
+	g, err := rio.ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("triples = %d: %v", g.Len(), g.Triples())
+	}
+	quoted := rdf.MustTripleTerm(rdf.NewTriple(
+		fixtures.Ex("bob"), fixtures.Ex("advisedBy"), fixtures.Ex("alice")))
+	objs := g.Objects(quoted, fixtures.Ex("since"))
+	if len(objs) != 1 || objs[0].Value != "2021" {
+		t.Fatalf("annotation = %v", objs)
+	}
+}
+
+func TestStarNTriplesRoundTrip(t *testing.T) {
+	g := starGraph(t)
+	var b strings.Builder
+	if err := rio.WriteNTriples(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rio.LoadNTriples(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !g.Equal(back) {
+		t.Fatal("N-Triples star round trip mismatch")
+	}
+}
+
+func TestStarErrors(t *testing.T) {
+	base := rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("advisedBy"), fixtures.Ex("alice"))
+
+	// Nested quoted triples are rejected.
+	if _, err := rdf.NewTripleTerm(rdf.NewTriple(
+		rdf.MustTripleTerm(base), fixtures.Ex("p"), rdf.NewLiteral("x"))); err == nil {
+		t.Error("nested quoted triple should be rejected")
+	}
+
+	// Annotating a statement that is not in the graph fails.
+	g := fixtures.UniversityGraph()
+	missing := rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("advisedBy"), fixtures.Ex("nobody"))
+	g.Add(rdf.NewTriple(rdf.MustTripleTerm(missing), fixtures.Ex("since"), rdf.NewLiteral("x")))
+	if _, _, err := core.Transform(g, fixtures.UniversityShapes(), core.Parsimonious); err == nil {
+		t.Error("annotation of an absent statement should fail")
+	}
+
+	// Annotating a key/value-routed statement fails in parsimonious mode.
+	g2 := fixtures.UniversityGraph()
+	kvStmt := rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("regNo"), rdf.NewLiteral("Bs12"))
+	g2.Add(rdf.NewTriple(rdf.MustTripleTerm(kvStmt), fixtures.Ex("verified"), rdf.NewLiteral("yes")))
+	if _, _, err := core.Transform(g2, fixtures.UniversityShapes(), core.Parsimonious); err == nil {
+		t.Error("annotation of a key/value statement should fail in parsimonious mode")
+	}
+	// …but works in the non-parsimonious mode, where regNo is an edge.
+	store, spg, err := core.Transform(g2, fixtures.UniversityShapes(), core.NonParsimonious)
+	if err != nil {
+		t.Fatalf("non-parsimonious: %v", err)
+	}
+	back, err := core.InverseData(store, spg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(back) {
+		t.Fatal("kv-statement annotation round trip mismatch")
+	}
+
+	// Language-tagged annotation values are rejected.
+	g3 := starGraph(t)
+	g3.Add(rdf.NewTriple(rdf.MustTripleTerm(base), fixtures.Ex("note"), rdf.NewLangLiteral("bien", "fr")))
+	if _, _, err := core.Transform(g3, fixtures.UniversityShapes(), core.Parsimonious); err == nil {
+		t.Error("language-tagged annotation should be rejected")
+	}
+}

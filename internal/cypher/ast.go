@@ -1,0 +1,182 @@
+// Package cypher implements the Cypher subset needed to execute the paper's
+// evaluation workload over the in-memory property graph: MATCH with multiple
+// comma-separated path patterns, label and relationship-type alternation,
+// WHERE, UNWIND, RETURN with aliases and COUNT aggregation, DISTINCT,
+// UNION / UNION ALL, ORDER BY, and LIMIT, plus the expression builtins the
+// paper's translated queries use (COALESCE, labels, type, toString, size).
+package cypher
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/pg"
+)
+
+// Query is a union of single queries (UNION ALL keeps duplicates).
+type Query struct {
+	Parts []*SingleQuery
+	// All marks UNION ALL (bag) vs UNION (set) combination.
+	All bool
+	// OrderBy and Limit apply to the combined result.
+	OrderBy []OrderKey
+	Limit   int // -1 = none
+}
+
+// SingleQuery is a linear sequence of reading clauses ending in RETURN.
+type SingleQuery struct {
+	Reading []ReadingClause
+	Return  *ReturnClause
+}
+
+// ReadingClause is MATCH, OPTIONAL MATCH, or UNWIND.
+type ReadingClause interface{ reading() }
+
+// MatchClause matches path patterns with an optional WHERE.
+type MatchClause struct {
+	Optional bool
+	Paths    []PathPattern
+	Where    Expr
+}
+
+// UnwindClause expands a list expression into rows.
+type UnwindClause struct {
+	Expr  Expr
+	Alias string
+}
+
+func (MatchClause) reading()  {}
+func (UnwindClause) reading() {}
+
+// PathPattern is a chain: node, then zero or more (rel, node) hops.
+type PathPattern struct {
+	Head NodePattern
+	Hops []Hop
+}
+
+// Hop is one relationship plus its target node.
+type Hop struct {
+	Rel  RelPattern
+	Node NodePattern
+}
+
+// NodePattern is (v:Label1:Label2 {key: value}).
+type NodePattern struct {
+	Var    string
+	Labels []string
+	Props  map[string]pg.Value
+}
+
+// RelPattern is -[v:TYPE1|TYPE2]-> (Dir +1), <-[...]- (Dir -1), or -[...]-(0).
+type RelPattern struct {
+	Var   string
+	Types []string
+	Dir   int
+}
+
+// ReturnClause projects expressions.
+type ReturnClause struct {
+	Distinct bool
+	Items    []ReturnItem
+}
+
+// ReturnItem is expr [AS alias].
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+	// Agg is "" or "COUNT"; Star marks COUNT(*); AggDistinct COUNT(DISTINCT e).
+	Agg         string
+	Star        bool
+	AggDistinct bool
+}
+
+// OrderKey is one ORDER BY criterion (by output column alias).
+type OrderKey struct {
+	Alias string
+	Desc  bool
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// VarExpr references a bound variable.
+type VarExpr struct{ Name string }
+
+// PropExpr accesses v.key.
+type PropExpr struct {
+	Var string
+	Key string
+}
+
+// ConstExpr is a literal constant.
+type ConstExpr struct{ Value pg.Value }
+
+// NullExpr is the NULL literal.
+type NullExpr struct{}
+
+// BinaryExpr applies = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr negates.
+type NotExpr struct{ E Expr }
+
+// IsNullExpr tests nullness.
+type IsNullExpr struct {
+	E   Expr
+	Neg bool // IS NOT NULL
+}
+
+// CallExpr is a builtin: COALESCE, LABELS, TYPE, TOSTRING, SIZE, ID,
+// STARTSWITH (function form), CONTAINS (function form).
+type CallExpr struct {
+	Func string
+	Args []Expr
+}
+
+// InExpr tests list membership: e IN [a, b, c].
+type InExpr struct {
+	E    Expr
+	List []Expr
+}
+
+func (VarExpr) expr()    {}
+func (PropExpr) expr()   {}
+func (ConstExpr) expr()  {}
+func (NullExpr) expr()   {}
+func (BinaryExpr) expr() {}
+func (NotExpr) expr()    {}
+func (IsNullExpr) expr() {}
+func (CallExpr) expr()   {}
+func (InExpr) expr()     {}
+
+// Results is the answer table of a query.
+type Results struct {
+	Cols []string
+	Rows [][]pg.Value
+}
+
+// Len returns the number of rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Canonical returns a sorted multiset encoding of the rows, rendering each
+// value as its bare string (matching sparql.Results.Canonical under the
+// tr(µ) conversion of Definition 3.2).
+func (r *Results) Canonical() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				parts[i] = ""
+			} else {
+				parts[i] = pg.FormatValue(v)
+			}
+		}
+		out = append(out, strings.Join(parts, "\x1f"))
+	}
+	sort.Strings(out)
+	return out
+}

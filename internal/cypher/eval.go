@@ -1,0 +1,557 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/pg"
+)
+
+// nodeRef and edgeRef are binding values referencing graph elements.
+type nodeRef pg.NodeID
+type edgeRef pg.EdgeID
+
+// binding maps variable names to values (nodeRef, edgeRef, pg.Value, nil).
+type binding map[string]any
+
+func (b binding) clone() binding {
+	c := make(binding, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Eval executes a query against a property graph store.
+func Eval(store *pg.Store, q *Query) (*Results, error) {
+	var combined *Results
+	for _, part := range q.Parts {
+		res, err := evalSingle(store, part)
+		if err != nil {
+			return nil, err
+		}
+		if combined == nil {
+			combined = res
+			continue
+		}
+		if len(res.Cols) != len(combined.Cols) {
+			return nil, fmt.Errorf("cypher: UNION parts have different arities (%d vs %d)",
+				len(combined.Cols), len(res.Cols))
+		}
+		combined.Rows = append(combined.Rows, res.Rows...)
+	}
+	if combined == nil {
+		return &Results{}, nil
+	}
+	if !q.All && len(q.Parts) > 1 {
+		combined.Rows = dedupeRows(combined.Rows)
+	}
+	if len(q.OrderBy) > 0 {
+		orderRows(combined, q.OrderBy)
+	}
+	if q.Limit >= 0 && len(combined.Rows) > q.Limit {
+		combined.Rows = combined.Rows[:q.Limit]
+	}
+	return combined, nil
+}
+
+func evalSingle(store *pg.Store, sq *SingleQuery) (*Results, error) {
+	rows := []binding{{}}
+	var err error
+	for _, rc := range sq.Reading {
+		switch clause := rc.(type) {
+		case MatchClause:
+			rows, err = evalMatch(store, clause, rows)
+		case UnwindClause:
+			rows, err = evalUnwind(store, clause, rows)
+		default:
+			err = fmt.Errorf("cypher: unknown clause %T", rc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	if sq.Return == nil {
+		return nil, fmt.Errorf("cypher: query lacks RETURN")
+	}
+	return project(store, sq.Return, rows)
+}
+
+func evalMatch(store *pg.Store, mc MatchClause, input []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range input {
+		matches := []binding{b}
+		for _, path := range mc.Paths {
+			matches = expandPath(store, path, matches)
+			if len(matches) == 0 {
+				break
+			}
+		}
+		if mc.Where != nil {
+			kept := matches[:0]
+			for _, m := range matches {
+				v, err := evalExpr(store, mc.Where, m)
+				if err != nil {
+					return nil, err
+				}
+				if isTrue(v) {
+					kept = append(kept, m)
+				}
+			}
+			matches = kept
+		}
+		if len(matches) == 0 && mc.Optional {
+			nb := b.clone()
+			for _, v := range clauseVars(mc) {
+				if _, bound := nb[v]; !bound {
+					nb[v] = nil
+				}
+			}
+			out = append(out, nb)
+			continue
+		}
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// clauseVars lists the variables a match clause introduces.
+func clauseVars(mc MatchClause) []string {
+	var out []string
+	for _, p := range mc.Paths {
+		if p.Head.Var != "" {
+			out = append(out, p.Head.Var)
+		}
+		for _, h := range p.Hops {
+			if h.Rel.Var != "" {
+				out = append(out, h.Rel.Var)
+			}
+			if h.Node.Var != "" {
+				out = append(out, h.Node.Var)
+			}
+		}
+	}
+	return out
+}
+
+// expandPath extends bindings along one path pattern.
+func expandPath(store *pg.Store, path PathPattern, input []binding) []binding {
+	cur := bindNode(store, path.Head, input)
+	prevVar := path.Head.Var
+	// Anonymous head nodes still need an anchor for hop expansion; use a
+	// synthetic variable name that cannot clash with user identifiers.
+	if prevVar == "" {
+		prevVar = "\x00head"
+		for i := range cur {
+			// bindNode stored the node under "" — move it.
+			cur[i][prevVar] = cur[i]["\x00anon"]
+			delete(cur[i], "\x00anon")
+		}
+	}
+	for _, hop := range path.Hops {
+		cur = expandHop(store, prevVar, hop, cur)
+		if hop.Node.Var != "" {
+			prevVar = hop.Node.Var
+		} else {
+			prevVar = "\x00hop"
+		}
+	}
+	// Drop synthetic anchors.
+	for _, b := range cur {
+		delete(b, "\x00head")
+		delete(b, "\x00hop")
+	}
+	return cur
+}
+
+// bindNode matches the head node pattern against the store (or an existing
+// binding), producing one binding per candidate.
+func bindNode(store *pg.Store, np NodePattern, input []binding) []binding {
+	var out []binding
+	key := np.Var
+	if key == "" {
+		key = "\x00anon"
+	}
+	for _, b := range input {
+		if np.Var != "" {
+			if v, bound := b[np.Var]; bound {
+				if ref, ok := v.(nodeRef); ok && nodeMatches(store.Node(pg.NodeID(ref)), np) {
+					out = append(out, b)
+				}
+				continue
+			}
+		}
+		for _, n := range candidateNodes(store, np) {
+			if !nodeMatches(n, np) {
+				continue
+			}
+			nb := b.clone()
+			nb[key] = nodeRef(n.ID)
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// candidateNodes picks the narrowest label index for the pattern.
+func candidateNodes(store *pg.Store, np NodePattern) []*pg.Node {
+	if len(np.Labels) > 0 {
+		best := store.NodesByLabel(np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			if ids := store.NodesByLabel(l); len(ids) < len(best) {
+				best = ids
+			}
+		}
+		out := make([]*pg.Node, 0, len(best))
+		for _, id := range best {
+			out = append(out, store.Node(id))
+		}
+		return out
+	}
+	if iri, ok := np.Props["iri"].(string); ok {
+		if n := store.NodeByIRI(iri); n != nil {
+			return []*pg.Node{n}
+		}
+		return nil
+	}
+	return store.Nodes()
+}
+
+func nodeMatches(n *pg.Node, np NodePattern) bool {
+	if n == nil {
+		return false
+	}
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false
+		}
+	}
+	for k, want := range np.Props {
+		have, ok := n.Props[k]
+		if !ok || !pg.ValueEqual(have, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandHop extends each binding across one relationship hop.
+func expandHop(store *pg.Store, fromVar string, hop Hop, input []binding) []binding {
+	var out []binding
+	typeOK := func(label string) bool {
+		if len(hop.Rel.Types) == 0 {
+			return true
+		}
+		for _, t := range hop.Rel.Types {
+			if t == label {
+				return true
+			}
+		}
+		return false
+	}
+	nodeKey := hop.Node.Var
+	if nodeKey == "" {
+		nodeKey = "\x00hop"
+	}
+	for _, b := range input {
+		ref, ok := b[fromVar].(nodeRef)
+		if !ok {
+			continue
+		}
+		from := pg.NodeID(ref)
+		try := func(e *pg.Edge, target pg.NodeID) {
+			if !typeOK(e.Label) {
+				return
+			}
+			tn := store.Node(target)
+			if !nodeMatches(tn, hop.Node) {
+				return
+			}
+			if hop.Node.Var != "" {
+				if v, bound := b[hop.Node.Var]; bound {
+					if r, ok := v.(nodeRef); !ok || pg.NodeID(r) != target {
+						return
+					}
+				}
+			}
+			if hop.Rel.Var != "" {
+				if v, bound := b[hop.Rel.Var]; bound {
+					if r, ok := v.(edgeRef); !ok || pg.EdgeID(r) != e.ID {
+						return
+					}
+				}
+			}
+			nb := b.clone()
+			nb[nodeKey] = nodeRef(target)
+			if hop.Rel.Var != "" {
+				nb[hop.Rel.Var] = edgeRef(e.ID)
+			}
+			out = append(out, nb)
+		}
+		if hop.Rel.Dir >= 0 {
+			for _, eid := range store.Out(from) {
+				e := store.Edge(eid)
+				try(e, e.To)
+			}
+		}
+		if hop.Rel.Dir <= 0 {
+			for _, eid := range store.In(from) {
+				e := store.Edge(eid)
+				try(e, e.From)
+			}
+		}
+	}
+	return out
+}
+
+func evalUnwind(store *pg.Store, uc UnwindClause, input []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range input {
+		v, err := evalExpr(store, uc.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		switch list := v.(type) {
+		case nil:
+			// UNWIND NULL produces no rows.
+		case []pg.Value:
+			for _, item := range list {
+				nb := b.clone()
+				nb[uc.Alias] = item
+				out = append(out, nb)
+			}
+		default:
+			nb := b.clone()
+			nb[uc.Alias] = v
+			out = append(out, nb)
+		}
+	}
+	return out, nil
+}
+
+// project evaluates the RETURN clause, handling COUNT aggregation.
+func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error) {
+	res := &Results{}
+	for _, item := range rc.Items {
+		res.Cols = append(res.Cols, item.Alias)
+	}
+
+	hasAgg := false
+	for _, item := range rc.Items {
+		if item.Agg != "" {
+			hasAgg = true
+		}
+	}
+
+	if !hasAgg {
+		for _, b := range rows {
+			row := make([]pg.Value, len(rc.Items))
+			for i, item := range rc.Items {
+				v, err := evalExpr(store, item.Expr, b)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = materialize(store, v)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if rc.Distinct {
+			res.Rows = dedupeRows(res.Rows)
+		}
+		return res, nil
+	}
+
+	// Group by the non-aggregate items.
+	type group struct {
+		key    []pg.Value
+		counts []int64
+		seen   []map[string]bool
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, b := range rows {
+		key := make([]pg.Value, 0, len(rc.Items))
+		for _, item := range rc.Items {
+			if item.Agg != "" {
+				continue
+			}
+			v, err := evalExpr(store, item.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			key = append(key, materialize(store, v))
+		}
+		ks := valuesKey(key)
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key, counts: make([]int64, len(rc.Items)), seen: make([]map[string]bool, len(rc.Items))}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i, item := range rc.Items {
+			if item.Agg == "" {
+				continue
+			}
+			if item.Star {
+				g.counts[i]++
+				continue
+			}
+			v, err := evalExpr(store, item.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				continue
+			}
+			if item.AggDistinct {
+				if g.seen[i] == nil {
+					g.seen[i] = map[string]bool{}
+				}
+				k := pg.FormatValue(materialize(store, v))
+				if g.seen[i][k] {
+					continue
+				}
+				g.seen[i][k] = true
+			}
+			g.counts[i]++
+		}
+	}
+	// An aggregation over zero rows with no grouping keys yields one row.
+	if len(order) == 0 {
+		allAgg := true
+		for _, item := range rc.Items {
+			if item.Agg == "" {
+				allAgg = false
+			}
+		}
+		if allAgg {
+			row := make([]pg.Value, len(rc.Items))
+			for i := range row {
+				row[i] = int64(0)
+			}
+			res.Rows = append(res.Rows, row)
+			return res, nil
+		}
+		return res, nil
+	}
+	for _, ks := range order {
+		g := groups[ks]
+		row := make([]pg.Value, len(rc.Items))
+		ki := 0
+		for i, item := range rc.Items {
+			if item.Agg != "" {
+				row[i] = g.counts[i]
+			} else {
+				row[i] = g.key[ki]
+				ki++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// materialize converts binding values to plain result values: nodes render
+// as their iri property (or id), edges as their label.
+func materialize(store *pg.Store, v any) pg.Value {
+	switch x := v.(type) {
+	case nodeRef:
+		n := store.Node(pg.NodeID(x))
+		if iri, ok := n.Props["iri"].(string); ok {
+			return iri
+		}
+		return int64(x)
+	case edgeRef:
+		return store.Edge(pg.EdgeID(x)).Label
+	case nil:
+		return nil
+	default:
+		return x
+	}
+}
+
+func valuesKey(vals []pg.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if v == nil {
+			parts[i] = "\x00null"
+		} else {
+			parts[i] = pg.FormatValue(v)
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func dedupeRows(rows [][]pg.Value) [][]pg.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := valuesKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func orderRows(res *Results, keys []OrderKey) {
+	idx := map[string]int{}
+	for i, c := range res.Cols {
+		idx[c] = i
+	}
+	lessVal := func(a, b pg.Value) int {
+		if a == nil || b == nil {
+			switch {
+			case a == nil && b == nil:
+				return 0
+			case a == nil:
+				return 1 // nulls last
+			default:
+				return -1
+			}
+		}
+		fa, faOK := toFloatValue(a)
+		fb, fbOK := toFloatValue(b)
+		if faOK && fbOK {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			}
+			return 0
+		}
+		return strings.Compare(pg.FormatValue(a), pg.FormatValue(b))
+	}
+	sortSlice(res.Rows, func(a, b []pg.Value) bool {
+		for _, k := range keys {
+			col, ok := idx[k.Alias]
+			if !ok {
+				continue
+			}
+			c := lessVal(a[col], b[col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func toFloatValue(v pg.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}

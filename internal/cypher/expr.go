@@ -1,0 +1,238 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/pg"
+)
+
+// sortSlice is a tiny generic wrapper so eval.go reads cleanly.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// evalExpr evaluates an expression under a binding. Results follow Cypher's
+// ternary logic loosely: nil propagates and comparisons with nil are nil,
+// which isTrue treats as false.
+func evalExpr(store *pg.Store, e Expr, b binding) (any, error) {
+	switch x := e.(type) {
+	case VarExpr:
+		v, ok := b[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("cypher: unbound variable %q", x.Name)
+		}
+		return v, nil
+	case PropExpr:
+		v, ok := b[x.Var]
+		if !ok {
+			return nil, fmt.Errorf("cypher: unbound variable %q", x.Var)
+		}
+		switch ref := v.(type) {
+		case nodeRef:
+			return store.Node(pg.NodeID(ref)).Props[x.Key], nil
+		case edgeRef:
+			return store.Edge(pg.EdgeID(ref)).Props[x.Key], nil
+		case nil:
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("cypher: %q is not a node or relationship", x.Var)
+		}
+	case ConstExpr:
+		return x.Value, nil
+	case NullExpr:
+		return nil, nil
+	case NotExpr:
+		v, err := evalExpr(store, x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		return !isTrue(v), nil
+	case IsNullExpr:
+		v, err := evalExpr(store, x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		if x.Neg {
+			return v != nil, nil
+		}
+		return v == nil, nil
+	case InExpr:
+		v, err := evalExpr(store, x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, le := range x.List {
+			lv, err := evalExpr(store, le, b)
+			if err != nil {
+				return nil, err
+			}
+			if pg.ValueEqual(materialize(store, v), materialize(store, lv)) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case BinaryExpr:
+		return evalBinary(store, x, b)
+	case CallExpr:
+		return evalCall(store, x, b)
+	default:
+		return nil, fmt.Errorf("cypher: unknown expression %T", e)
+	}
+}
+
+func evalBinary(store *pg.Store, x BinaryExpr, b binding) (any, error) {
+	l, err := evalExpr(store, x.L, b)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op == "AND" || x.Op == "OR" {
+		r, err := evalExpr(store, x.R, b)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return isTrue(l) && isTrue(r), nil
+		}
+		return isTrue(l) || isTrue(r), nil
+	}
+	r, err := evalExpr(store, x.R, b)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	lv, rv := materialize(store, l), materialize(store, r)
+	switch x.Op {
+	case "=":
+		return pg.ValueEqual(lv, rv), nil
+	case "<>":
+		return !pg.ValueEqual(lv, rv), nil
+	}
+	cmp, ok := compareValues(lv, rv)
+	if !ok {
+		return nil, nil
+	}
+	switch x.Op {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return nil, fmt.Errorf("cypher: unknown operator %q", x.Op)
+	}
+}
+
+func compareValues(a, b pg.Value) (int, bool) {
+	fa, faOK := toFloatValue(a)
+	fb, fbOK := toFloatValue(b)
+	if faOK && fbOK {
+		switch {
+		case fa < fb:
+			return -1, true
+		case fa > fb:
+			return 1, true
+		}
+		return 0, true
+	}
+	sa, saOK := a.(string)
+	sb, sbOK := b.(string)
+	if saOK && sbOK {
+		return strings.Compare(sa, sb), true
+	}
+	return 0, false
+}
+
+func evalCall(store *pg.Store, x CallExpr, b binding) (any, error) {
+	args := make([]any, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalExpr(store, a, b)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch x.Func {
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "LABELS":
+		ref, ok := args[0].(nodeRef)
+		if !ok {
+			return nil, fmt.Errorf("cypher: labels() requires a node")
+		}
+		labels := store.Node(pg.NodeID(ref)).Labels
+		out := make([]pg.Value, len(labels))
+		for i, l := range labels {
+			out[i] = l
+		}
+		return out, nil
+	case "TYPE":
+		ref, ok := args[0].(edgeRef)
+		if !ok {
+			return nil, fmt.Errorf("cypher: type() requires a relationship")
+		}
+		return store.Edge(pg.EdgeID(ref)).Label, nil
+	case "TOSTRING":
+		if args[0] == nil {
+			return nil, nil
+		}
+		return pg.FormatValue(materialize(store, args[0])), nil
+	case "SIZE":
+		switch v := args[0].(type) {
+		case nil:
+			return nil, nil
+		case string:
+			return int64(len(v)), nil
+		case []pg.Value:
+			return int64(len(v)), nil
+		default:
+			return int64(1), nil
+		}
+	case "ID":
+		switch ref := args[0].(type) {
+		case nodeRef:
+			return int64(ref), nil
+		case edgeRef:
+			return int64(ref), nil
+		default:
+			return nil, fmt.Errorf("cypher: id() requires a graph element")
+		}
+	case "STARTSWITH":
+		s, ok1 := args[0].(string)
+		p, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, nil
+		}
+		return strings.HasPrefix(s, p), nil
+	case "CONTAINS":
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, nil
+		}
+		return strings.Contains(s, sub), nil
+	default:
+		return nil, fmt.Errorf("cypher: unsupported function %s", x.Func)
+	}
+}
+
+// isTrue converts a value to the boolean used by WHERE: only the boolean
+// true passes (nil and everything else is false).
+func isTrue(v any) bool {
+	b, ok := v.(bool)
+	return ok && b
+}

@@ -1,0 +1,343 @@
+// Package datagen generates the synthetic knowledge graphs that stand in
+// for the paper's datasets (DBpedia 2020/2022 and Bio2RDF Clinical Trials,
+// Table 2). Each profile reproduces the *ratios* that drive the evaluation:
+// the Table 3 mix of property-shape categories (single-type vs multi-type
+// homogeneous/heterogeneous), instance-per-class skew, and the dirty-value
+// fractions that cause the baselines' measured losses. Generators are
+// seeded and fully deterministic.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// PropKind is the Figure 3 category a generated property belongs to.
+type PropKind uint8
+
+// Generated property categories.
+const (
+	STLit  PropKind = iota + 1 // single-type literal
+	STRes                      // single-type non-literal
+	MTLit                      // multi-type homogeneous literal
+	MTRes                      // multi-type homogeneous non-literal
+	Hetero                     // multi-type heterogeneous (literal + IRI)
+)
+
+// PropSpec describes one property of a class.
+type PropSpec struct {
+	Name string
+	Kind PropKind
+	// Datatypes are the literal datatypes involved; the first is the
+	// majority type. Used by STLit, MTLit, and Hetero.
+	Datatypes []string
+	// Targets are target class names for STRes, MTRes, and Hetero.
+	Targets []string
+	// Coverage is the fraction of instances carrying the property.
+	Coverage float64
+	// MaxVals bounds values per subject (uniform in [1..MaxVals]).
+	MaxVals int
+	// LiteralFrac is the fraction of values that are literals (Hetero).
+	LiteralFrac float64
+	// NumericFirstFrac is the fraction of multi-valued literal subjects
+	// whose first value is numeric and a later value is a non-numeric
+	// string — the pattern that NeoSemantics' array coercion drops.
+	NumericFirstFrac float64
+	// NoiseFrac adds deviant-kind values to single-type properties (an IRI
+	// on a literal property or vice versa) — dirt below any shape-support
+	// threshold, which schema-direct mappings like rdf2pg lose.
+	NoiseFrac float64
+	// Pool, when non-empty, restricts string values to this categorical
+	// vocabulary (e.g. clinical trial phases).
+	Pool []string
+}
+
+// ClassSpec describes one class of a profile.
+type ClassSpec struct {
+	Name string
+	// Parents are additional classes every instance is co-typed with.
+	Parents []string
+	// Weight is the class's share of the instance budget.
+	Weight float64
+	Props  []PropSpec
+}
+
+// Profile is a complete dataset blueprint.
+type Profile struct {
+	Name string
+	// NS is the IRI namespace for classes, predicates, and entities.
+	NS string
+	// BaseInstances is the instance count at scale 1.0 (Table 2 values).
+	BaseInstances int
+	Classes       []ClassSpec
+}
+
+// Generate materializes the profile at the given scale.
+func Generate(p *Profile, scale float64, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	gen := &generator{p: p, rng: rng, g: g}
+	gen.run(scale)
+	return g
+}
+
+type generator struct {
+	p   *Profile
+	rng *rand.Rand
+	g   *rdf.Graph
+	// instancesOf holds all entities typed with a class (co-typing via
+	// Parents included) — the pool link properties draw targets from.
+	instancesOf map[string][]rdf.Term
+	// primaryOf holds only the entities created for a class; properties are
+	// emitted per primary class so co-typed entities do not receive two
+	// property sets (e.g. a second title through Album ⊑ Work).
+	primaryOf map[string][]rdf.Term
+}
+
+func (gen *generator) iri(local string) rdf.Term { return rdf.NewIRI(gen.p.NS + local) }
+
+func (gen *generator) run(scale float64) {
+	// Pass 1: entities with types.
+	gen.instancesOf = make(map[string][]rdf.Term)
+	gen.primaryOf = make(map[string][]rdf.Term)
+	total := float64(gen.p.BaseInstances) * scale
+	var weightSum float64
+	for _, c := range gen.p.Classes {
+		weightSum += c.Weight
+	}
+	for _, c := range gen.p.Classes {
+		n := int(total * c.Weight / weightSum)
+		if n < 2 {
+			n = 2
+		}
+		class := gen.iri(c.Name)
+		for i := 0; i < n; i++ {
+			e := gen.iri(fmt.Sprintf("%s_%d", c.Name, i))
+			gen.g.Add(rdf.NewTriple(e, rdf.A, class))
+			gen.instancesOf[c.Name] = append(gen.instancesOf[c.Name], e)
+			gen.primaryOf[c.Name] = append(gen.primaryOf[c.Name], e)
+			for _, parent := range c.Parents {
+				gen.g.Add(rdf.NewTriple(e, rdf.A, gen.iri(parent)))
+				gen.instancesOf[parent] = append(gen.instancesOf[parent], e)
+			}
+		}
+	}
+	// Pass 2: property values.
+	for _, c := range gen.p.Classes {
+		for _, e := range gen.primaryOf[c.Name] {
+			for i := range c.Props {
+				gen.emitProperty(e, &c.Props[i])
+			}
+		}
+	}
+}
+
+// emitProperty generates the values of one property for one subject.
+func (gen *generator) emitProperty(subject rdf.Term, ps *PropSpec) {
+	if gen.rng.Float64() >= ps.Coverage {
+		return
+	}
+	pred := gen.iri(ps.Name)
+	maxVals := ps.MaxVals
+	if maxVals < 1 {
+		maxVals = 1
+	}
+	n := 1 + gen.rng.Intn(maxVals)
+
+	switch ps.Kind {
+	case STLit:
+		dt := ps.Datatypes[0]
+		for i := 0; i < n; i++ {
+			if ps.NoiseFrac > 0 && gen.rng.Float64() < ps.NoiseFrac {
+				// Deviant value: an IRI where a literal is expected.
+				gen.g.Add(rdf.NewTriple(subject, pred, gen.randomTarget(ps, subject)))
+				continue
+			}
+			if len(ps.Pool) > 0 {
+				gen.g.Add(rdf.NewTriple(subject, pred, rdf.NewLiteral(ps.Pool[gen.rng.Intn(len(ps.Pool))])))
+				continue
+			}
+			gen.g.Add(rdf.NewTriple(subject, pred, gen.literal(dt)))
+		}
+	case STRes:
+		for i := 0; i < n; i++ {
+			if ps.NoiseFrac > 0 && gen.rng.Float64() < ps.NoiseFrac {
+				// Deviant value: a literal where an IRI is expected.
+				gen.g.Add(rdf.NewTriple(subject, pred, gen.literal(rdf.XSDString)))
+				continue
+			}
+			gen.g.Add(rdf.NewTriple(subject, pred, gen.randomTarget(ps, subject)))
+		}
+	case MTLit:
+		// The majority datatype dominates (≈85% of values), with the
+		// remaining types mixed in — matching the paper's observation that
+		// schema-direct mappings lose the minority datatypes (Table 6,
+		// Q6–Q10: rdf2pg at 84.62–100%).
+		for i := 0; i < n; i++ {
+			dt := ps.Datatypes[0]
+			if i > 0 && len(ps.Datatypes) > 1 && gen.rng.Float64() < 0.3 {
+				dt = ps.Datatypes[1+gen.rng.Intn(len(ps.Datatypes)-1)]
+			}
+			gen.g.Add(rdf.NewTriple(subject, pred, gen.literal(dt)))
+		}
+	case MTRes:
+		for i := 0; i < n; i++ {
+			gen.g.Add(rdf.NewTriple(subject, pred, gen.randomTarget(ps, subject)))
+		}
+	case Hetero:
+		if n < 2 {
+			n = 2
+		}
+		numericFirst := gen.rng.Float64() < ps.NumericFirstFrac
+		for i := 0; i < n; i++ {
+			isLit := gen.rng.Float64() < ps.LiteralFrac
+			if numericFirst {
+				// The NeoSemantics killer: a numeric literal first, a
+				// non-numeric string later.
+				switch i {
+				case 0:
+					gen.g.Add(rdf.NewTriple(subject, pred, gen.literal(rdf.XSDInteger)))
+					continue
+				case 1:
+					gen.g.Add(rdf.NewTriple(subject, pred, gen.nameLiteral()))
+					continue
+				}
+			}
+			if isLit {
+				dt := ps.Datatypes[gen.rng.Intn(len(ps.Datatypes))]
+				gen.g.Add(rdf.NewTriple(subject, pred, gen.literal(dt)))
+			} else {
+				gen.g.Add(rdf.NewTriple(subject, pred, gen.randomTarget(ps, subject)))
+			}
+		}
+	}
+}
+
+// randomTarget picks an instance of one of the property's target classes.
+func (gen *generator) randomTarget(ps *PropSpec, fallback rdf.Term) rdf.Term {
+	if len(ps.Targets) == 0 {
+		return fallback
+	}
+	class := ps.Targets[gen.rng.Intn(len(ps.Targets))]
+	pool := gen.instancesOf[class]
+	if len(pool) == 0 {
+		return fallback
+	}
+	return pool[gen.rng.Intn(len(pool))]
+}
+
+// literal draws a value of the datatype. Lexical forms are canonical so
+// that result comparison across engines is exact.
+func (gen *generator) literal(dt string) rdf.Term {
+	switch dt {
+	case rdf.XSDInteger:
+		return rdf.NewTypedLiteral(fmt.Sprint(gen.rng.Intn(100000)), dt)
+	case rdf.XSDDouble, rdf.XSDDecimal:
+		return rdf.NewTypedLiteral(fmt.Sprintf("%d.%d", gen.rng.Intn(1000), 1+gen.rng.Intn(9)), dt)
+	case rdf.XSDBoolean:
+		if gen.rng.Intn(2) == 0 {
+			return rdf.NewTypedLiteral("true", dt)
+		}
+		return rdf.NewTypedLiteral("false", dt)
+	case rdf.XSDDate:
+		return rdf.NewTypedLiteral(fmt.Sprintf("%04d-%02d-%02d",
+			1900+gen.rng.Intn(120), 1+gen.rng.Intn(12), 1+gen.rng.Intn(28)), dt)
+	case rdf.XSDGYear:
+		return rdf.NewTypedLiteral(fmt.Sprint(1900+gen.rng.Intn(120)), dt)
+	default:
+		return gen.nameLiteral()
+	}
+}
+
+var nameParts = []string{
+	"Alva", "Borg", "Chen", "Dietrich", "Elm", "Fathi", "Garcia", "Holm",
+	"Ivarsson", "Jensen", "Kumar", "Larsen", "Moreno", "Nguyen", "Olsen",
+	"Petit", "Quist", "Rossi", "Sato", "Tanaka", "Ueda", "Vega", "Weber",
+}
+
+// nameLiteral produces a human-name-like string (never numeric, so it can
+// never coerce into a numeric array).
+func (gen *generator) nameLiteral() rdf.Term {
+	a := nameParts[gen.rng.Intn(len(nameParts))]
+	b := nameParts[gen.rng.Intn(len(nameParts))]
+	return rdf.NewLiteral(fmt.Sprintf("%s %s %d", a, b, gen.rng.Intn(10000)))
+}
+
+// Evolve generates a §5.4-style delta for an existing graph: addFrac new
+// triples (new entities plus new property values on existing subjects).
+// The returned delta graph is disjoint from g and can be fed to the
+// incremental transformer or unioned with g for a from-scratch run.
+func Evolve(g *rdf.Graph, p *Profile, addFrac float64, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	delta := rdf.NewGraph()
+	gen := &generator{
+		p: p, rng: rng, g: delta,
+		instancesOf: make(map[string][]rdf.Term),
+		primaryOf:   make(map[string][]rdf.Term),
+	}
+
+	// Rebuild the instance pools from the existing graph so new links can
+	// point at old entities. Primary membership is recovered from the
+	// generator's entity naming convention (<NS><Class>_<i>).
+	for _, c := range p.Classes {
+		class := rdf.NewIRI(p.NS + c.Name)
+		all := g.InstancesOf(class)
+		gen.instancesOf[c.Name] = all
+		prefix := p.NS + c.Name + "_"
+		for _, e := range all {
+			if strings.HasPrefix(e.Value, prefix) {
+				gen.primaryOf[c.Name] = append(gen.primaryOf[c.Name], e)
+			}
+		}
+	}
+
+	want := int(float64(g.Len()) * addFrac)
+	if want < 1 {
+		want = 1
+	}
+	// Alternate between minting new entities and extending old ones until
+	// the delta is large enough.
+	fresh := 0
+	for delta.Len() < want {
+		ci := rng.Intn(len(p.Classes))
+		c := &p.Classes[ci]
+		var subject rdf.Term
+		if rng.Intn(2) == 0 || len(gen.primaryOf[c.Name]) == 0 {
+			fresh++
+			subject = gen.iri(fmt.Sprintf("%s_new%d", c.Name, fresh))
+			delta.Add(rdf.NewTriple(subject, rdf.A, gen.iri(c.Name)))
+			for _, parent := range c.Parents {
+				delta.Add(rdf.NewTriple(subject, rdf.A, gen.iri(parent)))
+			}
+			gen.instancesOf[c.Name] = append(gen.instancesOf[c.Name], subject)
+			gen.primaryOf[c.Name] = append(gen.primaryOf[c.Name], subject)
+		} else {
+			pool := gen.primaryOf[c.Name]
+			subject = pool[rng.Intn(len(pool))]
+			// Existing subjects only receive additional values on
+			// multi-valued properties, so the union stays conforming.
+			for i := range c.Props {
+				if c.Props[i].MaxVals > 1 || c.Props[i].Kind == Hetero {
+					gen.emitProperty(subject, &c.Props[i])
+				}
+			}
+			continue
+		}
+		for i := range c.Props {
+			gen.emitProperty(subject, &c.Props[i])
+		}
+	}
+	// The delta must be disjoint from g (Definition 3.4 takes SΔ = S2\S1);
+	// random value collisions with existing triples are removed.
+	clean := rdf.NewGraph()
+	delta.ForEach(func(t rdf.Triple) bool {
+		if !g.Has(t) {
+			clean.Add(t)
+		}
+		return true
+	})
+	return clean
+}

@@ -1,0 +1,137 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/shapeex"
+)
+
+const testScale = 0.0002 // a few thousand instances
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := datagen.DBpedia2022()
+	a := datagen.Generate(p, testScale, 42)
+	b := datagen.Generate(p, testScale, 42)
+	if !a.Equal(b) {
+		t.Fatal("same seed must generate the same graph")
+	}
+	c := datagen.Generate(p, testScale, 43)
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateScales(t *testing.T) {
+	p := datagen.DBpedia2020()
+	small := datagen.Generate(p, 0.0001, 1)
+	large := datagen.Generate(p, 0.0004, 1)
+	if large.Len() < 3*small.Len() {
+		t.Fatalf("scaling broken: %d vs %d triples", small.Len(), large.Len())
+	}
+}
+
+func TestProfilesShapeCategories(t *testing.T) {
+	// DBpedia2022 must contain heterogeneous and multi-type literal shapes;
+	// DBpedia2020 must contain neither (Table 3).
+	count := func(sg *shacl.Schema) map[shacl.Category]int {
+		out := map[shacl.Category]int{}
+		for _, ns := range sg.Shapes() {
+			for _, ps := range ns.Properties {
+				out[ps.Category()]++
+			}
+		}
+		return out
+	}
+
+	g22 := datagen.Generate(datagen.DBpedia2022(), testScale, 7)
+	c22 := count(shapeex.Extract(g22, shapeex.Options{MinSupport: 0.02}))
+	if c22[shacl.MultiTypeHetero] == 0 || c22[shacl.MultiTypeHomoLiteral] == 0 {
+		t.Fatalf("DBpedia2022 categories = %v", c22)
+	}
+
+	g20 := datagen.Generate(datagen.DBpedia2020(), testScale, 7)
+	c20 := count(shapeex.Extract(g20, shapeex.Options{MinSupport: 0.02}))
+	if c20[shacl.MultiTypeHetero] != 0 {
+		t.Fatalf("DBpedia2020 must have no heterogeneous shapes: %v", c20)
+	}
+	if c20[shacl.SingleTypeLiteral] == 0 || c20[shacl.MultiTypeHomoNonLiteral] == 0 {
+		t.Fatalf("DBpedia2020 categories = %v", c20)
+	}
+
+	gബ := datagen.Generate(datagen.Bio2RDFCT(), testScale, 7)
+	cb := count(shapeex.Extract(gബ, shapeex.Options{MinSupport: 0.02}))
+	if cb[shacl.MultiTypeHomoNonLiteral] == 0 {
+		t.Fatalf("Bio2RDF categories = %v", cb)
+	}
+}
+
+func TestGeneratedDataRoundTripsThroughS3PG(t *testing.T) {
+	// End-to-end: generate → extract shapes → transform → invert.
+	for name, p := range datagen.Profiles() {
+		g := datagen.Generate(p, 0.00005, 11)
+		sg := shapeex.Extract(g, shapeex.Options{MinSupport: 0.02})
+		store, spg, err := core.Transform(g, sg, core.Parsimonious)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := core.InverseData(store, spg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.Equal(back) {
+			missing := 0
+			g.ForEach(func(tr rdf.Triple) bool {
+				if !back.Has(tr) {
+					missing++
+				}
+				return true
+			})
+			t.Fatalf("%s: round trip lost %d of %d triples", name, missing, g.Len())
+		}
+	}
+}
+
+func TestEvolveDelta(t *testing.T) {
+	p := datagen.DBpedia2022()
+	g := datagen.Generate(p, testScale, 5)
+	delta := datagen.Evolve(g, p, 0.05, 99)
+	if delta.Len() == 0 {
+		t.Fatal("empty delta")
+	}
+	// Disjointness.
+	overlap := 0
+	delta.ForEach(func(tr rdf.Triple) bool {
+		if g.Has(tr) {
+			overlap++
+		}
+		return true
+	})
+	if overlap != 0 {
+		t.Fatalf("delta overlaps base by %d triples", overlap)
+	}
+	// Size roughly 5% (new entities emit whole property sets, so allow slack).
+	frac := float64(delta.Len()) / float64(g.Len())
+	if frac < 0.04 || frac > 0.2 {
+		t.Fatalf("delta fraction = %.3f", frac)
+	}
+}
+
+func TestUniversityProfile(t *testing.T) {
+	g := datagen.Generate(datagen.University(), 1, 3)
+	if g.Len() < 1000 {
+		t.Fatalf("university graph too small: %d", g.Len())
+	}
+	gs := g.InstancesOf(rdf.NewIRI("http://example.org/univgen/GraduateStudent"))
+	if len(gs) == 0 {
+		t.Fatal("no graduate students")
+	}
+	// Co-typing with parents.
+	types := g.TypesOf(gs[0])
+	if len(types) != 3 {
+		t.Fatalf("graduate student types = %v", types)
+	}
+}

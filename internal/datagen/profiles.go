@@ -1,0 +1,282 @@
+package datagen
+
+import "github.com/s3pg/s3pg/internal/rdf"
+
+// The three evaluation profiles reproduce the per-dataset characteristics
+// of Table 2 (instance counts, triples-per-instance) and the Table 3 mix of
+// property-shape categories at any chosen scale:
+//
+//   - DBpedia2022: hetero-heavy (≈16% heterogeneous, ≈12% multi-type
+//     homogeneous literal property shapes) — the dataset where lossy
+//     transformations hurt the most;
+//   - DBpedia2020: no heterogeneous and no multi-type literal shapes
+//     (Table 3 row 2 reports 0 for both);
+//   - Bio2RDFCT: domain-specific, mostly single-type and multi-type
+//     non-literal shapes with only a handful of heterogeneous ones.
+
+// strDT abbreviates the common literal datatype sets.
+var (
+	strOnly  = []string{rdf.XSDString}
+	intOnly  = []string{rdf.XSDInteger}
+	yearOnly = []string{rdf.XSDGYear}
+	dateOnly = []string{rdf.XSDDate}
+	mixedLit = []string{rdf.XSDGYear, rdf.XSDString, rdf.XSDDate}
+	numStr   = []string{rdf.XSDString, rdf.XSDInteger}
+)
+
+// DBpedia2022 models the December 2022 DBpedia snapshot (332M triples, 22M
+// instances, 775 classes at full scale).
+func DBpedia2022() *Profile {
+	person := ClassSpec{
+		Name: "Person", Weight: 5,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.004},
+			{Name: "surname", Kind: STLit, Datatypes: strOnly, Coverage: 0.9, MaxVals: 1},
+			{Name: "birthYear", Kind: STLit, Datatypes: yearOnly, Coverage: 0.7, MaxVals: 1, NoiseFrac: 0.003},
+			{Name: "height", Kind: STLit, Datatypes: intOnly, Coverage: 0.3, MaxVals: 1},
+			{Name: "birthDate", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.5, MaxVals: 2},
+			{Name: "birthPlace", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Place"},
+				Coverage: 0.6, MaxVals: 2, LiteralFrac: 0.4, NumericFirstFrac: 0.05},
+		},
+	}
+	place := ClassSpec{
+		Name: "Place", Weight: 4,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.005},
+			{Name: "population", Kind: STLit, Datatypes: intOnly, Coverage: 0.6, MaxVals: 1},
+			{Name: "elevation", Kind: STLit, Datatypes: intOnly, Coverage: 0.4, MaxVals: 1},
+			{Name: "country", Kind: STRes, Targets: []string{"Country"}, Coverage: 0.8, MaxVals: 1, NoiseFrac: 0.005},
+			{Name: "address", Kind: Hetero, Datatypes: numStr, Targets: []string{"Place"},
+				Coverage: 0.3, MaxVals: 3, LiteralFrac: 0.55, NumericFirstFrac: 0.08},
+		},
+	}
+	album := ClassSpec{
+		Name: "Album", Weight: 2, Parents: []string{"Work"},
+		Props: []PropSpec{
+			{Name: "title", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "releaseYear", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.6, MaxVals: 2},
+			{Name: "writer", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Person"},
+				Coverage: 0.7, MaxVals: 3, LiteralFrac: 0.45, NumericFirstFrac: 0.04},
+			{Name: "producer", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Person"},
+				Coverage: 0.5, MaxVals: 2, LiteralFrac: 0.5, NumericFirstFrac: 0.06},
+			{Name: "artist", Kind: STRes, Targets: []string{"Person"}, Coverage: 0.8, MaxVals: 1},
+		},
+	}
+	film := ClassSpec{
+		Name: "Film", Weight: 2, Parents: []string{"Work"},
+		Props: []PropSpec{
+			{Name: "title", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "runtime", Kind: STLit, Datatypes: intOnly, Coverage: 0.7, MaxVals: 1},
+			{Name: "director", Kind: MTRes, Targets: []string{"Person", "Organisation"}, Coverage: 0.8, MaxVals: 2},
+			{Name: "starring", Kind: MTRes, Targets: []string{"Person", "Organisation"}, Coverage: 0.7, MaxVals: 4},
+			{Name: "released", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.5, MaxVals: 2},
+		},
+	}
+	org := ClassSpec{
+		Name: "Organisation", Weight: 2,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.004},
+			{Name: "founded", Kind: STLit, Datatypes: yearOnly, Coverage: 0.5, MaxVals: 1},
+			{Name: "location", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Place"},
+				Coverage: 0.6, MaxVals: 2, LiteralFrac: 0.35, NumericFirstFrac: 0.05},
+			{Name: "keyPerson", Kind: MTRes, Targets: []string{"Person", "Organisation"}, Coverage: 0.4, MaxVals: 2},
+		},
+	}
+	shopping := ClassSpec{
+		Name: "ShoppingCenter", Weight: 1, Parents: []string{"Place"},
+		Props: []PropSpec{
+			{Name: "address", Kind: Hetero, Datatypes: numStr, Targets: []string{"Place"},
+				Coverage: 0.5, MaxVals: 3, LiteralFrac: 0.55, NumericFirstFrac: 0.08},
+			{Name: "floors", Kind: STLit, Datatypes: intOnly, Coverage: 0.5, MaxVals: 1},
+			{Name: "openingYear", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.4, MaxVals: 2},
+			{Name: "manager", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Person"},
+				Coverage: 0.4, MaxVals: 2, LiteralFrac: 0.5, NumericFirstFrac: 0.07},
+		},
+	}
+	country := ClassSpec{
+		Name: "Country", Weight: 0.3,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "population", Kind: STLit, Datatypes: intOnly, Coverage: 0.9, MaxVals: 1},
+		},
+	}
+	work := ClassSpec{
+		Name: "Work", Weight: 1.7,
+		Props: []PropSpec{
+			{Name: "title", Kind: STLit, Datatypes: strOnly, Coverage: 0.9, MaxVals: 1},
+			{Name: "subject", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.4, MaxVals: 3},
+		},
+	}
+	return &Profile{
+		Name:          "DBpedia2022",
+		NS:            "http://dbpedia.org/synth22/",
+		BaseInstances: 22_000_000,
+		Classes:       []ClassSpec{person, place, album, film, org, shopping, country, work},
+	}
+}
+
+// DBpedia2020 models the 2020 snapshot (52M triples, 5M instances): no
+// heterogeneous and no multi-type homogeneous literal property shapes.
+func DBpedia2020() *Profile {
+	person := ClassSpec{
+		Name: "Person", Weight: 4,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.005},
+			{Name: "birthYear", Kind: STLit, Datatypes: yearOnly, Coverage: 0.7, MaxVals: 1},
+			{Name: "birthPlace", Kind: STRes, Targets: []string{"Place"}, Coverage: 0.7, MaxVals: 1, NoiseFrac: 0.004},
+			{Name: "knownFor", Kind: MTRes, Targets: []string{"Work", "Place"}, Coverage: 0.3, MaxVals: 2},
+		},
+	}
+	place := ClassSpec{
+		Name: "Place", Weight: 3,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "population", Kind: STLit, Datatypes: intOnly, Coverage: 0.6, MaxVals: 1},
+			{Name: "country", Kind: STRes, Targets: []string{"Country"}, Coverage: 0.8, MaxVals: 1},
+		},
+	}
+	work := ClassSpec{
+		Name: "Work", Weight: 2,
+		Props: []PropSpec{
+			{Name: "title", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.005},
+			{Name: "author", Kind: MTRes, Targets: []string{"Person"}, Coverage: 0.7, MaxVals: 2},
+			{Name: "published", Kind: STLit, Datatypes: dateOnly, Coverage: 0.5, MaxVals: 1},
+		},
+	}
+	country := ClassSpec{
+		Name: "Country", Weight: 0.3,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+		},
+	}
+	return &Profile{
+		Name:          "DBpedia2020",
+		NS:            "http://dbpedia.org/synth20/",
+		BaseInstances: 5_000_000,
+		Classes:       []ClassSpec{person, place, work, country},
+	}
+}
+
+// Bio2RDFCT models the Bio2RDF Clinical Trials dataset (132M triples, 10M
+// instances, 65 classes): rich in single-type and multi-type non-literal
+// shapes, with only a few heterogeneous ones (Table 3 reports 3).
+func Bio2RDFCT() *Profile {
+	trial := ClassSpec{
+		Name: "ClinicalStudy", Weight: 3,
+		Props: []PropSpec{
+			{Name: "briefTitle", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.003},
+			{Name: "enrollment", Kind: STLit, Datatypes: intOnly, Coverage: 0.8, MaxVals: 1},
+			{Name: "startDate", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.7, MaxVals: 2},
+			{Name: "phase", Kind: STLit, Datatypes: strOnly, Coverage: 0.9, MaxVals: 1,
+				Pool: []string{"Early Phase 1", "Phase 1", "Phase 2", "Phase 3", "Phase 4", "N/A"}},
+			{Name: "condition", Kind: MTRes, Targets: []string{"Condition"}, Coverage: 0.9, MaxVals: 3},
+			{Name: "intervention", Kind: MTRes, Targets: []string{"Drug", "Procedure"}, Coverage: 0.8, MaxVals: 3},
+			{Name: "sponsor", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Sponsor"},
+				Coverage: 0.7, MaxVals: 2, LiteralFrac: 0.3, NumericFirstFrac: 0.02},
+			{Name: "facility", Kind: STRes, Targets: []string{"Facility"}, Coverage: 0.7, MaxVals: 1},
+		},
+	}
+	condition := ClassSpec{
+		Name: "Condition", Weight: 2,
+		Props: []PropSpec{
+			{Name: "label", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "meshTerm", Kind: STLit, Datatypes: strOnly, Coverage: 0.5, MaxVals: 3},
+		},
+	}
+	drug := ClassSpec{
+		Name: "Drug", Weight: 2,
+		Props: []PropSpec{
+			{Name: "label", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1, NoiseFrac: 0.003},
+			{Name: "dosage", Kind: STLit, Datatypes: strOnly, Coverage: 0.6, MaxVals: 1},
+			{Name: "approvedYear", Kind: STLit, Datatypes: yearOnly, Coverage: 0.3, MaxVals: 1},
+		},
+	}
+	procedure := ClassSpec{
+		Name: "Procedure", Weight: 1,
+		Props: []PropSpec{
+			{Name: "label", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+		},
+	}
+	sponsor := ClassSpec{
+		Name: "Sponsor", Weight: 1,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "agencyClass", Kind: STLit, Datatypes: strOnly, Coverage: 0.8, MaxVals: 1,
+				Pool: []string{"NIH", "Industry", "Other", "U.S. Fed"}},
+		},
+	}
+	facility := ClassSpec{
+		Name: "Facility", Weight: 1,
+		Props: []PropSpec{
+			{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "city", Kind: STLit, Datatypes: strOnly, Coverage: 0.9, MaxVals: 1},
+			{Name: "locatedIn", Kind: MTRes, Targets: []string{"Facility", "Sponsor"}, Coverage: 0.2, MaxVals: 1},
+		},
+	}
+	outcome := ClassSpec{
+		Name: "Outcome", Weight: 1.5,
+		Props: []PropSpec{
+			{Name: "measure", Kind: STLit, Datatypes: strOnly, Coverage: 0.95, MaxVals: 1},
+			{Name: "timeFrame", Kind: STLit, Datatypes: strOnly, Coverage: 0.8, MaxVals: 1},
+			{Name: "ofStudy", Kind: STRes, Targets: []string{"ClinicalStudy"}, Coverage: 0.95, MaxVals: 1},
+		},
+	}
+	return &Profile{
+		Name:          "Bio2RDFCT",
+		NS:            "http://bio2rdf.org/synthct/",
+		BaseInstances: 10_000_000,
+		Classes:       []ClassSpec{trial, condition, drug, procedure, sponsor, facility, outcome},
+	}
+}
+
+// University is a small profile shaped like the paper's running example
+// (Figure 2), handy for examples and tests.
+func University() *Profile {
+	return &Profile{
+		Name:          "University",
+		NS:            "http://example.org/univgen/",
+		BaseInstances: 1_000,
+		Classes: []ClassSpec{
+			{
+				Name: "GraduateStudent", Weight: 3, Parents: []string{"Student", "Person"},
+				Props: []PropSpec{
+					{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 1},
+					{Name: "regNo", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 1},
+					{Name: "dob", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.8, MaxVals: 1},
+					{Name: "advisedBy", Kind: STRes, Targets: []string{"Professor"}, Coverage: 0.9, MaxVals: 2},
+					{Name: "takesCourse", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Course"},
+						Coverage: 1, MaxVals: 3, LiteralFrac: 0.3, NumericFirstFrac: 0.05},
+				},
+			},
+			{
+				Name: "Professor", Weight: 1, Parents: []string{"Faculty", "Person"},
+				Props: []PropSpec{
+					{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 1},
+					{Name: "worksFor", Kind: STRes, Targets: []string{"Department"}, Coverage: 1, MaxVals: 1},
+				},
+			},
+			{
+				Name: "Course", Weight: 2,
+				Props: []PropSpec{
+					{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 1},
+				},
+			},
+			{
+				Name: "Department", Weight: 0.5,
+				Props: []PropSpec{
+					{Name: "name", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 1},
+				},
+			},
+		},
+	}
+}
+
+// Profiles returns the three evaluation profiles keyed by their Table 2
+// column names.
+func Profiles() map[string]*Profile {
+	return map[string]*Profile{
+		"DBpedia2020": DBpedia2020(),
+		"DBpedia2022": DBpedia2022(),
+		"Bio2RDFCT":   Bio2RDFCT(),
+	}
+}

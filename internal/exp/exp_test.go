@@ -1,0 +1,218 @@
+package exp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/exp"
+)
+
+// smallEnv builds an environment at a test-friendly scale.
+func smallEnv(t *testing.T) *exp.Env {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := exp.DefaultConfig(&buf)
+	cfg.Scale = 0.0002
+	return exp.NewEnv(cfg)
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	cases := []struct {
+		gt, got []string
+		want    float64
+	}{
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"a"}, 0.5},
+		{[]string{"a", "a"}, []string{"a"}, 0.5}, // multiset semantics
+		{[]string{"a"}, []string{"a", "a", "b"}, 1},
+		{[]string{}, []string{}, 1},
+		{[]string{}, []string{"x"}, 0},
+		{[]string{"a", "b"}, nil, 0},
+	}
+	for _, c := range cases {
+		if got := exp.Accuracy(c.gt, c.got); got != c.want {
+			t.Errorf("Accuracy(%v, %v) = %v, want %v", c.gt, c.got, got, c.want)
+		}
+	}
+}
+
+func TestWorkloadsParse(t *testing.T) {
+	// Every workload query must parse in both engines; MeasureAccuracy
+	// exercises evaluation, this guards the query texts themselves.
+	if n := len(exp.DBpediaQueries()); n != 30 {
+		t.Fatalf("DBpedia workload has %d queries, want 30", n)
+	}
+	if n := len(exp.Bio2RDFQueries()); n != 12 {
+		t.Fatalf("Bio2RDF workload has %d queries, want 12", n)
+	}
+}
+
+func TestTable6ShapeHolds(t *testing.T) {
+	// The headline result: S3PG is 100% on every query; the baselines lose
+	// answers, with rdf2pg the worst on heterogeneous queries.
+	e := smallEnv(t)
+	rows, err := exp.RunTable6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var neoLoss, rdfLoss int
+	var rdfHeteroWorst float64 = 1
+	for _, r := range rows {
+		if r.S3PG != 1 {
+			t.Errorf("%s: S3PG accuracy %.4f, want 1.0", r.Query.ID, r.S3PG)
+		}
+		if r.NeoSem < 1 {
+			neoLoss++
+		}
+		if r.RDF2PG < 1 {
+			rdfLoss++
+		}
+		if r.Query.Category == exp.CatMTHetero && r.RDF2PG < rdfHeteroWorst {
+			rdfHeteroWorst = r.RDF2PG
+		}
+		// Single-type and homogeneous non-literal queries: NeoSem ≈ 100%.
+		if r.Query.Category == exp.CatSingleType || r.Query.Category == exp.CatMTHomoNonL {
+			if r.NeoSem < 0.999 {
+				t.Errorf("%s (%s): NeoSem %.4f, expected ~100%%", r.Query.ID, r.Query.Category, r.NeoSem)
+			}
+		}
+	}
+	if neoLoss == 0 {
+		t.Error("NeoSem lost nothing — heterogeneous loss model not engaged")
+	}
+	if rdfLoss == 0 {
+		t.Error("rdf2pg lost nothing — schema-direct loss model not engaged")
+	}
+	if rdfHeteroWorst > 0.9 {
+		t.Errorf("rdf2pg worst heterogeneous accuracy %.4f, expected well below 0.9", rdfHeteroWorst)
+	}
+}
+
+func TestTable7ShapeHolds(t *testing.T) {
+	e := smallEnv(t)
+	rows, err := exp.RunTable7(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.S3PG != 1 {
+			t.Errorf("%s: S3PG accuracy %.4f, want 1.0", r.Query.ID, r.S3PG)
+		}
+		if r.GT == 0 {
+			t.Errorf("%s: empty ground truth — query matches nothing", r.Query.ID)
+		}
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	e := smallEnv(t)
+	rows, err := exp.RunTable4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 datasets × 3 methods
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sum() <= 0 {
+			t.Errorf("%s/%s: non-positive time", r.Dataset, r.Method)
+		}
+	}
+}
+
+func TestTable5S3PGLarger(t *testing.T) {
+	// Table 5's shape: S3PG graphs have more nodes and edges than the
+	// baselines' (value nodes), most pronounced on DBpedia2022.
+	e := smallEnv(t)
+	s3, _ := e.S3PG("DBpedia2022")
+	neo := e.NeoSem("DBpedia2022")
+	rdf := e.RDF2PG("DBpedia2022")
+	if s3.NumNodes() <= neo.NumNodes() || s3.NumNodes() <= rdf.NumNodes() {
+		t.Errorf("S3PG nodes %d not larger than NeoSem %d / rdf2pg %d",
+			s3.NumNodes(), neo.NumNodes(), rdf.NumNodes())
+	}
+	if s3.NumEdges() <= neo.NumEdges() {
+		t.Errorf("S3PG edges %d not larger than NeoSem %d", s3.NumEdges(), neo.NumEdges())
+	}
+}
+
+func TestMonotonicityRun(t *testing.T) {
+	e := smallEnv(t)
+	res, err := exp.RunMonotonicity(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Error("incremental PG does not decode to S1 ∪ Δ")
+	}
+	if res.SavingsPct <= 0 {
+		t.Errorf("no savings from incremental transformation: %.2f", res.SavingsPct)
+	}
+	if res.DeltaTriples <= 0 || res.BaseTriples <= 0 {
+		t.Fatalf("bad sizes: %+v", res)
+	}
+}
+
+func TestTables2And3Render(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.DefaultConfig(&buf)
+	cfg.Scale = 0.0002
+	e := exp.NewEnv(cfg)
+	if err := exp.RunTable2(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.RunTable3(e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "# of triples", "Table 3", "MT-Hetero"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime measurement")
+	}
+	var buf bytes.Buffer
+	cfg := exp.DefaultConfig(&buf)
+	cfg.Scale = 0.0001
+	e := exp.NewEnv(cfg)
+	rows, err := exp.RunFig6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SPARQL <= 0 || r.S3PG <= 0 || r.NeoSem <= 0 || r.RDF2PG <= 0 {
+			t.Fatalf("%s: non-positive runtime %+v", r.Query.ID, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Fatal("figure output missing")
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness")
+	}
+	var buf bytes.Buffer
+	cfg := exp.DefaultConfig(&buf)
+	cfg.Scale = 0.0001
+	e := exp.NewEnv(cfg)
+	if err := exp.RunAll(e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Figure 6", "Monotonicity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

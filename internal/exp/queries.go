@@ -1,0 +1,219 @@
+// Package exp is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (§5): dataset statistics (Table 2),
+// shape statistics (Table 3), transformation and loading times (Table 4),
+// transformed-graph statistics (Table 5), query-answer accuracy against
+// SPARQL ground truth (Tables 6 and 7), query runtime (Figure 6), and the
+// §5.4 monotonicity analysis.
+package exp
+
+import (
+	"fmt"
+
+	"github.com/s3pg/s3pg/internal/datagen"
+)
+
+// Category is the §5.2 query categorization (from the Figure 3 taxonomy).
+type Category string
+
+// The four §5.2 query categories.
+const (
+	CatSingleType Category = "Single Type"
+	CatMTHomoLit  Category = "MT-Homo (L)"
+	CatMTHomoNonL Category = "MT-Homo (NL)"
+	CatMTHetero   Category = "MT-Hetero (L+NL)"
+)
+
+// Query is one paired workload query: the SPARQL formulation provides the
+// ground truth over the RDF graph; the Cypher formulation is executed over
+// every transformed PG (the UNWIND-over-properties UNION ALL
+// edges-to-targets shape covers the encodings of all three methods, exactly
+// like the paper's manually translated queries per method).
+type Query struct {
+	ID       string
+	Category Category
+	SPARQL   string
+	Cypher   string
+}
+
+// retrievalPair builds the standard property-retrieval query pair for
+// (class, property) in a namespace.
+func retrievalPair(ns, class, prop string) (string, string) {
+	sparql := fmt.Sprintf(
+		"PREFIX d: <%s>\nSELECT ?e ?v WHERE { ?e a d:%s ; d:%s ?v . }",
+		ns, class, prop)
+	cypher := fmt.Sprintf(`
+MATCH (n:%[1]s) UNWIND n.%[2]s AS v RETURN n.iri AS e, v
+UNION ALL
+MATCH (n:%[1]s)-[:%[2]s]->(t) RETURN n.iri AS e, COALESCE(t.value, t.iri) AS v`,
+		class, prop)
+	return sparql, cypher
+}
+
+// filteredPair builds a pair with a numeric filter over a single-valued
+// property.
+func filteredPair(ns, class, prop string, min int) (string, string) {
+	sparql := fmt.Sprintf(
+		"PREFIX d: <%s>\nSELECT ?e ?v WHERE { ?e a d:%s ; d:%s ?v . FILTER(?v > %d) }",
+		ns, class, prop, min)
+	cypher := fmt.Sprintf(`
+MATCH (n:%[1]s) WHERE n.%[2]s > %[3]d RETURN n.iri AS e, n.%[2]s AS v
+UNION ALL
+MATCH (n:%[1]s)-[:%[2]s]->(t) WHERE t.value > %[3]d RETURN n.iri AS e, t.value AS v`,
+		class, prop, min)
+	return sparql, cypher
+}
+
+// joinPair builds a two-hop pair: subjects of class with their property
+// value reached through an entity-valued link.
+func joinPair(ns, class, link, linkedClass, prop string) (string, string) {
+	sparql := fmt.Sprintf(
+		"PREFIX d: <%s>\nSELECT ?e ?v WHERE { ?e a d:%s ; d:%s ?m . ?m a d:%s ; d:%s ?v . }",
+		ns, class, link, linkedClass, prop)
+	cypher := fmt.Sprintf(`
+MATCH (n:%[1]s)-[:%[2]s]->(m:%[3]s) UNWIND m.%[4]s AS v RETURN n.iri AS e, v
+UNION ALL
+MATCH (n:%[1]s)-[:%[2]s]->(m:%[3]s)-[:%[4]s]->(t) RETURN n.iri AS e, COALESCE(t.value, t.iri) AS v`,
+		class, link, linkedClass, prop)
+	return sparql, cypher
+}
+
+func q(id string, cat Category, sparql, cypher string) Query {
+	return Query{ID: id, Category: cat, SPARQL: sparql, Cypher: cypher}
+}
+
+func rq(id string, cat Category, ns, class, prop string) Query {
+	s, c := retrievalPair(ns, class, prop)
+	return q(id, cat, s, c)
+}
+
+// DBpediaQueries is the Table 6 workload: 30 queries over the DBpedia2022
+// profile — 5 single-type, 5 multi-type homogeneous literal, 5 multi-type
+// homogeneous non-literal, and 15 multi-type heterogeneous queries.
+func DBpediaQueries() []Query {
+	ns := datagen.DBpedia2022().NS
+	var qs []Query
+
+	// Q1–Q5: single type.
+	qs = append(qs, rq("Q1", CatSingleType, ns, "Person", "name"))
+	qs = append(qs, rq("Q2", CatSingleType, ns, "Place", "name"))
+	qs = append(qs, rq("Q3", CatSingleType, ns, "Organisation", "founded"))
+	s4, c4 := filteredPair(ns, "Place", "population", 50000)
+	qs = append(qs, q("Q4", CatSingleType, s4, c4))
+	s5, c5 := joinPair(ns, "Place", "country", "Country", "name")
+	qs = append(qs, q("Q5", CatSingleType, s5, c5))
+
+	// Q6–Q10: multi-type homogeneous literals.
+	qs = append(qs, rq("Q6", CatMTHomoLit, ns, "Person", "birthDate"))
+	qs = append(qs, rq("Q7", CatMTHomoLit, ns, "Album", "releaseYear"))
+	qs = append(qs, rq("Q8", CatMTHomoLit, ns, "Film", "released"))
+	qs = append(qs, rq("Q9", CatMTHomoLit, ns, "Work", "subject"))
+	qs = append(qs, rq("Q10", CatMTHomoLit, ns, "ShoppingCenter", "openingYear"))
+
+	// Q11–Q15: multi-type homogeneous non-literals.
+	qs = append(qs, rq("Q11", CatMTHomoNonL, ns, "Film", "director"))
+	qs = append(qs, rq("Q12", CatMTHomoNonL, ns, "Film", "starring"))
+	qs = append(qs, rq("Q13", CatMTHomoNonL, ns, "Organisation", "keyPerson"))
+	s14, c14 := joinPair(ns, "Film", "director", "Person", "name")
+	qs = append(qs, q("Q14", CatMTHomoNonL, s14, c14))
+	s15, c15 := joinPair(ns, "Film", "starring", "Person", "surname")
+	qs = append(qs, q("Q15", CatMTHomoNonL, s15, c15))
+
+	// Q16–Q30: multi-type heterogeneous (the paper's Q22 shape).
+	hetero := []struct {
+		class, prop string
+	}{
+		{"Person", "birthPlace"},      // Q16
+		{"Place", "address"},          // Q17
+		{"Album", "writer"},           // Q18
+		{"Album", "producer"},         // Q19
+		{"Organisation", "location"},  // Q20
+		{"ShoppingCenter", "manager"}, // Q21
+		{"ShoppingCenter", "address"}, // Q22 (inherited from Place)
+	}
+	id := 16
+	for _, h := range hetero {
+		qs = append(qs, rq(fmt.Sprintf("Q%d", id), CatMTHetero, ns, h.class, h.prop))
+		id++
+	}
+	// Q23–Q24: joins landing on heterogeneous properties.
+	s, c := joinPair(ns, "Album", "artist", "Person", "birthPlace")
+	qs = append(qs, q(fmt.Sprintf("Q%d", id), CatMTHetero, s, c))
+	id++
+	s, c = joinPair(ns, "Organisation", "keyPerson", "Person", "birthPlace")
+	qs = append(qs, q(fmt.Sprintf("Q%d", id), CatMTHetero, s, c))
+	id++
+
+	// Q25–Q27: heterogeneous retrieval restricted by a subject-side filter.
+	for _, h := range []struct {
+		class, nameProp, prop, prefix string
+	}{
+		{"Place", "name", "address", "A"},
+		{"Album", "title", "writer", "B"},
+		{"Organisation", "name", "location", "C"},
+	} {
+		sparql := fmt.Sprintf(
+			"PREFIX d: <%s>\nSELECT ?e ?v WHERE { ?e a d:%s ; d:%s ?n ; d:%s ?v . FILTER(STRSTARTS(STR(?n), %q)) }",
+			ns, h.class, h.nameProp, h.prop, h.prefix)
+		cypher := fmt.Sprintf(`
+MATCH (n:%[1]s) WHERE n.%[2]s STARTS WITH '%[4]s' UNWIND n.%[3]s AS v RETURN n.iri AS e, v
+UNION ALL
+MATCH (n:%[1]s)-[:%[3]s]->(t) WHERE n.%[2]s STARTS WITH '%[4]s' RETURN n.iri AS e, COALESCE(t.value, t.iri) AS v`,
+			h.class, h.nameProp, h.prop, h.prefix)
+		qs = append(qs, q(fmt.Sprintf("Q%d", id), CatMTHetero, sparql, cypher))
+		id++
+	}
+
+	// Q28–Q30: DISTINCT projections over heterogeneous values.
+	for _, h := range []struct {
+		class, prop string
+	}{
+		{"Person", "birthPlace"},
+		{"Album", "producer"},
+		{"ShoppingCenter", "manager"},
+	} {
+		sparql := fmt.Sprintf(
+			"PREFIX d: <%s>\nSELECT DISTINCT ?v WHERE { ?e a d:%s ; d:%s ?v . }",
+			ns, h.class, h.prop)
+		cypher := fmt.Sprintf(`
+MATCH (n:%[1]s) UNWIND n.%[2]s AS v RETURN v
+UNION
+MATCH (n:%[1]s)-[:%[2]s]->(t) RETURN COALESCE(t.value, t.iri) AS v`,
+			h.class, h.prop)
+		qs = append(qs, q(fmt.Sprintf("Q%d", id), CatMTHetero, sparql, cypher))
+		id++
+	}
+	return qs
+}
+
+// Bio2RDFQueries is the Table 7 workload: 12 queries over the Bio2RDFCT
+// profile — 3 per category.
+func Bio2RDFQueries() []Query {
+	ns := datagen.Bio2RDFCT().NS
+	var qs []Query
+	qs = append(qs, rq("Q1", CatSingleType, ns, "ClinicalStudy", "briefTitle"))
+	qs = append(qs, rq("Q2", CatSingleType, ns, "Drug", "label"))
+	s3, c3 := filteredPair(ns, "ClinicalStudy", "enrollment", 40000)
+	qs = append(qs, q("Q3", CatSingleType, s3, c3))
+
+	qs = append(qs, rq("Q4", CatMTHomoLit, ns, "ClinicalStudy", "startDate"))
+	qs = append(qs, rq("Q5", CatMTHomoLit, ns, "Condition", "meshTerm"))
+	qs = append(qs, rq("Q6", CatMTHomoLit, ns, "Drug", "dosage"))
+
+	qs = append(qs, rq("Q7", CatMTHomoNonL, ns, "ClinicalStudy", "condition"))
+	qs = append(qs, rq("Q8", CatMTHomoNonL, ns, "ClinicalStudy", "intervention"))
+	s9, c9 := joinPair(ns, "Outcome", "ofStudy", "ClinicalStudy", "phase")
+	qs = append(qs, q("Q9", CatMTHomoNonL, s9, c9))
+
+	qs = append(qs, rq("Q10", CatMTHetero, ns, "ClinicalStudy", "sponsor"))
+	s11, c11 := joinPair(ns, "Outcome", "ofStudy", "ClinicalStudy", "sponsor")
+	qs = append(qs, q("Q11", CatMTHetero, s11, c11))
+	// Q12: the heterogeneous sponsor values of studies that have a facility.
+	s12 := fmt.Sprintf(
+		"PREFIX d: <%s>\nSELECT ?e ?v WHERE { ?e a d:ClinicalStudy ; d:facility ?f ; d:sponsor ?v . }", ns)
+	c12 := `
+MATCH (n:ClinicalStudy)-[:facility]->(f:Facility) UNWIND n.sponsor AS v RETURN n.iri AS e, v
+UNION ALL
+MATCH (n:ClinicalStudy)-[:facility]->(f:Facility), (n)-[:sponsor]->(t) RETURN n.iri AS e, COALESCE(t.value, t.iri) AS v`
+	qs = append(qs, q("Q12", CatMTHetero, s12, c12))
+	return qs
+}

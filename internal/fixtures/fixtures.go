@@ -1,0 +1,278 @@
+// Package fixtures provides the paper's running example (Figure 2): the
+// university RDF graph, its SHACL shape schema, and helpers to load both.
+// The fixture exercises every leaf of the Figure 3 taxonomy and is shared by
+// unit tests, golden tests, and the quickstart example.
+package fixtures
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+)
+
+// Namespaces of the running example.
+const (
+	ExNS    = "http://example.org/univ#"
+	ShapeNS = "http://example.org/shapes#"
+)
+
+// UniversityShapesTurtle is the Figure 2b / Figure 4 shape schema. It covers
+// all five Figure 3 categories:
+//
+//   - Person.name        — single-type literal [1..1]
+//   - Person.dob         — multi-type homogeneous literal (string|date|gYear)
+//   - Professor.worksFor — single-type non-literal [1..1]
+//   - Student.advisedBy  — multi-type homogeneous non-literal (Person|Professor|Faculty)
+//   - GraduateStudent.takesCourse — multi-type heterogeneous (Course|GradCourse|string)
+const UniversityShapesTurtle = `
+@prefix sh:    <http://www.w3.org/ns/shacl#> .
+@prefix xsd:   <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex:    <http://example.org/univ#> .
+@prefix shape: <http://example.org/shapes#> .
+
+shape:Person a sh:NodeShape ;
+  sh:targetClass ex:Person ;
+  sh:property [
+    sh:path ex:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] ;
+  sh:property [
+    sh:path ex:dob ;
+    sh:or ( [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ]
+            [ sh:nodeKind sh:Literal ; sh:datatype xsd:date ]
+            [ sh:nodeKind sh:Literal ; sh:datatype xsd:gYear ] ) ;
+    sh:maxCount 3 ] .
+
+shape:Student a sh:NodeShape ;
+  sh:targetClass ex:Student ;
+  sh:node shape:Person ;
+  sh:property [
+    sh:path ex:regNo ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] ;
+  sh:property [
+    sh:path ex:advisedBy ;
+    sh:or ( [ sh:nodeKind sh:IRI ; sh:class ex:Person ]
+            [ sh:nodeKind sh:IRI ; sh:class ex:Professor ]
+            [ sh:nodeKind sh:IRI ; sh:class ex:Faculty ] ) ;
+    sh:minCount 1 ] .
+
+shape:GraduateStudent a sh:NodeShape ;
+  sh:targetClass ex:GraduateStudent ;
+  sh:node shape:Student ;
+  sh:property [
+    sh:path ex:takesCourse ;
+    sh:or ( [ sh:nodeKind sh:IRI ; sh:class ex:Course ]
+            [ sh:nodeKind sh:IRI ; sh:class ex:GraduateCourse ]
+            [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ] ) ;
+    sh:minCount 1 ] .
+
+shape:Faculty a sh:NodeShape ;
+  sh:targetClass ex:Faculty ;
+  sh:node shape:Person .
+
+shape:Professor a sh:NodeShape ;
+  sh:targetClass ex:Professor ;
+  sh:node shape:Faculty ;
+  sh:property [
+    sh:path ex:worksFor ;
+    sh:nodeKind sh:IRI ;
+    sh:class ex:Department ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] .
+
+shape:Course a sh:NodeShape ;
+  sh:targetClass ex:Course ;
+  sh:property [
+    sh:path ex:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] .
+
+shape:GraduateCourse a sh:NodeShape ;
+  sh:targetClass ex:GraduateCourse ;
+  sh:node shape:Course .
+
+shape:Department a sh:NodeShape ;
+  sh:targetClass ex:Department ;
+  sh:property [
+    sh:path ex:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] ;
+  sh:property [
+    sh:path ex:partOf ;
+    sh:nodeKind sh:IRI ;
+    sh:class ex:University ;
+    sh:maxCount 1 ] .
+
+shape:University a sh:NodeShape ;
+  sh:targetClass ex:University ;
+  sh:property [
+    sh:path ex:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] .
+`
+
+// UniversityDataTurtle is the Figure 2a instance graph, extended with values
+// that exercise the heterogeneous and multi-type literal paths.
+const UniversityDataTurtle = `
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex:  <http://example.org/univ#> .
+
+ex:bob a ex:Person, ex:Student, ex:GraduateStudent ;
+  ex:name "Bob" ;
+  ex:regNo "Bs12" ;
+  ex:dob "1999"^^xsd:gYear ;
+  ex:advisedBy ex:alice ;
+  ex:takesCourse ex:DB ;
+  ex:takesCourse "Intro to Logic" .
+
+ex:alice a ex:Person, ex:Faculty, ex:Professor ;
+  ex:name "Alice" ;
+  ex:dob "1975-05-17"^^xsd:date ;
+  ex:worksFor ex:CS .
+
+ex:DB a ex:Course, ex:GraduateCourse ;
+  ex:name "Databases" .
+
+ex:CS a ex:Department ;
+  ex:name "Computer Science" ;
+  ex:partOf ex:AAU .
+
+ex:AAU a ex:University ;
+  ex:name "Aalborg University" .
+`
+
+// UniversityGraph parses and returns the Figure 2a instance graph.
+func UniversityGraph() *rdf.Graph {
+	g, err := rio.ParseTurtle(UniversityDataTurtle)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: university data: %v", err))
+	}
+	return g
+}
+
+// UniversityShapes parses and returns the Figure 2b shape schema.
+func UniversityShapes() *shacl.Schema {
+	g, err := rio.ParseTurtle(UniversityShapesTurtle)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: university shapes: %v", err))
+	}
+	s, err := shacl.FromGraph(g)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: university shapes: %v", err))
+	}
+	return s
+}
+
+// Ex returns a term in the example instance namespace.
+func Ex(local string) rdf.Term { return rdf.NewIRI(ExNS + local) }
+
+// Shape returns a shape IRI string in the shapes namespace.
+func Shape(local string) string { return ShapeNS + local }
+
+// MusicAlbumTurtle is the paper's introduction example: DBpedia music albums
+// whose dbp:writer values mix IRIs (dbr:Billy_Montana) and string literals
+// ("Tofer Brown") — the heterogeneity that breaks naive transformations.
+const MusicAlbumTurtle = `
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix dbp: <http://dbpedia.org/property/> .
+@prefix dbr: <http://dbpedia.org/resource/> .
+
+dbr:Billy_Montana a dbo:Person ; dbp:name "Billy Montana" .
+dbr:Niko_Moon a dbo:Person ; dbp:name "Niko Moon" .
+
+dbr:California_Sunrise a dbo:Album ;
+  dbp:name "California Sunrise" ;
+  dbp:writer dbr:Billy_Montana ;
+  dbp:writer "Tofer Brown" ;
+  dbp:releaseYear "2016"^^xsd:gYear .
+
+dbr:Good_Time a dbo:Album ;
+  dbp:name "Good Time" ;
+  dbp:writer dbr:Niko_Moon ;
+  dbp:writer "Joshua Murty" ;
+  dbp:releaseYear "2020"^^xsd:gYear .
+`
+
+// MusicAlbumShapesTurtle is a SHACL schema for the music example with the
+// heterogeneous dbp:writer property.
+const MusicAlbumShapesTurtle = `
+@prefix sh:  <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix dbp: <http://dbpedia.org/property/> .
+@prefix shape: <http://example.org/shapes#> .
+
+shape:Person a sh:NodeShape ;
+  sh:targetClass dbo:Person ;
+  sh:property [
+    sh:path dbp:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] .
+
+shape:Album a sh:NodeShape ;
+  sh:targetClass dbo:Album ;
+  sh:property [
+    sh:path dbp:name ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:string ;
+    sh:minCount 1 ;
+    sh:maxCount 1 ] ;
+  sh:property [
+    sh:path dbp:writer ;
+    sh:or ( [ sh:nodeKind sh:IRI ; sh:class dbo:Person ]
+            [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ] ) ;
+    sh:minCount 1 ] ;
+  sh:property [
+    sh:path dbp:releaseYear ;
+    sh:nodeKind sh:Literal ;
+    sh:datatype xsd:gYear ;
+    sh:maxCount 1 ] .
+`
+
+// MusicAlbumGraph parses and returns the music-album instance graph.
+func MusicAlbumGraph() *rdf.Graph {
+	g, err := rio.ParseTurtle(MusicAlbumTurtle)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: music data: %v", err))
+	}
+	return g
+}
+
+// MusicAlbumShapes parses and returns the music-album shape schema.
+func MusicAlbumShapes() *shacl.Schema {
+	g, err := rio.ParseTurtle(MusicAlbumShapesTurtle)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: music shapes: %v", err))
+	}
+	s, err := shacl.FromGraph(g)
+	if err != nil {
+		panic(fmt.Sprintf("fixtures: music shapes: %v", err))
+	}
+	return s
+}
+
+// MustParseTurtle parses Turtle or panics; a convenience for examples.
+func MustParseTurtle(src string) *rdf.Graph {
+	g, err := rio.ParseTurtle(strings.TrimSpace(src))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,299 @@
+// Package pg implements the property graph data model of Definition 2.4:
+// a node- and edge-labelled directed attributed multigraph whose nodes and
+// edges carry records (key → value maps). The in-memory Store indexes nodes
+// by label and by the unique "iri" property, and edges by label, which is
+// what the Cypher engine and the transformation algorithms traverse.
+package pg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a property value: string, int64, float64, bool, or []Value for
+// (homogeneous) arrays. The zero interface is "no value".
+type Value any
+
+// ValueEqual compares two property values, descending into arrays.
+func ValueEqual(a, b Value) bool {
+	la, aok := a.([]Value)
+	lb, bok := b.([]Value)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if !ValueEqual(la[i], lb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Numeric cross-type equality (int64 vs float64).
+	if fa, fb, ok := numericPair(a, b); ok {
+		return fa == fb
+	}
+	return a == b
+}
+
+func numericPair(a, b Value) (float64, float64, bool) {
+	fa, aok := toFloat(a)
+	fb, bok := toFloat(b)
+	return fa, fb, aok && bok
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// FormatValue renders a value for display and CSV export.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case []Value:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// NodeID identifies a node within a Store.
+type NodeID uint32
+
+// EdgeID identifies an edge within a Store.
+type EdgeID uint32
+
+// Node is a property graph node: a set of labels and a record.
+type Node struct {
+	ID     NodeID
+	Labels []string // sorted, duplicate-free
+	Props  map[string]Value
+}
+
+// HasLabel reports whether the node carries the label.
+func (n *Node) HasLabel(l string) bool {
+	for _, x := range n.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Edge is a directed property graph edge with a single label and a record.
+type Edge struct {
+	ID    EdgeID
+	From  NodeID
+	To    NodeID
+	Label string
+	Props map[string]Value
+}
+
+// Store is an in-memory property graph. It is not safe for concurrent
+// mutation; concurrent readers are safe once loading completes.
+type Store struct {
+	nodes []*Node
+	edges []*Edge
+
+	byLabel     map[string][]NodeID
+	byEdgeLabel map[string][]EdgeID
+	out         map[NodeID][]EdgeID
+	in          map[NodeID][]EdgeID
+	byIRI       map[string]NodeID // unique index on the "iri" property
+}
+
+// NewStore returns an empty property graph.
+func NewStore() *Store {
+	return &Store{
+		byLabel:     make(map[string][]NodeID),
+		byEdgeLabel: make(map[string][]EdgeID),
+		out:         make(map[NodeID][]EdgeID),
+		in:          make(map[NodeID][]EdgeID),
+		byIRI:       make(map[string]NodeID),
+	}
+}
+
+// NumNodes returns the node count.
+func (s *Store) NumNodes() int { return len(s.nodes) }
+
+// NumEdges returns the edge count.
+func (s *Store) NumEdges() int { return len(s.edges) }
+
+// RelTypes returns the number of distinct edge labels.
+func (s *Store) RelTypes() int { return len(s.byEdgeLabel) }
+
+// AddNode creates a node with the given labels and properties and returns it.
+// Labels are deduplicated and sorted; the props map is owned by the store
+// afterwards. If props contains a string "iri" property it is registered in
+// the unique IRI index (first writer wins).
+func (s *Store) AddNode(labels []string, props map[string]Value) *Node {
+	set := make(map[string]bool, len(labels))
+	clean := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l != "" && !set[l] {
+			set[l] = true
+			clean = append(clean, l)
+		}
+	}
+	sort.Strings(clean)
+	if props == nil {
+		props = make(map[string]Value)
+	}
+	n := &Node{ID: NodeID(len(s.nodes)), Labels: clean, Props: props}
+	s.nodes = append(s.nodes, n)
+	for _, l := range clean {
+		s.byLabel[l] = append(s.byLabel[l], n.ID)
+	}
+	if iri, ok := props["iri"].(string); ok {
+		if _, exists := s.byIRI[iri]; !exists {
+			s.byIRI[iri] = n.ID
+		}
+	}
+	return n
+}
+
+// AddEdge creates a directed labelled edge. It panics if an endpoint id is
+// out of range, which always indicates a caller bug.
+func (s *Store) AddEdge(from, to NodeID, label string, props map[string]Value) *Edge {
+	if int(from) >= len(s.nodes) || int(to) >= len(s.nodes) {
+		panic(fmt.Sprintf("pg: edge endpoint out of range: %d -> %d (have %d nodes)", from, to, len(s.nodes)))
+	}
+	if props == nil {
+		props = make(map[string]Value)
+	}
+	e := &Edge{ID: EdgeID(len(s.edges)), From: from, To: to, Label: label, Props: props}
+	s.edges = append(s.edges, e)
+	s.byEdgeLabel[label] = append(s.byEdgeLabel[label], e.ID)
+	s.out[from] = append(s.out[from], e.ID)
+	s.in[to] = append(s.in[to], e.ID)
+	return e
+}
+
+// Node returns the node by id, or nil when out of range.
+func (s *Store) Node(id NodeID) *Node {
+	if int(id) >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[id]
+}
+
+// Edge returns the edge by id, or nil when out of range.
+func (s *Store) Edge(id EdgeID) *Edge {
+	if int(id) >= len(s.edges) {
+		return nil
+	}
+	return s.edges[id]
+}
+
+// Nodes returns all nodes in creation order.
+func (s *Store) Nodes() []*Node { return s.nodes }
+
+// Edges returns all edges in creation order.
+func (s *Store) Edges() []*Edge { return s.edges }
+
+// NodesByLabel returns the ids of nodes carrying the label.
+func (s *Store) NodesByLabel(label string) []NodeID { return s.byLabel[label] }
+
+// EdgesByLabel returns the ids of edges carrying the label.
+func (s *Store) EdgesByLabel(label string) []EdgeID { return s.byEdgeLabel[label] }
+
+// Out returns the outgoing edge ids of the node.
+func (s *Store) Out(id NodeID) []EdgeID { return s.out[id] }
+
+// In returns the incoming edge ids of the node.
+func (s *Store) In(id NodeID) []EdgeID { return s.in[id] }
+
+// NodeByIRI returns the node whose "iri" property equals iri, or nil.
+func (s *Store) NodeByIRI(iri string) *Node {
+	id, ok := s.byIRI[iri]
+	if !ok {
+		return nil
+	}
+	return s.nodes[id]
+}
+
+// AddLabel adds a label to an existing node, keeping indexes consistent.
+func (s *Store) AddLabel(id NodeID, label string) {
+	n := s.nodes[id]
+	if label == "" || n.HasLabel(label) {
+		return
+	}
+	n.Labels = append(n.Labels, label)
+	sort.Strings(n.Labels)
+	s.byLabel[label] = append(s.byLabel[label], id)
+}
+
+// SetProp sets a property on a node. Setting "iri" registers the node in the
+// IRI index when the slot is free.
+func (s *Store) SetProp(id NodeID, key string, v Value) {
+	n := s.nodes[id]
+	n.Props[key] = v
+	if key == "iri" {
+		if iri, ok := v.(string); ok {
+			if _, exists := s.byIRI[iri]; !exists {
+				s.byIRI[iri] = id
+			}
+		}
+	}
+}
+
+// AppendProp appends a value to a property, promoting a scalar to an array.
+// It is the primitive used for multi-valued key/value properties.
+func (s *Store) AppendProp(id NodeID, key string, v Value) {
+	n := s.nodes[id]
+	cur, ok := n.Props[key]
+	if !ok {
+		n.Props[key] = v
+		return
+	}
+	if arr, isArr := cur.([]Value); isArr {
+		n.Props[key] = append(arr, v)
+		return
+	}
+	n.Props[key] = []Value{cur, v}
+}
+
+// Labels returns all distinct node labels, sorted.
+func (s *Store) Labels() []string {
+	out := make([]string, 0, len(s.byLabel))
+	for l := range s.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabels returns all distinct edge labels, sorted.
+func (s *Store) EdgeLabels() []string {
+	out := make([]string, 0, len(s.byEdgeLabel))
+	for l := range s.byEdgeLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

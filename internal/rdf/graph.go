@@ -1,0 +1,440 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermID is a dense dictionary id for an interned term.
+type TermID uint32
+
+// noID marks an absent dictionary entry.
+const noID = ^TermID(0)
+
+// Dict interns RDF terms to dense ids. A Dict may be shared between graphs
+// (for example between two snapshots of an evolving KG) so that ids are
+// comparable across them.
+type Dict struct {
+	ids   map[Term]TermID
+	terms []Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[Term]TermID)}
+}
+
+// Intern returns the id for the term, assigning a fresh one if necessary.
+func (d *Dict) Intern(t Term) TermID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the id for the term and whether it is interned.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term returns the term for an id. It panics on an out-of-range id,
+// which always indicates a bug (ids are only produced by Intern).
+func (d *Dict) Term(id TermID) Term { return d.terms[id] }
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// encTriple is a dictionary-encoded triple: 12 bytes, comparable.
+type encTriple struct {
+	s, p, o TermID
+}
+
+// Graph is an in-memory RDF graph. Triples are dictionary encoded and
+// indexed by subject, predicate, and object, supporting wildcard pattern
+// matching for BGP evaluation. Graph is not safe for concurrent mutation;
+// concurrent readers are safe once loading is complete.
+type Graph struct {
+	dict    *Dict
+	triples []encTriple
+	dead    []bool // tombstones for removed triples
+	present map[encTriple]int32
+	nDead   int
+
+	bySubj map[TermID][]int32
+	byPred map[TermID][]int32
+	byObj  map[TermID][]int32
+}
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph { return NewGraphWithDict(NewDict()) }
+
+// NewGraphWithDict returns an empty graph sharing the given dictionary.
+func NewGraphWithDict(d *Dict) *Graph {
+	return &Graph{
+		dict:    d,
+		present: make(map[encTriple]int32),
+		bySubj:  make(map[TermID][]int32),
+		byPred:  make(map[TermID][]int32),
+		byObj:   make(map[TermID][]int32),
+	}
+}
+
+// Dict exposes the graph's term dictionary.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// Len returns the number of live triples.
+func (g *Graph) Len() int { return len(g.triples) - g.nDead }
+
+// Add inserts a triple, returning false if it was already present.
+// It panics on a malformed triple, which indicates a caller bug.
+func (g *Graph) Add(t Triple) bool {
+	if !t.Valid() {
+		panic(fmt.Sprintf("rdf: invalid triple %v", t))
+	}
+	e := encTriple{g.dict.Intern(t.S), g.dict.Intern(t.P), g.dict.Intern(t.O)}
+	return g.addEnc(e)
+}
+
+func (g *Graph) addEnc(e encTriple) bool {
+	if _, ok := g.present[e]; ok {
+		return false
+	}
+	idx := int32(len(g.triples))
+	g.triples = append(g.triples, e)
+	g.dead = append(g.dead, false)
+	g.present[e] = idx
+	g.bySubj[e.s] = append(g.bySubj[e.s], idx)
+	g.byPred[e.p] = append(g.byPred[e.p], idx)
+	g.byObj[e.o] = append(g.byObj[e.o], idx)
+	return true
+}
+
+// Remove deletes a triple, returning whether it was present. Removal uses
+// tombstones; posting lists are compacted lazily by scans skipping them.
+func (g *Graph) Remove(t Triple) bool {
+	s, ok := g.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	e := encTriple{s, p, o}
+	idx, ok := g.present[e]
+	if !ok {
+		return false
+	}
+	delete(g.present, e)
+	g.dead[idx] = true
+	g.nDead++
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	s, ok := g.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	_, ok = g.present[encTriple{s, p, o}]
+	return ok
+}
+
+// decode turns an encoded triple back into terms.
+func (g *Graph) decode(e encTriple) Triple {
+	return Triple{S: g.dict.Term(e.s), P: g.dict.Term(e.p), O: g.dict.Term(e.o)}
+}
+
+// ForEach calls fn for every live triple until fn returns false.
+func (g *Graph) ForEach(fn func(Triple) bool) {
+	for i, e := range g.triples {
+		if g.dead[i] {
+			continue
+		}
+		if !fn(g.decode(e)) {
+			return
+		}
+	}
+}
+
+// Triples returns all live triples in insertion order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.Len())
+	g.ForEach(func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Match iterates every live triple matching the pattern; nil components are
+// wildcards. It selects the most selective available index and stops early
+// when fn returns false.
+func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
+	var se, pe, oe = noID, noID, noID
+	if s != nil {
+		id, ok := g.dict.Lookup(*s)
+		if !ok {
+			return
+		}
+		se = id
+	}
+	if p != nil {
+		id, ok := g.dict.Lookup(*p)
+		if !ok {
+			return
+		}
+		pe = id
+	}
+	if o != nil {
+		id, ok := g.dict.Lookup(*o)
+		if !ok {
+			return
+		}
+		oe = id
+	}
+	g.matchEnc(se, pe, oe, fn)
+}
+
+func (g *Graph) matchEnc(se, pe, oe TermID, fn func(Triple) bool) {
+	// Fully bound: hash lookup.
+	if se != noID && pe != noID && oe != noID {
+		e := encTriple{se, pe, oe}
+		if _, ok := g.present[e]; ok {
+			fn(g.decode(e))
+		}
+		return
+	}
+	list, bound := g.candidateList(se, pe, oe)
+	if !bound {
+		// No bound component: full scan.
+		for i, e := range g.triples {
+			if g.dead[i] {
+				continue
+			}
+			if !fn(g.decode(e)) {
+				return
+			}
+		}
+		return
+	}
+	for _, idx := range list {
+		if g.dead[idx] {
+			continue
+		}
+		e := g.triples[idx]
+		if se != noID && e.s != se {
+			continue
+		}
+		if pe != noID && e.p != pe {
+			continue
+		}
+		if oe != noID && e.o != oe {
+			continue
+		}
+		if !fn(g.decode(e)) {
+			return
+		}
+	}
+}
+
+// candidateList picks the shortest posting list among the bound components.
+// The second result reports whether any component was bound; when it is true
+// the returned list (possibly empty) is authoritative.
+func (g *Graph) candidateList(se, pe, oe TermID) ([]int32, bool) {
+	var best []int32
+	have := false
+	consider := func(l []int32, bound bool) {
+		if !bound {
+			return
+		}
+		if !have || len(l) < len(best) {
+			best, have = l, true
+		}
+	}
+	consider(g.bySubj[se], se != noID)
+	consider(g.byObj[oe], oe != noID)
+	consider(g.byPred[pe], pe != noID)
+	return best, have
+}
+
+// MatchCount returns the number of live triples matching the pattern.
+func (g *Graph) MatchCount(s, p, o *Term) int {
+	n := 0
+	g.Match(s, p, o, func(Triple) bool { n++; return true })
+	return n
+}
+
+// Objects returns the distinct objects of triples with the given subject and
+// predicate, in first-seen order.
+func (g *Graph) Objects(s, p Term) []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	g.Match(&s, &p, nil, func(t Triple) bool {
+		if _, ok := seen[t.O]; !ok {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of triples with the given predicate
+// and object, in first-seen order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	g.Match(nil, &p, &o, func(t Triple) bool {
+		if _, ok := seen[t.S]; !ok {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// TypesOf returns the rdf:type objects of the entity.
+func (g *Graph) TypesOf(e Term) []Term { return g.Objects(e, A) }
+
+// InstancesOf returns the entities typed with the given class.
+func (g *Graph) InstancesOf(class Term) []Term { return g.Subjects(A, class) }
+
+// Classes returns all distinct class IRIs: objects of rdf:type plus subjects
+// and objects of rdfs:subClassOf, sorted by IRI.
+func (g *Graph) Classes() []Term {
+	seen := make(map[Term]struct{})
+	typeP := A
+	g.Match(nil, &typeP, nil, func(t Triple) bool {
+		if t.O.IsIRI() {
+			seen[t.O] = struct{}{}
+		}
+		return true
+	})
+	sub := NewIRI(RDFSSubClassOf)
+	g.Match(nil, &sub, nil, func(t Triple) bool {
+		if t.S.IsIRI() {
+			seen[t.S] = struct{}{}
+		}
+		if t.O.IsIRI() {
+			seen[t.O] = struct{}{}
+		}
+		return true
+	})
+	out := make([]Term, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// Predicates returns all distinct predicate IRIs, sorted.
+func (g *Graph) Predicates() []Term {
+	seen := make(map[TermID]struct{})
+	for i, e := range g.triples {
+		if g.dead[i] {
+			continue
+		}
+		seen[e.p] = struct{}{}
+	}
+	out := make([]Term, 0, len(seen))
+	for id := range seen {
+		out = append(out, g.dict.Term(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// SuperClasses returns the transitive rdfs:subClassOf closure of the class,
+// excluding the class itself.
+func (g *Graph) SuperClasses(class Term) []Term {
+	sub := NewIRI(RDFSSubClassOf)
+	var out []Term
+	seen := map[Term]struct{}{class: {}}
+	work := []Term{class}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, sup := range g.Objects(c, sub) {
+			if _, ok := seen[sup]; ok {
+				continue
+			}
+			seen[sup] = struct{}{}
+			out = append(out, sup)
+			work = append(work, sup)
+		}
+	}
+	return out
+}
+
+// IsInstanceOf reports whether e has type class directly or via a subclass.
+func (g *Graph) IsInstanceOf(e, class Term) bool {
+	for _, t := range g.TypesOf(e) {
+		if t == class {
+			return true
+		}
+		for _, sup := range g.SuperClasses(t) {
+			if sup == class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AddAll inserts every triple of other into g, returning the number added.
+func (g *Graph) AddAll(other *Graph) int {
+	n := 0
+	other.ForEach(func(t Triple) bool {
+		if g.Add(t) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Clone returns a deep copy of the graph with its own dictionary.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.AddAll(g)
+	return c
+}
+
+// Equal reports whether two graphs contain exactly the same triple set.
+// (Blank node labels are compared literally; the transformation pipeline
+// never relabels blank nodes, so literal comparison is the correct notion
+// of equality for round-trip tests.)
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	eq := true
+	g.ForEach(func(t Triple) bool {
+		if !other.Has(t) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}

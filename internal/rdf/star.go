@@ -1,0 +1,77 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RDF-star quoted triples are encoded inside a Term's Value field with a
+// structured (not textual) encoding so that terms remain plain comparable
+// values: the three components' fields are joined with ASCII separators.
+// The encoding is an implementation detail; NewTripleTerm and AsTriple are
+// the only ways in and out.
+
+const (
+	starFieldSep = "\x1f" // between the fields of one component term
+	starTermSep  = "\x1e" // between the three component terms
+)
+
+// NewTripleTerm returns a quoted-triple term for the statement. Components
+// must form a valid triple and must not themselves be quoted triples
+// (nesting is rejected, keeping the transformation's annotation mapping
+// well-defined).
+func NewTripleTerm(t Triple) (Term, error) {
+	if t.S.IsTripleTerm() || t.P.IsTripleTerm() || t.O.IsTripleTerm() {
+		return Term{}, fmt.Errorf("rdf: nested quoted triples are not supported")
+	}
+	if !t.Valid() {
+		return Term{}, fmt.Errorf("rdf: quoted triple %v is not a valid statement", t)
+	}
+	parts := make([]string, 3)
+	for i, c := range []Term{t.S, t.P, t.O} {
+		if strings.ContainsAny(c.Value, starFieldSep+starTermSep) ||
+			strings.ContainsAny(c.Datatype, starFieldSep+starTermSep) ||
+			strings.ContainsAny(c.Lang, starFieldSep+starTermSep) {
+			return Term{}, fmt.Errorf("rdf: component %v contains reserved control characters", c)
+		}
+		parts[i] = strings.Join([]string{
+			string(rune('0' + c.Kind)), c.Value, c.Datatype, c.Lang,
+		}, starFieldSep)
+	}
+	return Term{Kind: TripleTerm, Value: strings.Join(parts, starTermSep)}, nil
+}
+
+// MustTripleTerm is NewTripleTerm for statically known triples; it panics
+// on invalid input.
+func MustTripleTerm(t Triple) Term {
+	tt, err := NewTripleTerm(t)
+	if err != nil {
+		panic(err)
+	}
+	return tt
+}
+
+// AsTriple decodes the quoted triple; ok is false for non-TripleTerm terms.
+func (t Term) AsTriple() (Triple, bool) {
+	if t.Kind != TripleTerm {
+		return Triple{}, false
+	}
+	parts := strings.Split(t.Value, starTermSep)
+	if len(parts) != 3 {
+		return Triple{}, false
+	}
+	var out [3]Term
+	for i, p := range parts {
+		fields := strings.Split(p, starFieldSep)
+		if len(fields) != 4 || len(fields[0]) != 1 {
+			return Triple{}, false
+		}
+		out[i] = Term{
+			Kind:     Kind(fields[0][0] - '0'),
+			Value:    fields[1],
+			Datatype: fields[2],
+			Lang:     fields[3],
+		}
+	}
+	return Triple{S: out[0], P: out[1], O: out[2]}, true
+}

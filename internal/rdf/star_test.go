@@ -1,0 +1,99 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTripleTermRoundTrip(t *testing.T) {
+	base := NewTriple(ex("s"), ex("p"), NewTypedLiteral("5", XSDInteger))
+	tt, err := NewTripleTerm(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.IsTripleTerm() || tt.IsResource() || tt.IsLiteral() {
+		t.Fatalf("kind flags wrong: %+v", tt)
+	}
+	back, ok := tt.AsTriple()
+	if !ok || back != base {
+		t.Fatalf("AsTriple = %v, %v", back, ok)
+	}
+	want := `<< <http://example.org/s> <http://example.org/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> >>`
+	if got := tt.String(); got != want {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTripleTermRejectsNestingAndInvalid(t *testing.T) {
+	base := NewTriple(ex("s"), ex("p"), ex("o"))
+	tt := MustTripleTerm(base)
+	if _, err := NewTripleTerm(NewTriple(tt, ex("p"), ex("o"))); err == nil {
+		t.Error("nested subject accepted")
+	}
+	if _, err := NewTripleTerm(NewTriple(ex("s"), ex("p"), tt)); err == nil {
+		t.Error("nested object accepted")
+	}
+	if _, err := NewTripleTerm(NewTriple(NewLiteral("x"), ex("p"), ex("o"))); err == nil {
+		t.Error("literal subject accepted")
+	}
+	if _, err := NewTripleTerm(NewTriple(ex("s"), ex("p\x1f"), ex("o"))); err == nil {
+		t.Error("control characters accepted")
+	}
+	if _, ok := ex("s").AsTriple(); ok {
+		t.Error("AsTriple on an IRI succeeded")
+	}
+}
+
+func TestTripleTermsAreComparable(t *testing.T) {
+	a := MustTripleTerm(NewTriple(ex("s"), ex("p"), NewLiteral("v")))
+	b := MustTripleTerm(NewTriple(ex("s"), ex("p"), NewLiteral("v")))
+	c := MustTripleTerm(NewTriple(ex("s"), ex("p"), NewLiteral("w")))
+	if a != b {
+		t.Error("equal quoted triples compare unequal")
+	}
+	if a == c {
+		t.Error("distinct quoted triples compare equal")
+	}
+	// Usable as graph terms.
+	g := NewGraph()
+	g.Add(NewTriple(a, ex("since"), NewLiteral("2020")))
+	if g.MatchCount(&b, nil, nil) != 1 {
+		t.Error("quoted triple subject not matchable")
+	}
+}
+
+// Property: any random simple triple survives the quoted-triple encoding.
+func TestQuickTripleTermRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Term {
+			switch rng.Intn(3) {
+			case 0:
+				return NewIRI(fmt.Sprintf("http://x/e%d", rng.Intn(100)))
+			case 1:
+				return NewBlank(fmt.Sprintf("b%d", rng.Intn(10)))
+			default:
+				if rng.Intn(2) == 0 {
+					return NewLangLiteral(fmt.Sprintf("v%d", rng.Intn(100)), "en")
+				}
+				return NewTypedLiteral(fmt.Sprint(rng.Intn(1000)), XSDInteger)
+			}
+		}
+		s := mk()
+		for !s.IsResource() {
+			s = mk()
+		}
+		base := NewTriple(s, NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(10))), mk())
+		tt, err := NewTripleTerm(base)
+		if err != nil {
+			return false
+		}
+		back, ok := tt.AsTriple()
+		return ok && back == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

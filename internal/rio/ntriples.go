@@ -1,0 +1,266 @@
+// Package rio implements RDF serialization I/O: a fast streaming N-Triples
+// reader and writer for instance data, and a Turtle reader and writer rich
+// enough for SHACL shape documents (prefixes, 'a', ';' and ',' abbreviations,
+// blank node property lists, and RDF collections).
+package rio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// TripleHandler receives each parsed triple. Returning an error aborts the
+// parse and is propagated to the caller.
+type TripleHandler func(rdf.Triple) error
+
+// ReadNTriples parses an N-Triples document from r, streaming each triple to
+// fn. Lines that are empty or comments are skipped. The reader allocates no
+// intermediate graph, so arbitrarily large files can be processed.
+func ReadNTriples(r io.Reader, fn TripleHandler) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseNTriplesLine(line)
+		if err != nil {
+			return fmt.Errorf("rio: line %d: %w", lineNo, err)
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// LoadNTriples parses an N-Triples document into a new graph.
+func LoadNTriples(r io.Reader) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	err := ReadNTriples(r, func(t rdf.Triple) error {
+		g.Add(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseNTriplesLine parses one N-Triples statement (without trailing newline).
+func ParseNTriplesLine(line string) (rdf.Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return rdf.Triple{}, fmt.Errorf("expected terminating '.' in %q", line)
+	}
+	t := rdf.NewTriple(s, pr, o)
+	if !t.Valid() {
+		return rdf.Triple{}, fmt.Errorf("malformed triple %q", line)
+	}
+	return t, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (rdf.Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return rdf.Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		// RDF-star quoted triple: << s p o >>.
+		if p.pos+1 < len(p.in) && p.in[p.pos+1] == '<' {
+			p.pos += 2
+			var comps [3]rdf.Term
+			for i := range comps {
+				c, err := p.term()
+				if err != nil {
+					return rdf.Term{}, fmt.Errorf("quoted triple component %d: %w", i+1, err)
+				}
+				comps[i] = c
+			}
+			p.skipSpace()
+			if !strings.HasPrefix(p.in[p.pos:], ">>") {
+				return rdf.Term{}, fmt.Errorf("unterminated quoted triple")
+			}
+			p.pos += 2
+			return rdf.NewTripleTerm(rdf.NewTriple(comps[0], comps[1], comps[2]))
+		}
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return rdf.Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.in[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return rdf.NewIRI(iri), nil
+	case '_':
+		if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+			return rdf.Term{}, fmt.Errorf("malformed blank node")
+		}
+		start := p.pos + 2
+		i := start
+		for i < len(p.in) && !isNTDelim(p.in[i]) {
+			i++
+		}
+		label := p.in[start:i]
+		if label == "" {
+			return rdf.Term{}, fmt.Errorf("empty blank node label")
+		}
+		p.pos = i
+		return rdf.NewBlank(label), nil
+	case '"':
+		return p.literal()
+	default:
+		return rdf.Term{}, fmt.Errorf("unexpected character %q", p.in[p.pos])
+	}
+}
+
+func isNTDelim(c byte) bool { return c == ' ' || c == '\t' || c == '.' || c == '<' }
+
+func (p *ntParser) literal() (rdf.Term, error) {
+	// p.in[p.pos] == '"'
+	i := p.pos + 1
+	var b strings.Builder
+	for {
+		if i >= len(p.in) {
+			return rdf.Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.in[i]
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(p.in) {
+				return rdf.Term{}, fmt.Errorf("dangling escape")
+			}
+			esc, n, err := decodeEscape(p.in[i:])
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			b.WriteString(esc)
+			i += n
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	lex := b.String()
+	i++ // closing quote
+	// Optional language tag or datatype.
+	if i < len(p.in) && p.in[i] == '@' {
+		start := i + 1
+		for i++; i < len(p.in) && (isAlphaNum(p.in[i]) || p.in[i] == '-'); i++ {
+		}
+		lang := p.in[start:i]
+		p.pos = i
+		return rdf.NewLangLiteral(lex, lang), nil
+	}
+	if i+1 < len(p.in) && p.in[i] == '^' && p.in[i+1] == '^' {
+		i += 2
+		if i >= len(p.in) || p.in[i] != '<' {
+			return rdf.Term{}, fmt.Errorf("expected datatype IRI")
+		}
+		end := strings.IndexByte(p.in[i:], '>')
+		if end < 0 {
+			return rdf.Term{}, fmt.Errorf("unterminated datatype IRI")
+		}
+		dt := p.in[i+1 : i+end]
+		p.pos = i + end + 1
+		return rdf.NewTypedLiteral(lex, dt), nil
+	}
+	p.pos = i
+	return rdf.NewLiteral(lex), nil
+}
+
+// decodeEscape decodes a backslash escape at the start of s, returning the
+// decoded string and the number of input bytes consumed.
+func decodeEscape(s string) (string, int, error) {
+	switch s[1] {
+	case 't':
+		return "\t", 2, nil
+	case 'n':
+		return "\n", 2, nil
+	case 'r':
+		return "\r", 2, nil
+	case '"':
+		return `"`, 2, nil
+	case '\\':
+		return `\`, 2, nil
+	case 'u':
+		if len(s) < 6 {
+			return "", 0, fmt.Errorf("short \\u escape")
+		}
+		n, err := strconv.ParseUint(s[2:6], 16, 32)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad \\u escape: %v", err)
+		}
+		return string(rune(n)), 6, nil
+	case 'U':
+		if len(s) < 10 {
+			return "", 0, fmt.Errorf("short \\U escape")
+		}
+		n, err := strconv.ParseUint(s[2:10], 16, 32)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad \\U escape: %v", err)
+		}
+		return string(rune(n)), 10, nil
+	default:
+		return "", 0, fmt.Errorf("unknown escape \\%c", s[1])
+	}
+}
+
+func isAlphaNum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// WriteNTriples serializes the graph to w in N-Triples format.
+func WriteNTriples(w io.Writer, g *rdf.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var err error
+	g.ForEach(func(t rdf.Triple) bool {
+		if _, werr := bw.WriteString(t.String()); werr != nil {
+			err = werr
+			return false
+		}
+		if werr := bw.WriteByte('\n'); werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

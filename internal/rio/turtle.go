@@ -1,0 +1,573 @@
+package rio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// ParseTurtle parses a Turtle document into a new graph.
+func ParseTurtle(src string) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	if err := ReadTurtle(strings.NewReader(src), func(t rdf.Triple) error {
+		g.Add(t)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadTurtle parses a Turtle document from r, streaming triples to fn.
+func ReadTurtle(r io.Reader, fn TripleHandler) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	p := &ttlParser{src: string(data), prefixes: map[string]string{}, emit: fn}
+	return p.parse()
+}
+
+type ttlParser struct {
+	src      string
+	pos      int
+	line     int
+	prefixes map[string]string
+	base     string
+	emit     TripleHandler
+	blankSeq int
+}
+
+func (p *ttlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("rio: turtle line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *ttlParser) parse() error {
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil
+		}
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *ttlParser) statement() error {
+	if p.hasKeyword("@prefix") || p.hasKeyword("PREFIX") {
+		sparqlStyle := p.peekByte() == 'P'
+		p.consumeWord()
+		p.skipWS()
+		ns, err := p.pnameNS()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		iri, err := p.iriRef()
+		if err != nil {
+			return err
+		}
+		p.prefixes[ns] = iri
+		if !sparqlStyle {
+			p.skipWS()
+			if !p.eat('.') {
+				return p.errf("expected '.' after @prefix")
+			}
+		}
+		return nil
+	}
+	if p.hasKeyword("@base") || p.hasKeyword("BASE") {
+		sparqlStyle := p.peekByte() == 'B'
+		p.consumeWord()
+		p.skipWS()
+		iri, err := p.iriRef()
+		if err != nil {
+			return err
+		}
+		p.base = iri
+		if !sparqlStyle {
+			p.skipWS()
+			if !p.eat('.') {
+				return p.errf("expected '.' after @base")
+			}
+		}
+		return nil
+	}
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	// A bare blank node property list may be a statement on its own.
+	if subj.IsBlank() && p.peekByte() == '.' {
+		p.eat('.')
+		return nil
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("expected '.' to end statement, found %q", p.peekRune())
+	}
+	return nil
+}
+
+func (p *ttlParser) predicateObjectList(subj rdf.Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.verb()
+		if err != nil {
+			return err
+		}
+		if err := p.objectList(subj, pred); err != nil {
+			return err
+		}
+		p.skipWS()
+		if !p.eat(';') {
+			return nil
+		}
+		p.skipWS()
+		// Trailing ';' before '.' or ']' is legal.
+		if c := p.peekByte(); c == '.' || c == ']' || c == 0 {
+			return nil
+		}
+	}
+}
+
+func (p *ttlParser) objectList(subj, pred rdf.Term) error {
+	for {
+		p.skipWS()
+		obj, err := p.object()
+		if err != nil {
+			return err
+		}
+		if err := p.emit(rdf.NewTriple(subj, pred, obj)); err != nil {
+			return err
+		}
+		p.skipWS()
+		if !p.eat(',') {
+			return nil
+		}
+	}
+}
+
+func (p *ttlParser) verb() (rdf.Term, error) {
+	if p.peekByte() == 'a' && p.pos+1 < len(p.src) && isWSByte(p.src[p.pos+1]) {
+		p.pos++
+		return rdf.A, nil
+	}
+	return p.iri()
+}
+
+func (p *ttlParser) subject() (rdf.Term, error) {
+	p.skipWS()
+	switch c := p.peekByte(); {
+	case c == '<' && strings.HasPrefix(p.src[p.pos:], "<<"):
+		return p.quotedTriple()
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.blankPropertyList()
+	case c == '(':
+		return p.collection()
+	default:
+		return p.iri()
+	}
+}
+
+func (p *ttlParser) object() (rdf.Term, error) {
+	switch c := p.peekByte(); {
+	case c == '<' && strings.HasPrefix(p.src[p.pos:], "<<"):
+		return p.quotedTriple()
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.blankPropertyList()
+	case c == '(':
+		return p.collection()
+	case c == '"' || c == '\'':
+		return p.stringLiteral()
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.numericLiteral()
+	case p.hasKeyword("true"):
+		p.consumeWord()
+		return rdf.NewTypedLiteral("true", rdf.XSDBoolean), nil
+	case p.hasKeyword("false"):
+		p.consumeWord()
+		return rdf.NewTypedLiteral("false", rdf.XSDBoolean), nil
+	default:
+		return p.iri()
+	}
+}
+
+// quotedTriple parses an RDF-star << s p o >> term.
+func (p *ttlParser) quotedTriple() (rdf.Term, error) {
+	p.pos += 2 // <<
+	var comps [3]rdf.Term
+	for i := range comps {
+		p.skipWS()
+		var c rdf.Term
+		var err error
+		if i == 1 {
+			c, err = p.verb()
+		} else {
+			c, err = p.object()
+		}
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		comps[i] = c
+	}
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], ">>") {
+		return rdf.Term{}, p.errf("expected '>>' closing quoted triple")
+	}
+	p.pos += 2
+	tt, err := rdf.NewTripleTerm(rdf.NewTriple(comps[0], comps[1], comps[2]))
+	if err != nil {
+		return rdf.Term{}, p.errf("%v", err)
+	}
+	return tt, nil
+}
+
+func (p *ttlParser) blankPropertyList() (rdf.Term, error) {
+	p.eat('[')
+	p.blankSeq++
+	node := rdf.NewBlank(fmt.Sprintf("genid%d", p.blankSeq))
+	p.skipWS()
+	if p.eat(']') {
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	p.skipWS()
+	if !p.eat(']') {
+		return rdf.Term{}, p.errf("expected ']' to close blank node property list")
+	}
+	return node, nil
+}
+
+func (p *ttlParser) collection() (rdf.Term, error) {
+	p.eat('(')
+	first, rest, nilT := rdf.NewIRI(rdf.RDFFirst), rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil)
+	var items []rdf.Term
+	for {
+		p.skipWS()
+		if p.eat(')') {
+			break
+		}
+		if p.pos >= len(p.src) {
+			return rdf.Term{}, p.errf("unterminated collection")
+		}
+		it, err := p.object()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		return nilT, nil
+	}
+	head := rdf.Term{}
+	var prev rdf.Term
+	for i, it := range items {
+		p.blankSeq++
+		cell := rdf.NewBlank(fmt.Sprintf("genid%d", p.blankSeq))
+		if i == 0 {
+			head = cell
+		} else {
+			if err := p.emit(rdf.NewTriple(prev, rest, cell)); err != nil {
+				return rdf.Term{}, err
+			}
+		}
+		if err := p.emit(rdf.NewTriple(cell, first, it)); err != nil {
+			return rdf.Term{}, err
+		}
+		prev = cell
+	}
+	if err := p.emit(rdf.NewTriple(prev, rest, nilT)); err != nil {
+		return rdf.Term{}, err
+	}
+	return head, nil
+}
+
+func (p *ttlParser) blankLabel() (rdf.Term, error) {
+	if !strings.HasPrefix(p.src[p.pos:], "_:") {
+		return rdf.Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if isAlphaNum(c) || c == '_' || c == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	return rdf.NewBlank(p.src[start:p.pos]), nil
+}
+
+func (p *ttlParser) stringLiteral() (rdf.Term, error) {
+	quote := p.src[p.pos]
+	long := strings.HasPrefix(p.src[p.pos:], strings.Repeat(string(quote), 3))
+	var lex string
+	if long {
+		p.pos += 3
+		end := strings.Index(p.src[p.pos:], strings.Repeat(string(quote), 3))
+		if end < 0 {
+			return rdf.Term{}, p.errf("unterminated long string")
+		}
+		lex = p.src[p.pos : p.pos+end]
+		p.line += strings.Count(lex, "\n")
+		p.pos += end + 3
+	} else {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.pos >= len(p.src) {
+				return rdf.Term{}, p.errf("unterminated string")
+			}
+			c := p.src[p.pos]
+			if c == quote {
+				p.pos++
+				break
+			}
+			if c == '\n' {
+				return rdf.Term{}, p.errf("newline in short string")
+			}
+			if c == '\\' {
+				esc, n, err := decodeEscape(p.src[p.pos:])
+				if err != nil {
+					return rdf.Term{}, p.errf("%v", err)
+				}
+				b.WriteString(esc)
+				p.pos += n
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		lex = b.String()
+	}
+	// Suffix: @lang or ^^datatype.
+	if p.peekByte() == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isAlphaNum(p.src[p.pos]) || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		return rdf.NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.iri()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func (p *ttlParser) numericLiteral() (rdf.Term, error) {
+	start := p.pos
+	if c := p.peekByte(); c == '+' || c == '-' {
+		p.pos++
+	}
+	hasDot, hasExp := false, false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			p.pos++
+		case c == '.' && !hasDot && !hasExp && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9':
+			hasDot = true
+			p.pos++
+		case (c == 'e' || c == 'E') && !hasExp:
+			hasExp = true
+			p.pos++
+			if n := p.peekByte(); n == '+' || n == '-' {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return rdf.Term{}, p.errf("malformed number")
+	}
+	switch {
+	case hasExp:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDouble), nil
+	case hasDot:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDecimal), nil
+	default:
+		return rdf.NewTypedLiteral(lex, rdf.XSDInteger), nil
+	}
+}
+
+func (p *ttlParser) iri() (rdf.Term, error) {
+	if p.peekByte() == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+	// Prefixed name: PN_PREFIX? ':' PN_LOCAL
+	start := p.pos
+	for p.pos < len(p.src) && isPNChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return rdf.Term{}, p.errf("expected IRI or prefixed name at %q", p.snippet())
+	}
+	prefix := p.src[start:p.pos]
+	p.pos++ // ':'
+	localStart := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if isPNChar(c) || c == '.' && p.pos+1 < len(p.src) && isPNChar(rune(p.src[p.pos+1])) {
+			p.pos++
+			continue
+		}
+		if c == '\\' && p.pos+1 < len(p.src) { // PN_LOCAL escapes like \,
+			p.pos += 2
+			continue
+		}
+		break
+	}
+	local := strings.NewReplacer(`\,`, ",", `\;`, ";", `\(`, "(", `\)`, ")", `\.`, ".", `\-`, "-").
+		Replace(p.src[localStart:p.pos])
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	return rdf.NewIRI(ns + local), nil
+}
+
+func (p *ttlParser) iriRef() (string, error) {
+	if p.peekByte() != '<' {
+		return "", p.errf("expected '<'")
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+func (p *ttlParser) pnameNS() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isPNChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return "", p.errf("expected prefix name")
+	}
+	ns := p.src[start:p.pos]
+	p.pos++
+	return ns, nil
+}
+
+func isPNChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (p *ttlParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *ttlParser) peekByte() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *ttlParser) peekRune() rune {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r
+}
+
+func (p *ttlParser) eat(c byte) bool {
+	if p.peekByte() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// hasKeyword reports whether the input at the cursor starts with the word
+// followed by a non-word character.
+func (p *ttlParser) hasKeyword(w string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	rest := p.src[p.pos+len(w):]
+	return rest == "" || !isAlphaNum(rest[0])
+}
+
+func (p *ttlParser) consumeWord() {
+	for p.pos < len(p.src) && !isWSByte(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *ttlParser) snippet() string {
+	end := p.pos + 20
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}
+
+func isWSByte(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

@@ -1,0 +1,153 @@
+package rio
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// TurtleWriter serializes graphs in Turtle, grouping triples by subject and
+// abbreviating IRIs with the registered prefixes.
+type TurtleWriter struct {
+	prefixes []prefixDecl // longest namespace first
+}
+
+type prefixDecl struct {
+	name string
+	ns   string
+}
+
+// NewTurtleWriter returns a writer with the standard rdf/rdfs/xsd/sh prefixes.
+func NewTurtleWriter() *TurtleWriter {
+	w := &TurtleWriter{}
+	w.Prefix("rdf", rdf.RDFNS)
+	w.Prefix("rdfs", rdf.RDFSNS)
+	w.Prefix("xsd", rdf.XSDNS)
+	w.Prefix("sh", rdf.SHNS)
+	return w
+}
+
+// Prefix registers a namespace abbreviation.
+func (w *TurtleWriter) Prefix(name, ns string) {
+	for i, p := range w.prefixes {
+		if p.name == name {
+			w.prefixes[i].ns = ns
+			return
+		}
+	}
+	w.prefixes = append(w.prefixes, prefixDecl{name, ns})
+	sort.SliceStable(w.prefixes, func(i, j int) bool {
+		return len(w.prefixes[i].ns) > len(w.prefixes[j].ns)
+	})
+}
+
+// Write serializes the graph to out.
+func (w *TurtleWriter) Write(out io.Writer, g *rdf.Graph) error {
+	bw := bufio.NewWriterSize(out, 1<<16)
+	names := make([]string, 0, len(w.prefixes))
+	for _, p := range w.prefixes {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range w.prefixes {
+			if p.name == name {
+				bw.WriteString("@prefix ")
+				bw.WriteString(p.name)
+				bw.WriteString(": <")
+				bw.WriteString(p.ns)
+				bw.WriteString("> .\n")
+			}
+		}
+	}
+	bw.WriteByte('\n')
+
+	// Group triples by subject, keeping first-seen subject order.
+	type group struct {
+		subj  rdf.Term
+		preds []rdf.Term
+		objs  map[rdf.Term][]rdf.Term
+	}
+	var order []rdf.Term
+	groups := make(map[rdf.Term]*group)
+	g.ForEach(func(t rdf.Triple) bool {
+		gr, ok := groups[t.S]
+		if !ok {
+			gr = &group{subj: t.S, objs: make(map[rdf.Term][]rdf.Term)}
+			groups[t.S] = gr
+			order = append(order, t.S)
+		}
+		if _, seen := gr.objs[t.P]; !seen {
+			gr.preds = append(gr.preds, t.P)
+		}
+		gr.objs[t.P] = append(gr.objs[t.P], t.O)
+		return true
+	})
+
+	for _, s := range order {
+		gr := groups[s]
+		bw.WriteString(w.termString(s))
+		for pi, p := range gr.preds {
+			if pi == 0 {
+				bw.WriteByte(' ')
+			} else {
+				bw.WriteString(" ;\n    ")
+			}
+			if p == rdf.A {
+				bw.WriteString("a")
+			} else {
+				bw.WriteString(w.termString(p))
+			}
+			for oi, o := range gr.objs[p] {
+				if oi == 0 {
+					bw.WriteByte(' ')
+				} else {
+					bw.WriteString(", ")
+				}
+				bw.WriteString(w.termString(o))
+			}
+		}
+		bw.WriteString(" .\n")
+	}
+	return bw.Flush()
+}
+
+// termString renders a term with prefix abbreviation when safe.
+func (w *TurtleWriter) termString(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.IRI:
+		for _, p := range w.prefixes {
+			if strings.HasPrefix(t.Value, p.ns) {
+				local := t.Value[len(p.ns):]
+				if isSafeLocal(local) {
+					return p.name + ":" + local
+				}
+			}
+		}
+		return "<" + t.Value + ">"
+	case rdf.Literal:
+		if t.Lang == "" && t.Datatype != "" {
+			// Abbreviate the datatype too.
+			dt := w.termString(rdf.NewIRI(t.Datatype))
+			return `"` + rdf.EscapeLiteral(t.Value) + `"^^` + dt
+		}
+		return t.String()
+	default:
+		return t.String()
+	}
+}
+
+func isSafeLocal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isPNChar(r) {
+			return false
+		}
+	}
+	return true
+}

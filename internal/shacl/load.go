@@ -1,0 +1,263 @@
+package shacl
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// FromGraph loads a shape schema from an RDF graph containing SHACL
+// declarations (the shape documents of Figure 4). It recognizes the core
+// constraint components of the Figure 3 taxonomy: sh:targetClass, sh:node
+// (inheritance), sh:property with sh:path, sh:datatype, sh:class, sh:node
+// (shape reference), sh:nodeKind, sh:minCount, sh:maxCount, and sh:or over
+// a list of alternatives.
+func FromGraph(g *rdf.Graph) (*Schema, error) {
+	s := NewSchema()
+	nodeShapeT := rdf.NewIRI(rdf.SHNodeShape)
+	shapeNames := g.InstancesOf(nodeShapeT)
+	declared := make(map[string]bool, len(shapeNames))
+	for _, sn := range shapeNames {
+		if sn.IsIRI() {
+			declared[sn.Value] = true
+		}
+	}
+	for _, sn := range shapeNames {
+		if !sn.IsIRI() {
+			return nil, fmt.Errorf("shacl: node shape %v must be an IRI", sn)
+		}
+		ns, err := loadNodeShape(g, sn, declared)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(ns)
+	}
+	return s, nil
+}
+
+func loadNodeShape(g *rdf.Graph, name rdf.Term, declared map[string]bool) (*NodeShape, error) {
+	ns := &NodeShape{Name: name.Value}
+	if tc := g.Objects(name, rdf.NewIRI(rdf.SHTargetClass)); len(tc) > 0 {
+		if !tc[0].IsIRI() {
+			return nil, fmt.Errorf("shacl: %s: sh:targetClass must be an IRI", ns.Name)
+		}
+		ns.TargetClass = tc[0].Value
+	}
+	for _, ext := range g.Objects(name, rdf.NewIRI(rdf.SHNode)) {
+		if !ext.IsIRI() {
+			return nil, fmt.Errorf("shacl: %s: sh:node must be an IRI", ns.Name)
+		}
+		ns.Extends = append(ns.Extends, ext.Value)
+	}
+	for _, pnode := range g.Objects(name, rdf.NewIRI(rdf.SHProperty)) {
+		ps, err := loadPropertyShape(g, pnode, declared)
+		if err != nil {
+			return nil, fmt.Errorf("shacl: %s: %w", ns.Name, err)
+		}
+		ns.Properties = append(ns.Properties, ps)
+	}
+	return ns, nil
+}
+
+func loadPropertyShape(g *rdf.Graph, node rdf.Term, declared map[string]bool) (*PropertyShape, error) {
+	paths := g.Objects(node, rdf.NewIRI(rdf.SHPath))
+	if len(paths) != 1 || !paths[0].IsIRI() {
+		return nil, fmt.Errorf("property shape %v: exactly one IRI sh:path required, got %v", node, paths)
+	}
+	ps := &PropertyShape{Path: paths[0].Value, MinCount: 0, MaxCount: Unbounded}
+
+	if mc, ok, err := intObject(g, node, rdf.SHMinCount); err != nil {
+		return nil, err
+	} else if ok {
+		ps.MinCount = mc
+	}
+	if mc, ok, err := intObject(g, node, rdf.SHMaxCount); err != nil {
+		return nil, err
+	} else if ok {
+		ps.MaxCount = mc
+	}
+	if ps.MaxCount != Unbounded && ps.MinCount > ps.MaxCount {
+		return nil, fmt.Errorf("property shape for %s: minCount %d > maxCount %d", ps.Path, ps.MinCount, ps.MaxCount)
+	}
+
+	// Direct (non-disjunctive) type constraints.
+	direct, err := typeRefAt(g, node, declared)
+	if err != nil {
+		return nil, fmt.Errorf("property shape for %s: %w", ps.Path, err)
+	}
+	if direct != nil {
+		ps.Types = append(ps.Types, *direct)
+	}
+
+	// sh:or over a list of alternatives.
+	for _, orHead := range g.Objects(node, rdf.NewIRI(rdf.SHOr)) {
+		alts, err := listItems(g, orHead)
+		if err != nil {
+			return nil, fmt.Errorf("property shape for %s: sh:or: %w", ps.Path, err)
+		}
+		for _, alt := range alts {
+			ref, err := typeRefAt(g, alt, declared)
+			if err != nil {
+				return nil, fmt.Errorf("property shape for %s: sh:or alternative: %w", ps.Path, err)
+			}
+			if ref == nil {
+				return nil, fmt.Errorf("property shape for %s: sh:or alternative %v carries no type constraint", ps.Path, alt)
+			}
+			ps.Types = append(ps.Types, *ref)
+		}
+	}
+	if len(ps.Types) == 0 {
+		return nil, fmt.Errorf("property shape for %s: no type constraint (need sh:datatype, sh:class, sh:node, or sh:or)", ps.Path)
+	}
+	return ps, nil
+}
+
+// typeRefAt reads a single type constraint attached directly to node:
+// sh:datatype (literal), sh:class (class), or sh:node (shape reference or —
+// when the target is not a declared shape — treated as a class). Returns nil
+// when node carries none.
+func typeRefAt(g *rdf.Graph, node rdf.Term, declared map[string]bool) (*TypeRef, error) {
+	dts := g.Objects(node, rdf.NewIRI(rdf.SHDatatype))
+	classes := g.Objects(node, rdf.NewIRI(rdf.SHClass))
+	shapes := g.Objects(node, rdf.NewIRI(rdf.SHNode))
+	set := 0
+	for _, l := range [][]rdf.Term{dts, classes, shapes} {
+		if len(l) > 0 {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("%v: at most one of sh:datatype/sh:class/sh:node allowed per alternative", node)
+	}
+	switch {
+	case len(dts) == 1 && dts[0].IsIRI():
+		return &TypeRef{Datatype: dts[0].Value}, nil
+	case len(classes) == 1 && classes[0].IsIRI():
+		return &TypeRef{Class: classes[0].Value}, nil
+	case len(shapes) == 1 && shapes[0].IsIRI():
+		// Only treat as a shape reference on property-shape alternatives when
+		// the IRI is a declared node shape; otherwise it is a class.
+		if declared[shapes[0].Value] {
+			return &TypeRef{Shape: shapes[0].Value}, nil
+		}
+		return &TypeRef{Class: shapes[0].Value}, nil
+	case set == 0:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%v: malformed type constraint", node)
+	}
+}
+
+// intObject reads a single integer-valued object for (s, pred).
+func intObject(g *rdf.Graph, s rdf.Term, pred string) (int, bool, error) {
+	objs := g.Objects(s, rdf.NewIRI(pred))
+	if len(objs) == 0 {
+		return 0, false, nil
+	}
+	if len(objs) > 1 {
+		return 0, false, fmt.Errorf("%v: multiple %s values", s, pred)
+	}
+	if !objs[0].IsLiteral() {
+		return 0, false, fmt.Errorf("%v: %s must be a literal", s, pred)
+	}
+	n, err := strconv.Atoi(objs[0].Value)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("%v: %s must be a non-negative integer, got %q", s, pred, objs[0].Value)
+	}
+	return n, true, nil
+}
+
+// listItems walks an RDF collection from its head cell.
+func listItems(g *rdf.Graph, head rdf.Term) ([]rdf.Term, error) {
+	first, rest, nilT := rdf.NewIRI(rdf.RDFFirst), rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil)
+	var items []rdf.Term
+	seen := make(map[rdf.Term]bool)
+	for head != nilT {
+		if seen[head] {
+			return nil, fmt.Errorf("cyclic RDF list at %v", head)
+		}
+		seen[head] = true
+		f := g.Objects(head, first)
+		if len(f) != 1 {
+			return nil, fmt.Errorf("list cell %v has %d rdf:first values", head, len(f))
+		}
+		items = append(items, f[0])
+		r := g.Objects(head, rest)
+		if len(r) != 1 {
+			return nil, fmt.Errorf("list cell %v has %d rdf:rest values", head, len(r))
+		}
+		head = r[0]
+	}
+	return items, nil
+}
+
+// ToGraph serializes the schema back into an RDF graph using the same SHACL
+// vocabulary accepted by FromGraph, so that FromGraph(ToGraph(s)) ≡ s.
+// Property shapes and sh:or alternatives become fresh blank nodes.
+func ToGraph(s *Schema) *rdf.Graph {
+	g := rdf.NewGraph()
+	blank := 0
+	fresh := func() rdf.Term {
+		blank++
+		return rdf.NewBlank(fmt.Sprintf("ps%d", blank))
+	}
+	add := func(s, p, o rdf.Term) { g.Add(rdf.NewTriple(s, p, o)) }
+	intLit := func(n int) rdf.Term { return rdf.NewTypedLiteral(strconv.Itoa(n), rdf.XSDInteger) }
+
+	for _, ns := range s.Shapes() {
+		name := rdf.NewIRI(ns.Name)
+		add(name, rdf.A, rdf.NewIRI(rdf.SHNodeShape))
+		if ns.TargetClass != "" {
+			add(name, rdf.NewIRI(rdf.SHTargetClass), rdf.NewIRI(ns.TargetClass))
+		}
+		for _, ext := range ns.Extends {
+			add(name, rdf.NewIRI(rdf.SHNode), rdf.NewIRI(ext))
+		}
+		for _, ps := range ns.Properties {
+			pnode := fresh()
+			add(name, rdf.NewIRI(rdf.SHProperty), pnode)
+			add(pnode, rdf.NewIRI(rdf.SHPath), rdf.NewIRI(ps.Path))
+			if ps.MinCount > 0 {
+				add(pnode, rdf.NewIRI(rdf.SHMinCount), intLit(ps.MinCount))
+			}
+			if ps.MaxCount != Unbounded {
+				add(pnode, rdf.NewIRI(rdf.SHMaxCount), intLit(ps.MaxCount))
+			}
+			writeRef := func(target rdf.Term, ref TypeRef) {
+				switch {
+				case ref.Datatype != "":
+					add(target, rdf.NewIRI(rdf.SHNodeKindProp), rdf.NewIRI(rdf.SHLiteralKind))
+					add(target, rdf.NewIRI(rdf.SHDatatype), rdf.NewIRI(ref.Datatype))
+				case ref.Class != "":
+					add(target, rdf.NewIRI(rdf.SHNodeKindProp), rdf.NewIRI(rdf.SHIRIKind))
+					add(target, rdf.NewIRI(rdf.SHClass), rdf.NewIRI(ref.Class))
+				case ref.Shape != "":
+					add(target, rdf.NewIRI(rdf.SHNodeKindProp), rdf.NewIRI(rdf.SHIRIKind))
+					add(target, rdf.NewIRI(rdf.SHNode), rdf.NewIRI(ref.Shape))
+				}
+			}
+			if len(ps.Types) == 1 {
+				writeRef(pnode, ps.Types[0])
+				continue
+			}
+			// Multiple alternatives: sh:or over a fresh RDF list.
+			cells := make([]rdf.Term, len(ps.Types))
+			for i := range ps.Types {
+				cells[i] = fresh()
+			}
+			add(pnode, rdf.NewIRI(rdf.SHOr), cells[0])
+			for i, ref := range ps.Types {
+				alt := fresh()
+				add(cells[i], rdf.NewIRI(rdf.RDFFirst), alt)
+				next := rdf.NewIRI(rdf.RDFNil)
+				if i+1 < len(cells) {
+					next = cells[i+1]
+				}
+				add(cells[i], rdf.NewIRI(rdf.RDFRest), next)
+				writeRef(alt, ref)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,350 @@
+package shacl_test
+
+import (
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+)
+
+func TestLoadUniversitySchema(t *testing.T) {
+	s := fixtures.UniversityShapes()
+	if got, want := s.Len(), 9; got != want {
+		t.Fatalf("shape count = %d, want %d\n%s", got, want, s)
+	}
+
+	person := s.Get(fixtures.Shape("Person"))
+	if person == nil {
+		t.Fatal("Person shape missing")
+	}
+	if person.TargetClass != fixtures.ExNS+"Person" {
+		t.Fatalf("Person target class = %q", person.TargetClass)
+	}
+	if len(person.Properties) != 2 {
+		t.Fatalf("Person properties = %d", len(person.Properties))
+	}
+
+	var name, dob *shacl.PropertyShape
+	for _, p := range person.Properties {
+		switch p.Path {
+		case fixtures.ExNS + "name":
+			name = p
+		case fixtures.ExNS + "dob":
+			dob = p
+		}
+	}
+	if name == nil || dob == nil {
+		t.Fatal("name/dob property shapes missing")
+	}
+	if name.MinCount != 1 || name.MaxCount != 1 {
+		t.Fatalf("name cardinality = [%d..%d]", name.MinCount, name.MaxCount)
+	}
+	if name.Category() != shacl.SingleTypeLiteral {
+		t.Fatalf("name category = %v", name.Category())
+	}
+	if len(dob.Types) != 3 || dob.Category() != shacl.MultiTypeHomoLiteral {
+		t.Fatalf("dob types = %v, category = %v", dob.Types, dob.Category())
+	}
+	if dob.MinCount != 0 || dob.MaxCount != 3 {
+		t.Fatalf("dob cardinality = [%d..%d]", dob.MinCount, dob.MaxCount)
+	}
+}
+
+func TestCategoryTaxonomy(t *testing.T) {
+	cases := []struct {
+		types []shacl.TypeRef
+		want  shacl.Category
+	}{
+		{[]shacl.TypeRef{shacl.LiteralRef(rdf.XSDString)}, shacl.SingleTypeLiteral},
+		{[]shacl.TypeRef{shacl.ClassRef("http://x/C")}, shacl.SingleTypeNonLiteral},
+		{[]shacl.TypeRef{shacl.ShapeRef("http://x/S")}, shacl.SingleTypeNonLiteral},
+		{[]shacl.TypeRef{shacl.LiteralRef(rdf.XSDString), shacl.LiteralRef(rdf.XSDDate)}, shacl.MultiTypeHomoLiteral},
+		{[]shacl.TypeRef{shacl.ClassRef("http://x/C"), shacl.ClassRef("http://x/D")}, shacl.MultiTypeHomoNonLiteral},
+		{[]shacl.TypeRef{shacl.ClassRef("http://x/C"), shacl.LiteralRef(rdf.XSDString)}, shacl.MultiTypeHetero},
+	}
+	for _, c := range cases {
+		ps := &shacl.PropertyShape{Path: "http://x/p", Types: c.types}
+		if got := ps.Category(); got != c.want {
+			t.Errorf("Category(%v) = %v, want %v", c.types, got, c.want)
+		}
+	}
+}
+
+func TestEffectivePropertiesInheritance(t *testing.T) {
+	s := fixtures.UniversityShapes()
+	props := s.EffectiveProperties(fixtures.Shape("GraduateStudent"))
+	// Person(name, dob) + Student(regNo, advisedBy) + GS(takesCourse) = 5.
+	if len(props) != 5 {
+		t.Fatalf("effective properties = %d: %v", len(props), props)
+	}
+	// Parents first: name must come before takesCourse.
+	idx := map[string]int{}
+	for i, p := range props {
+		idx[p.Path] = i
+	}
+	if idx[fixtures.ExNS+"name"] > idx[fixtures.ExNS+"takesCourse"] {
+		t.Fatal("inherited properties must precede owned ones")
+	}
+}
+
+func TestEffectivePropertiesCycleSafe(t *testing.T) {
+	s := shacl.NewSchema()
+	s.Add(&shacl.NodeShape{Name: "A", Extends: []string{"B"},
+		Properties: []*shacl.PropertyShape{{Path: "pa", Types: []shacl.TypeRef{shacl.LiteralRef(rdf.XSDString)}, MaxCount: 1}}})
+	s.Add(&shacl.NodeShape{Name: "B", Extends: []string{"A"},
+		Properties: []*shacl.PropertyShape{{Path: "pb", Types: []shacl.TypeRef{shacl.LiteralRef(rdf.XSDString)}, MaxCount: 1}}})
+	props := s.EffectiveProperties("A")
+	if len(props) != 2 {
+		t.Fatalf("cyclic effective properties = %v", props)
+	}
+}
+
+func TestSchemaGraphRoundTrip(t *testing.T) {
+	s := fixtures.UniversityShapes()
+	g := shacl.ToGraph(s)
+	back, err := shacl.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(back) {
+		t.Fatalf("schema round trip mismatch:\noriginal:\n%s\nback:\n%s", s, back)
+	}
+}
+
+func TestSchemaEqualDetectsDifferences(t *testing.T) {
+	a := fixtures.UniversityShapes()
+	b := fixtures.UniversityShapes()
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not equal")
+	}
+	b.Get(fixtures.Shape("Person")).Properties[0].MaxCount = 5
+	if a.Equal(b) {
+		t.Fatal("cardinality change not detected")
+	}
+	c := fixtures.UniversityShapes()
+	c.Get(fixtures.Shape("Person")).Properties[0].Types = []shacl.TypeRef{shacl.LiteralRef(rdf.XSDInteger)}
+	if a.Equal(c) {
+		t.Fatal("type change not detected")
+	}
+}
+
+func TestValidateUniversityConforms(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	s := fixtures.UniversityShapes()
+	if vs := shacl.Validate(g, s); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+}
+
+func TestValidateCardinalityViolations(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	s := fixtures.UniversityShapes()
+
+	// Remove bob's mandatory regNo → minCount violation on Student shape.
+	g.Remove(rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("regNo"), rdf.NewLiteral("Bs12")))
+	vs := shacl.Validate(g, s)
+	if len(vs) == 0 {
+		t.Fatal("expected minCount violation")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Path == fixtures.ExNS+"regNo" && v.Entity == fixtures.Ex("bob") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no regNo violation among %v", vs)
+	}
+
+	// Add a second name → maxCount violation.
+	g2 := fixtures.UniversityGraph()
+	g2.Add(rdf.NewTriple(fixtures.Ex("alice"), fixtures.Ex("name"), rdf.NewLiteral("Alicia")))
+	vs2 := shacl.Validate(g2, s)
+	foundMax := false
+	for _, v := range vs2 {
+		if v.Path == fixtures.ExNS+"name" && v.Entity == fixtures.Ex("alice") {
+			foundMax = true
+		}
+	}
+	if !foundMax {
+		t.Fatalf("no maxCount violation among %v", vs2)
+	}
+}
+
+func TestValidateTypeViolations(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	s := fixtures.UniversityShapes()
+
+	// An integer name violates the xsd:string datatype constraint.
+	g.Remove(rdf.NewTriple(fixtures.Ex("alice"), fixtures.Ex("name"), rdf.NewLiteral("Alice")))
+	g.Add(rdf.NewTriple(fixtures.Ex("alice"), fixtures.Ex("name"), rdf.NewTypedLiteral("42", rdf.XSDInteger)))
+	vs := shacl.Validate(g, s)
+	found := false
+	for _, v := range vs {
+		if v.Path == fixtures.ExNS+"name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no datatype violation among %v", vs)
+	}
+
+	// advisedBy pointing at a Department matches none of the class alternatives.
+	g2 := fixtures.UniversityGraph()
+	g2.Add(rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("advisedBy"), fixtures.Ex("CS")))
+	vs2 := shacl.Validate(g2, s)
+	found2 := false
+	for _, v := range vs2 {
+		if v.Path == fixtures.ExNS+"advisedBy" {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatalf("no class violation among %v", vs2)
+	}
+}
+
+func TestValidateHeterogeneousProperty(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	s := fixtures.UniversityShapes()
+	// A string takesCourse is fine (heterogeneous alternative)…
+	g.Add(rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("takesCourse"), rdf.NewLiteral("Algorithms")))
+	if vs := shacl.Validate(g, s); len(vs) != 0 {
+		t.Fatalf("string course should conform: %v", vs)
+	}
+	// …but an integer one is not among the alternatives.
+	g.Add(rdf.NewTriple(fixtures.Ex("bob"), fixtures.Ex("takesCourse"), rdf.NewTypedLiteral("7", rdf.XSDInteger)))
+	if vs := shacl.Validate(g, s); len(vs) == 0 {
+		t.Fatal("integer course should violate takesCourse alternatives")
+	}
+}
+
+func TestValidateSubclassInstances(t *testing.T) {
+	// advisedBy requires Person|Professor|Faculty; a GraduateStudent advisor
+	// qualifies as Person through the subclass hierarchy.
+	g := fixtures.UniversityGraph()
+	s := fixtures.UniversityShapes()
+	g.Add(rdf.NewTriple(fixtures.Ex("carol"), rdf.A, fixtures.Ex("Person")))
+	g.Add(rdf.NewTriple(fixtures.Ex("carol"), rdf.A, fixtures.Ex("Student")))
+	g.Add(rdf.NewTriple(fixtures.Ex("carol"), fixtures.Ex("name"), rdf.NewLiteral("Carol")))
+	g.Add(rdf.NewTriple(fixtures.Ex("carol"), fixtures.Ex("regNo"), rdf.NewLiteral("Cs77")))
+	g.Add(rdf.NewTriple(fixtures.Ex("carol"), fixtures.Ex("advisedBy"), fixtures.Ex("alice")))
+	if vs := shacl.Validate(g, s); len(vs) != 0 {
+		t.Fatalf("carol should conform: %v", vs)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		// Property shape without sh:path.
+		`@prefix sh: <http://www.w3.org/ns/shacl#> .
+		 @prefix ex: <http://x/> .
+		 ex:S a sh:NodeShape ; sh:targetClass ex:C ; sh:property [ sh:minCount 1 ] .`,
+		// minCount > maxCount.
+		`@prefix sh: <http://www.w3.org/ns/shacl#> .
+		 @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		 @prefix ex: <http://x/> .
+		 ex:S a sh:NodeShape ; sh:targetClass ex:C ;
+		   sh:property [ sh:path ex:p ; sh:datatype xsd:string ; sh:minCount 3 ; sh:maxCount 1 ] .`,
+		// No type constraint at all.
+		`@prefix sh: <http://www.w3.org/ns/shacl#> .
+		 @prefix ex: <http://x/> .
+		 ex:S a sh:NodeShape ; sh:targetClass ex:C ;
+		   sh:property [ sh:path ex:p ; sh:minCount 1 ] .`,
+		// Both datatype and class on one alternative.
+		`@prefix sh: <http://www.w3.org/ns/shacl#> .
+		 @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		 @prefix ex: <http://x/> .
+		 ex:S a sh:NodeShape ; sh:targetClass ex:C ;
+		   sh:property [ sh:path ex:p ; sh:datatype xsd:string ; sh:class ex:D ] .`,
+	}
+	for i, src := range bad {
+		g, err := rio.ParseTurtle(src)
+		if err != nil {
+			t.Fatalf("case %d: turtle error: %v", i, err)
+		}
+		if _, err := shacl.FromGraph(g); err == nil {
+			t.Errorf("case %d: expected schema load error", i)
+		}
+	}
+}
+
+func TestShapeRefVsClassRef(t *testing.T) {
+	// sh:node inside a property shape referring to a declared node shape is a
+	// shape reference; referring to an undeclared IRI degrades to a class ref.
+	src := `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://x/> .
+ex:T a sh:NodeShape ; sh:targetClass ex:TC .
+ex:S a sh:NodeShape ; sh:targetClass ex:C ;
+  sh:property [ sh:path ex:p ; sh:node ex:T ; sh:minCount 1 ] ;
+  sh:property [ sh:path ex:q ; sh:node ex:NotAShape ; sh:minCount 1 ] .
+`
+	g, err := rio.ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := shacl.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapeS := s.Get("http://x/S")
+	var p, q *shacl.PropertyShape
+	for _, ps := range shapeS.Properties {
+		switch ps.Path {
+		case "http://x/p":
+			p = ps
+		case "http://x/q":
+			q = ps
+		}
+	}
+	if p.Types[0].Shape != "http://x/T" {
+		t.Fatalf("p type = %v, want shape ref", p.Types[0])
+	}
+	if q.Types[0].Class != "http://x/NotAShape" {
+		t.Fatalf("q type = %v, want class ref", q.Types[0])
+	}
+}
+
+func TestValidateShapeRefConstraint(t *testing.T) {
+	src := `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex: <http://x/> .
+ex:AddrShape a sh:NodeShape ; sh:targetClass ex:Addr ;
+  sh:property [ sh:path ex:zip ; sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] .
+ex:PersonShape a sh:NodeShape ; sh:targetClass ex:P ;
+  sh:property [ sh:path ex:addr ; sh:node ex:AddrShape ; sh:minCount 1 ] .
+`
+	sg, err := rio.ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := shacl.FromGraph(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := func(l string) rdf.Term { return rdf.NewIRI("http://x/" + l) }
+
+	good := rdf.NewGraph()
+	good.Add(rdf.NewTriple(x("p1"), rdf.A, x("P")))
+	good.Add(rdf.NewTriple(x("a1"), rdf.A, x("Addr")))
+	good.Add(rdf.NewTriple(x("a1"), x("zip"), rdf.NewLiteral("9000")))
+	good.Add(rdf.NewTriple(x("p1"), x("addr"), x("a1")))
+	if vs := shacl.Validate(good, s); len(vs) != 0 {
+		t.Fatalf("good graph violations: %v", vs)
+	}
+
+	// Address missing its zip: p1's addr value no longer conforms.
+	bad := rdf.NewGraph()
+	bad.Add(rdf.NewTriple(x("p1"), rdf.A, x("P")))
+	bad.Add(rdf.NewTriple(x("a1"), rdf.A, x("Addr")))
+	bad.Add(rdf.NewTriple(x("p1"), x("addr"), x("a1")))
+	if vs := shacl.Validate(bad, s); len(vs) == 0 {
+		t.Fatal("expected violations for non-conforming shape-ref value")
+	}
+}

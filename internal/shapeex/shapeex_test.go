@@ -1,0 +1,136 @@
+package shapeex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/shapeex"
+)
+
+func TestExtractUniversity(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	sg := shapeex.Extract(g, shapeex.Options{})
+	// One shape per class with instances: Person, Student, GraduateStudent,
+	// Faculty, Professor, Course, GraduateCourse, Department, University.
+	if sg.Len() != 9 {
+		t.Fatalf("shapes = %d:\n%s", sg.Len(), sg)
+	}
+	person := sg.ShapeForClass(fixtures.ExNS + "Person")
+	if person == nil {
+		t.Fatal("Person shape missing")
+	}
+	var name *shacl.PropertyShape
+	for _, ps := range person.Properties {
+		if ps.Path == fixtures.ExNS+"name" {
+			name = ps
+		}
+	}
+	if name == nil {
+		t.Fatal("name property missing")
+	}
+	if name.Category() != shacl.SingleTypeLiteral || name.MinCount != 1 || name.MaxCount != 1 {
+		t.Fatalf("name = %+v (%v)", name, name.Category())
+	}
+
+	// takesCourse on GraduateStudent is heterogeneous: Course classes + string.
+	gs := sg.ShapeForClass(fixtures.ExNS + "GraduateStudent")
+	var takes *shacl.PropertyShape
+	for _, ps := range gs.Properties {
+		if ps.Path == fixtures.ExNS+"takesCourse" {
+			takes = ps
+		}
+	}
+	if takes == nil || takes.Category() != shacl.MultiTypeHetero {
+		t.Fatalf("takesCourse = %+v", takes)
+	}
+	if takes.MaxCount != shacl.Unbounded {
+		t.Fatalf("takesCourse max = %d", takes.MaxCount)
+	}
+}
+
+func TestExtractedShapesValidate(t *testing.T) {
+	// Shapes extracted from a graph must accept that graph.
+	g := fixtures.UniversityGraph()
+	sg := shapeex.Extract(g, shapeex.Options{})
+	if vs := shacl.Validate(g, sg); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+	}
+}
+
+func TestExtractedShapesDriveTransformRoundTrip(t *testing.T) {
+	// The full paper pipeline: extract shapes → transform → invert.
+	g := fixtures.UniversityGraph()
+	sg := shapeex.Extract(g, shapeex.Options{})
+	store, spg, err := core.Transform(g, sg, core.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.InverseData(store, spg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("extract→transform→invert lost information")
+	}
+}
+
+func TestMinSupportPrunesRareAlternatives(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.NewIRI("http://x/p")
+	class := rdf.NewIRI("http://x/T")
+	for i := 0; i < 200; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://x/e%d", i))
+		g.Add(rdf.NewTriple(s, rdf.A, class))
+		g.Add(rdf.NewTriple(s, p, rdf.NewLiteral(fmt.Sprintf("v%d", i))))
+	}
+	// One dirty integer value (0.5%).
+	dirty := rdf.NewIRI("http://x/e0")
+	g.Add(rdf.NewTriple(dirty, p, rdf.NewTypedLiteral("7", rdf.XSDInteger)))
+
+	pruned := shapeex.Extract(g, shapeex.Options{MinSupport: 0.01})
+	ps := pruned.ShapeForClass("http://x/T").Properties[0]
+	if len(ps.Types) != 1 || ps.Types[0].Datatype != rdf.XSDString {
+		t.Fatalf("pruned types = %v", ps.Types)
+	}
+
+	full := shapeex.Extract(g, shapeex.Options{})
+	psFull := full.ShapeForClass("http://x/T").Properties[0]
+	if len(psFull.Types) != 2 {
+		t.Fatalf("unpruned types = %v", psFull.Types)
+	}
+}
+
+func TestCardinalityExtraction(t *testing.T) {
+	g := rdf.NewGraph()
+	class := rdf.NewIRI("http://x/T")
+	p := rdf.NewIRI("http://x/p")
+	// e0 has two values, e1 has none → [0..*].
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e0"), rdf.A, class))
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e1"), rdf.A, class))
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e0"), p, rdf.NewLiteral("a")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e0"), p, rdf.NewLiteral("b")))
+
+	sg := shapeex.Extract(g, shapeex.Options{})
+	ps := sg.ShapeForClass("http://x/T").Properties[0]
+	if ps.MinCount != 0 || ps.MaxCount != shacl.Unbounded {
+		t.Fatalf("cardinality = [%d..%d]", ps.MinCount, ps.MaxCount)
+	}
+}
+
+func TestUntypedObjectsFallBack(t *testing.T) {
+	g := rdf.NewGraph()
+	class := rdf.NewIRI("http://x/T")
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e0"), rdf.A, class))
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/e0"), rdf.NewIRI("http://x/link"), rdf.NewIRI("http://elsewhere/x")))
+	sg := shapeex.Extract(g, shapeex.Options{})
+	ps := sg.ShapeForClass("http://x/T").Properties[0]
+	if len(ps.Types) != 1 {
+		t.Fatalf("types = %v", ps.Types)
+	}
+}

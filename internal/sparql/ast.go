@@ -1,0 +1,182 @@
+// Package sparql implements the SPARQL subset used by the evaluation:
+// SELECT queries with basic graph patterns, FILTER expressions, OPTIONAL,
+// UNION, DISTINCT, ORDER BY, LIMIT, and COUNT aggregation, evaluated over
+// the in-memory RDF graph. Query answers over this engine provide the
+// ground truth for the Table 6/7 accuracy analysis and the RDF series of
+// Figure 6.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	// Vars are the projected variable names (without '?'); empty means '*'.
+	Vars     []string
+	Distinct bool
+	// CountVar, when non-empty, turns the query into SELECT (COUNT(*) AS ?x).
+	CountVar string
+	Where    *Group
+	OrderBy  []OrderKey
+	Limit    int // -1 = none
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Group is a group graph pattern: an ordered list of elements evaluated
+// left to right against the incoming solution sequence.
+type Group struct {
+	Elements []Element
+}
+
+// Element is one constituent of a group graph pattern.
+type Element interface{ element() }
+
+// BGP is a basic graph pattern.
+type BGP struct {
+	Patterns []TriplePattern
+}
+
+// Filter restricts solutions to those satisfying the expression.
+type Filter struct {
+	Expr Expr
+}
+
+// Optional left-joins the group.
+type Optional struct {
+	Group *Group
+}
+
+// Union concatenates the solutions of its branches.
+type Union struct {
+	Branches []*Group
+}
+
+func (BGP) element()      {}
+func (Filter) element()   {}
+func (Optional) element() {}
+func (Union) element()    {}
+
+// TermOrVar is a triple pattern position: either a constant term or a
+// variable name.
+type TermOrVar struct {
+	Var  string // non-empty means variable
+	Term rdf.Term
+}
+
+// IsVar reports whether the position is a variable.
+func (t TermOrVar) IsVar() bool { return t.Var != "" }
+
+// TriplePattern is one pattern of a BGP.
+type TriplePattern struct {
+	S, P, O TermOrVar
+}
+
+// vars returns the variable names appearing in the pattern.
+func (p TriplePattern) vars() []string {
+	var out []string
+	for _, t := range []TermOrVar{p.S, p.P, p.O} {
+		if t.IsVar() {
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Expr is a filter expression node.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// ConstExpr is a constant term (literal or IRI).
+type ConstExpr struct{ Term rdf.Term }
+
+// BinaryExpr applies an operator: = != < <= > >= && ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr negates its operand.
+type NotExpr struct{ E Expr }
+
+// CallExpr is a builtin function call: BOUND, ISIRI, ISLITERAL, STR, LANG,
+// DATATYPE, REGEX, CONTAINS, STRSTARTS.
+type CallExpr struct {
+	Func string
+	Args []Expr
+}
+
+func (VarExpr) expr()    {}
+func (ConstExpr) expr()  {}
+func (BinaryExpr) expr() {}
+func (NotExpr) expr()    {}
+func (CallExpr) expr()   {}
+
+func (e VarExpr) String() string   { return "?" + e.Name }
+func (e ConstExpr) String() string { return e.Term.String() }
+func (e BinaryExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e NotExpr) String() string { return "!" + e.E.String() }
+func (e CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Func + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Results holds the answer sequence of a query.
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// Len returns the number of result rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Canonical returns a sorted multiset encoding of the rows with IRIs and
+// blank nodes rendered as plain strings, matching the tr(µ) conversion of
+// Definition 3.2 so that SPARQL and Cypher answers can be compared.
+func (r *Results) Canonical() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, t := range row {
+			parts[i] = CanonicalTerm(t)
+		}
+		out = append(out, strings.Join(parts, "\x1f"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalTerm is tr(µ) for one binding: IRIs and blank node ids become
+// their string representations, literals their lexical forms.
+func CanonicalTerm(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.IRI:
+		return t.Value
+	case rdf.Blank:
+		return "_:" + t.Value
+	case rdf.Literal:
+		return t.Value
+	default:
+		return ""
+	}
+}

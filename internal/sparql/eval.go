@@ -1,0 +1,528 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/xsd"
+)
+
+// binding maps variable names to terms.
+type binding map[string]rdf.Term
+
+func (b binding) clone() binding {
+	c := make(binding, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Eval evaluates a query against a graph.
+func Eval(g *rdf.Graph, q *Query) (*Results, error) {
+	sols, err := evalGroup(g, q.Where, []binding{{}})
+	if err != nil {
+		return nil, err
+	}
+
+	if q.CountVar != "" {
+		n := len(sols)
+		return &Results{
+			Vars: []string{q.CountVar},
+			Rows: [][]rdf.Term{{rdf.NewTypedLiteral(strconv.Itoa(n), rdf.XSDInteger)}},
+		}, nil
+	}
+
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = collectVars(q.Where)
+	}
+	res := &Results{Vars: vars}
+	for _, b := range sols {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			row[i] = b[v] // zero Term when unbound (OPTIONAL)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	if q.Distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+
+	if len(q.OrderBy) > 0 {
+		idx := make(map[string]int, len(vars))
+		for i, v := range vars {
+			idx[v] = i
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			for _, key := range q.OrderBy {
+				col, ok := idx[key.Var]
+				if !ok {
+					continue
+				}
+				c := compareTerms(res.Rows[i][col], res.Rows[j][col])
+				if c == 0 {
+					continue
+				}
+				if key.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func rowKey(row []rdf.Term) string {
+	parts := make([]string, len(row))
+	for i, t := range row {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// compareTerms orders terms: by kind, then by value space comparison for
+// literals, lexically otherwise.
+func compareTerms(a, b rdf.Term) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.Kind == rdf.Literal {
+		va, ea := xsd.Parse(a.Value, a.DatatypeIRI())
+		vb, eb := xsd.Parse(b.Value, b.DatatypeIRI())
+		if ea == nil && eb == nil {
+			if c, err := xsd.Compare(va, vb); err == nil {
+				return c
+			}
+		}
+	}
+	return strings.Compare(a.Value, b.Value)
+}
+
+func collectVars(g *Group) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var walk func(g *Group)
+	walk = func(g *Group) {
+		for _, el := range g.Elements {
+			switch e := el.(type) {
+			case BGP:
+				for _, p := range e.Patterns {
+					for _, v := range p.vars() {
+						add(v)
+					}
+				}
+			case Optional:
+				walk(e.Group)
+			case Union:
+				for _, b := range e.Branches {
+					walk(b)
+				}
+			}
+		}
+	}
+	walk(g)
+	return out
+}
+
+func evalGroup(g *rdf.Graph, group *Group, input []binding) ([]binding, error) {
+	cur := input
+	for _, el := range group.Elements {
+		var err error
+		switch e := el.(type) {
+		case BGP:
+			cur, err = evalBGP(g, e.Patterns, cur)
+		case Filter:
+			cur, err = evalFilter(e.Expr, cur)
+		case Optional:
+			cur, err = evalOptional(g, e.Group, cur)
+		case Union:
+			var all []binding
+			for _, branch := range e.Branches {
+				part, berr := evalGroup(g, branch, cur)
+				if berr != nil {
+					return nil, berr
+				}
+				all = append(all, part...)
+			}
+			cur = all
+		default:
+			return nil, fmt.Errorf("sparql: unknown group element %T", el)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return cur, nil
+		}
+	}
+	return cur, nil
+}
+
+// evalBGP joins the patterns greedily: at each step it picks the pattern
+// with the most positions bound under the variables seen so far.
+func evalBGP(g *rdf.Graph, patterns []TriplePattern, input []binding) ([]binding, error) {
+	remaining := append([]TriplePattern(nil), patterns...)
+	bound := make(map[string]bool)
+	for _, b := range input {
+		for v := range b {
+			bound[v] = true
+		}
+		break // all input bindings share a domain
+	}
+
+	cur := input
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1
+		for i, p := range remaining {
+			score := 0
+			for _, tv := range []TermOrVar{p.S, p.P, p.O} {
+				if !tv.IsVar() || bound[tv.Var] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		p := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		cur = matchPattern(g, p, cur)
+		for _, v := range p.vars() {
+			bound[v] = true
+		}
+		if len(cur) == 0 {
+			return cur, nil
+		}
+	}
+	return cur, nil
+}
+
+// matchPattern extends every binding with the triples matching the pattern.
+func matchPattern(g *rdf.Graph, p TriplePattern, input []binding) []binding {
+	var out []binding
+	for _, b := range input {
+		s := resolve(p.S, b)
+		pr := resolve(p.P, b)
+		o := resolve(p.O, b)
+		g.Match(s, pr, o, func(t rdf.Triple) bool {
+			nb := b
+			cloned := false
+			set := func(tv TermOrVar, val rdf.Term) bool {
+				if !tv.IsVar() {
+					return true
+				}
+				if have, ok := nb[tv.Var]; ok {
+					return have == val
+				}
+				if !cloned {
+					nb = b.clone()
+					cloned = true
+				}
+				nb[tv.Var] = val
+				return true
+			}
+			if set(p.S, t.S) && set(p.P, t.P) && set(p.O, t.O) {
+				if !cloned {
+					nb = b.clone()
+				}
+				out = append(out, nb)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// resolve returns the constant for a pattern position under a binding, or
+// nil for an unbound variable (wildcard).
+func resolve(tv TermOrVar, b binding) *rdf.Term {
+	if !tv.IsVar() {
+		t := tv.Term
+		return &t
+	}
+	if t, ok := b[tv.Var]; ok {
+		return &t
+	}
+	return nil
+}
+
+func evalFilter(e Expr, input []binding) ([]binding, error) {
+	// A fresh slice: the input may be shared with a sibling UNION branch.
+	out := make([]binding, 0, len(input))
+	for _, b := range input {
+		v, err := evalExpr(e, b)
+		if err != nil {
+			continue // SPARQL: filter errors eliminate the solution
+		}
+		if truthy(v) {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func evalOptional(g *rdf.Graph, sub *Group, input []binding) ([]binding, error) {
+	var out []binding
+	for _, b := range input {
+		ext, err := evalGroup(g, sub, []binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(ext) == 0 {
+			out = append(out, b)
+		} else {
+			out = append(out, ext...)
+		}
+	}
+	return out, nil
+}
+
+// exprValue is the result of a filter expression: a term or a boolean.
+type exprValue struct {
+	isBool bool
+	b      bool
+	term   rdf.Term
+}
+
+func boolValue(b bool) exprValue { return exprValue{isBool: true, b: b} }
+
+func truthy(v exprValue) bool {
+	if v.isBool {
+		return v.b
+	}
+	// Effective boolean value of a literal.
+	if v.term.IsLiteral() {
+		switch v.term.DatatypeIRI() {
+		case rdf.XSDBoolean:
+			return v.term.Value == "true" || v.term.Value == "1"
+		default:
+			return v.term.Value != ""
+		}
+	}
+	return !v.term.IsZero()
+}
+
+func evalExpr(e Expr, b binding) (exprValue, error) {
+	switch x := e.(type) {
+	case VarExpr:
+		t, ok := b[x.Name]
+		if !ok {
+			return exprValue{}, fmt.Errorf("unbound variable ?%s", x.Name)
+		}
+		return exprValue{term: t}, nil
+	case ConstExpr:
+		return exprValue{term: x.Term}, nil
+	case NotExpr:
+		v, err := evalExpr(x.E, b)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(!truthy(v)), nil
+	case BinaryExpr:
+		return evalBinary(x, b)
+	case CallExpr:
+		return evalCall(x, b)
+	default:
+		return exprValue{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func evalBinary(x BinaryExpr, b binding) (exprValue, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		l, lerr := evalExpr(x.L, b)
+		r, rerr := evalExpr(x.R, b)
+		switch x.Op {
+		case "&&":
+			if lerr != nil || rerr != nil {
+				return exprValue{}, fmt.Errorf("error in conjunction")
+			}
+			return boolValue(truthy(l) && truthy(r)), nil
+		default:
+			if lerr == nil && truthy(l) || rerr == nil && truthy(r) {
+				return boolValue(true), nil
+			}
+			if lerr != nil || rerr != nil {
+				return exprValue{}, fmt.Errorf("error in disjunction")
+			}
+			return boolValue(false), nil
+		}
+	}
+	l, err := evalExpr(x.L, b)
+	if err != nil {
+		return exprValue{}, err
+	}
+	r, err := evalExpr(x.R, b)
+	if err != nil {
+		return exprValue{}, err
+	}
+	cmp, err := compareExprTerms(l.term, r.term)
+	if err != nil {
+		// '=' and '!=' fall back to strict term (in)equality.
+		switch x.Op {
+		case "=":
+			return boolValue(l.term == r.term), nil
+		case "!=":
+			return boolValue(l.term != r.term), nil
+		}
+		return exprValue{}, err
+	}
+	switch x.Op {
+	case "=":
+		return boolValue(cmp == 0), nil
+	case "!=":
+		return boolValue(cmp != 0), nil
+	case "<":
+		return boolValue(cmp < 0), nil
+	case "<=":
+		return boolValue(cmp <= 0), nil
+	case ">":
+		return boolValue(cmp > 0), nil
+	case ">=":
+		return boolValue(cmp >= 0), nil
+	default:
+		return exprValue{}, fmt.Errorf("unknown operator %q", x.Op)
+	}
+}
+
+// compareExprTerms compares two terms under SPARQL operator semantics:
+// literals by value space, IRIs/blanks by identity-as-string.
+func compareExprTerms(a, b rdf.Term) (int, error) {
+	if a.IsZero() || b.IsZero() {
+		return 0, fmt.Errorf("comparison with unbound value")
+	}
+	if a.Kind == rdf.Literal && b.Kind == rdf.Literal {
+		va, err := xsd.Parse(a.Value, a.DatatypeIRI())
+		if err != nil {
+			return 0, err
+		}
+		vb, err := xsd.Parse(b.Value, b.DatatypeIRI())
+		if err != nil {
+			return 0, err
+		}
+		return xsd.Compare(va, vb)
+	}
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("cannot compare %v with %v", a.Kind, b.Kind)
+	}
+	return strings.Compare(a.Value, b.Value), nil
+}
+
+func evalCall(x CallExpr, b binding) (exprValue, error) {
+	arg := func(i int) (exprValue, error) {
+		if i >= len(x.Args) {
+			return exprValue{}, fmt.Errorf("%s: missing argument %d", x.Func, i)
+		}
+		return evalExpr(x.Args[i], b)
+	}
+	switch x.Func {
+	case "BOUND":
+		v, ok := x.Args[0].(VarExpr)
+		if !ok {
+			return exprValue{}, fmt.Errorf("BOUND requires a variable")
+		}
+		_, bound := b[v.Name]
+		return boolValue(bound), nil
+	case "ISIRI":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(v.term.IsIRI()), nil
+	case "ISBLANK":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(v.term.IsBlank()), nil
+	case "ISLITERAL":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(v.term.IsLiteral()), nil
+	case "STR":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return exprValue{term: rdf.NewLiteral(v.term.Value)}, nil
+	case "LANG":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return exprValue{term: rdf.NewLiteral(v.term.Lang)}, nil
+	case "DATATYPE":
+		v, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		if !v.term.IsLiteral() {
+			return exprValue{}, fmt.Errorf("DATATYPE of non-literal")
+		}
+		return exprValue{term: rdf.NewIRI(v.term.DatatypeIRI())}, nil
+	case "REGEX":
+		s, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		pat, err := arg(1)
+		if err != nil {
+			return exprValue{}, err
+		}
+		re, err := regexp.Compile(pat.term.Value)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(re.MatchString(s.term.Value)), nil
+	case "CONTAINS":
+		s, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		sub, err := arg(1)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(strings.Contains(s.term.Value, sub.term.Value)), nil
+	case "STRSTARTS":
+		s, err := arg(0)
+		if err != nil {
+			return exprValue{}, err
+		}
+		pre, err := arg(1)
+		if err != nil {
+			return exprValue{}, err
+		}
+		return boolValue(strings.HasPrefix(s.term.Value, pre.term.Value)), nil
+	default:
+		return exprValue{}, fmt.Errorf("unsupported function %s", x.Func)
+	}
+}

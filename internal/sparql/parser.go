@@ -1,0 +1,749 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// Parse parses a SELECT query in the supported subset.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src, q: &Query{Prefixes: map[string]string{}, Limit: -1}}
+	p.q.Prefixes["xsd"] = rdf.XSDNS
+	p.q.Prefixes["rdf"] = rdf.RDFNS
+	p.q.Prefixes["rdfs"] = rdf.RDFSNS
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+// MustParse parses or panics; for statically known workload queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+	q   *Query
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	start := p.pos - 15
+	if start < 0 {
+		start = 0
+	}
+	end := p.pos + 15
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return fmt.Errorf("sparql: %s (near %q)", fmt.Sprintf(format, args...), p.src[start:end])
+}
+
+func (p *parser) parse() error {
+	for {
+		p.ws()
+		if !p.keyword("PREFIX") {
+			break
+		}
+		p.ws()
+		name, ok := p.until(':')
+		if !ok {
+			return p.errf("malformed PREFIX")
+		}
+		p.pos++ // ':'
+		p.ws()
+		iri, err := p.iriRef()
+		if err != nil {
+			return err
+		}
+		p.q.Prefixes[name] = iri
+	}
+	if !p.keyword("SELECT") {
+		return p.errf("expected SELECT")
+	}
+	p.ws()
+	if p.keyword("DISTINCT") {
+		p.q.Distinct = true
+		p.ws()
+	}
+	// Projection: *, variables, or (COUNT(*) AS ?c).
+	switch {
+	case p.peek() == '*':
+		p.pos++
+	case p.peek() == '(':
+		p.pos++
+		p.ws()
+		if !p.keyword("COUNT") {
+			return p.errf("only COUNT(*) aggregation is supported")
+		}
+		p.ws()
+		if !p.literalToken("(*)") && !p.literalToken("( * )") {
+			return p.errf("expected (*) after COUNT")
+		}
+		p.ws()
+		if !p.keyword("AS") {
+			return p.errf("expected AS in COUNT projection")
+		}
+		p.ws()
+		v, err := p.variable()
+		if err != nil {
+			return err
+		}
+		p.q.CountVar = v
+		p.ws()
+		if p.peek() != ')' {
+			return p.errf("expected ')' closing COUNT projection")
+		}
+		p.pos++
+	default:
+		for {
+			p.ws()
+			if p.peek() != '?' {
+				break
+			}
+			v, err := p.variable()
+			if err != nil {
+				return err
+			}
+			p.q.Vars = append(p.q.Vars, v)
+		}
+		if len(p.q.Vars) == 0 {
+			return p.errf("no projection variables")
+		}
+	}
+	p.ws()
+	if !p.keyword("WHERE") {
+		return p.errf("expected WHERE")
+	}
+	p.ws()
+	group, err := p.group()
+	if err != nil {
+		return err
+	}
+	p.q.Where = group
+
+	p.ws()
+	if p.keyword("ORDER") {
+		p.ws()
+		if !p.keyword("BY") {
+			return p.errf("expected BY after ORDER")
+		}
+		for {
+			p.ws()
+			desc := false
+			if p.keyword("DESC") {
+				desc = true
+				p.ws()
+				if p.peek() != '(' {
+					return p.errf("expected '(' after DESC")
+				}
+				p.pos++
+				p.ws()
+			}
+			if p.peek() != '?' {
+				break
+			}
+			v, err := p.variable()
+			if err != nil {
+				return err
+			}
+			if desc {
+				p.ws()
+				if p.peek() != ')' {
+					return p.errf("expected ')' after DESC variable")
+				}
+				p.pos++
+			}
+			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v, Desc: desc})
+		}
+	}
+	p.ws()
+	if p.keyword("LIMIT") {
+		p.ws()
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		p.q.Limit = int(n)
+	}
+	p.ws()
+	if p.pos < len(p.src) {
+		return p.errf("trailing input")
+	}
+	return nil
+}
+
+// group parses { elements } where elements are triples blocks, FILTER,
+// OPTIONAL groups, and group-level UNION chains.
+func (p *parser) group() (*Group, error) {
+	if p.peek() != '{' {
+		return nil, p.errf("expected '{'")
+	}
+	p.pos++
+	g := &Group{}
+	for {
+		p.ws()
+		switch {
+		case p.peek() == '}':
+			p.pos++
+			return g, nil
+		case p.keyword("FILTER"):
+			p.ws()
+			if p.peek() != '(' {
+				return nil, p.errf("expected '(' after FILTER")
+			}
+			e, err := p.parenExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, Filter{Expr: e})
+		case p.keyword("OPTIONAL"):
+			p.ws()
+			sub, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, Optional{Group: sub})
+		case p.peek() == '{':
+			// Brace-delimited branch: expect a UNION chain.
+			first, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			u := Union{Branches: []*Group{first}}
+			for {
+				p.ws()
+				if !p.keyword("UNION") {
+					break
+				}
+				p.ws()
+				next, err := p.group()
+				if err != nil {
+					return nil, err
+				}
+				u.Branches = append(u.Branches, next)
+			}
+			g.Elements = append(g.Elements, u)
+		case p.pos >= len(p.src):
+			return nil, p.errf("unterminated group")
+		default:
+			bgp, err := p.triplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, bgp)
+		}
+	}
+}
+
+// triplesBlock parses triple patterns with ';' and ',' abbreviations until
+// a token that starts another group element.
+func (p *parser) triplesBlock() (BGP, error) {
+	var bgp BGP
+	for {
+		p.ws()
+		subj, err := p.termOrVar()
+		if err != nil {
+			return bgp, err
+		}
+		for {
+			p.ws()
+			pred, err := p.verb()
+			if err != nil {
+				return bgp, err
+			}
+			for {
+				p.ws()
+				obj, err := p.termOrVar()
+				if err != nil {
+					return bgp, err
+				}
+				bgp.Patterns = append(bgp.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+				p.ws()
+				if p.peek() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			p.ws()
+			if p.peek() == ';' {
+				p.pos++
+				p.ws()
+				// A dangling ';' before '.' or '}' is tolerated.
+				if c := p.peek(); c == '.' || c == '}' {
+					break
+				}
+				continue
+			}
+			break
+		}
+		p.ws()
+		if p.peek() == '.' {
+			p.pos++
+			p.ws()
+		}
+		// Stop when the next token is not the start of a new triple.
+		c := p.peek()
+		if c == '}' || c == '{' || c == 0 ||
+			p.peekKeyword("FILTER") || p.peekKeyword("OPTIONAL") || p.peekKeyword("UNION") {
+			return bgp, nil
+		}
+	}
+}
+
+func (p *parser) verb() (TermOrVar, error) {
+	if p.peek() == 'a' && p.pos+1 < len(p.src) && isSpaceByte(p.src[p.pos+1]) {
+		p.pos++
+		return TermOrVar{Term: rdf.A}, nil
+	}
+	return p.termOrVar()
+}
+
+func (p *parser) termOrVar() (TermOrVar, error) {
+	p.ws()
+	switch c := p.peek(); {
+	case c == '?':
+		v, err := p.variable()
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Var: v}, nil
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Term: rdf.NewIRI(iri)}, nil
+	case c == '"':
+		t, err := p.literal()
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Term: t}, nil
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		t, err := p.numericLiteral()
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Term: t}, nil
+	case c == '_':
+		return TermOrVar{}, p.errf("blank node patterns are not supported; use a variable")
+	default:
+		t, err := p.pname()
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Term: t}, nil
+	}
+}
+
+func (p *parser) variable() (string, error) {
+	if p.peek() != '?' {
+		return "", p.errf("expected variable")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty variable name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) iriRef() (string, error) {
+	if p.peek() != '<' {
+		return "", p.errf("expected IRI")
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	return iri, nil
+}
+
+func (p *parser) pname() (rdf.Term, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return rdf.Term{}, p.errf("expected prefixed name")
+	}
+	prefix := p.src[start:p.pos]
+	p.pos++
+	localStart := p.pos
+	for p.pos < len(p.src) && (isNameByte(p.src[p.pos]) || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	// A trailing '.' is a statement terminator, not part of the local name.
+	for p.pos > localStart && p.src[p.pos-1] == '.' {
+		p.pos--
+	}
+	ns, ok := p.q.Prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	return rdf.NewIRI(ns + p.src[localStart:p.pos]), nil
+}
+
+func (p *parser) literal() (rdf.Term, error) {
+	// p.peek() == '"'
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return rdf.Term{}, p.errf("unterminated literal")
+		}
+		c := p.src[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			switch p.src[p.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(p.src[p.pos])
+			}
+			p.pos++
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	if p.peek() == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isNameByte(p.src[p.pos]) || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		return rdf.NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		var dt rdf.Term
+		var err error
+		if p.peek() == '<' {
+			iri, ierr := p.iriRef()
+			if ierr != nil {
+				return rdf.Term{}, ierr
+			}
+			dt = rdf.NewIRI(iri)
+		} else {
+			dt, err = p.pname()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func (p *parser) numericLiteral() (rdf.Term, error) {
+	start := p.pos
+	if c := p.peek(); c == '+' || c == '-' {
+		p.pos++
+	}
+	hasDot := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' {
+			p.pos++
+		} else if c == '.' && !hasDot && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+			hasDot = true
+			p.pos++
+		} else {
+			break
+		}
+	}
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return rdf.Term{}, p.errf("malformed number")
+	}
+	if hasDot {
+		return rdf.NewTypedLiteral(lex, rdf.XSDDecimal), nil
+	}
+	return rdf.NewTypedLiteral(lex, rdf.XSDInteger), nil
+}
+
+func (p *parser) number() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+}
+
+// parenExpr parses a parenthesized expression.
+func (p *parser) parenExpr() (Expr, error) {
+	if p.peek() != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.peek() != ')' {
+		return nil, p.errf("expected ')'")
+	}
+	p.pos++
+	return e, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !strings.HasPrefix(p.src[p.pos:], "||") {
+			return l, nil
+		}
+		p.pos += 2
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "||", L: l, R: r}
+	}
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !strings.HasPrefix(p.src[p.pos:], "&&") {
+			return l, nil
+		}
+		p.pos += 2
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "&&", L: l, R: r}
+	}
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			// '<' beginning an IRI is not a comparison.
+			if op == "<" && p.looksLikeIRI() {
+				break
+			}
+			p.pos += len(op)
+			r, err := p.primaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) looksLikeIRI() bool {
+	rest := p.src[p.pos:]
+	end := strings.IndexByte(rest, '>')
+	if end <= 1 {
+		return false
+	}
+	return !strings.ContainsAny(rest[1:end], " \t\n")
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	p.ws()
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		e, err := p.primaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	case c == '(':
+		return p.parenExpr()
+	case c == '?':
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		return VarExpr{Name: v}, nil
+	case c == '"':
+		t, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: t}, nil
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: rdf.NewIRI(iri)}, nil
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		t, err := p.numericLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: t}, nil
+	default:
+		// Function call or prefixed name.
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		word := p.src[start:p.pos]
+		p.ws()
+		if p.peek() == '(' {
+			fn := strings.ToUpper(word)
+			switch fn {
+			case "BOUND", "ISIRI", "ISLITERAL", "ISBLANK", "STR", "LANG", "DATATYPE", "REGEX", "CONTAINS", "STRSTARTS":
+			default:
+				return nil, p.errf("unsupported function %q", word)
+			}
+			p.pos++
+			var args []Expr
+			for {
+				p.ws()
+				if p.peek() == ')' {
+					p.pos++
+					break
+				}
+				a, err := p.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				p.ws()
+				if p.peek() == ',' {
+					p.pos++
+				}
+			}
+			return CallExpr{Func: fn, Args: args}, nil
+		}
+		// Prefixed name constant: rewind and reparse.
+		p.pos = start
+		t, err := p.pname()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: t}, nil
+	}
+}
+
+// Lexical helpers.
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !isSpaceByte(c) {
+			return
+		}
+		p.pos++
+	}
+}
+
+// keyword consumes a case-insensitive keyword followed by a non-name byte.
+func (p *parser) keyword(w string) bool {
+	if len(p.src)-p.pos < len(w) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(w)], w) {
+		return false
+	}
+	rest := p.src[p.pos+len(w):]
+	if rest != "" && isNameByte(rest[0]) {
+		return false
+	}
+	p.pos += len(w)
+	return true
+}
+
+func (p *parser) peekKeyword(w string) bool {
+	save := p.pos
+	ok := p.keyword(w)
+	p.pos = save
+	return ok
+}
+
+// literalToken consumes an exact string (ignoring internal spacing rules).
+func (p *parser) literalToken(s string) bool {
+	compact := strings.ReplaceAll(s, " ", "")
+	i := p.pos
+	for _, want := range []byte(compact) {
+		for i < len(p.src) && isSpaceByte(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) || p.src[i] != want {
+			return false
+		}
+		i++
+	}
+	p.pos = i
+	return true
+}
+
+func (p *parser) until(stop byte) (string, bool) {
+	end := strings.IndexByte(p.src[p.pos:], stop)
+	if end < 0 {
+		return "", false
+	}
+	out := p.src[p.pos : p.pos+end]
+	p.pos += end
+	return out, true
+}
+
+func isSpaceByte(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c >= 0x80 && unicode.IsLetter(rune(c))
+}

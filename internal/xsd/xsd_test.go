@@ -1,0 +1,180 @@
+package xsd
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]ValueKind{
+		"":                 KindString,
+		rdf.XSDString:      KindString,
+		rdf.RDFLangString:  KindString,
+		rdf.XSDInteger:     KindInt,
+		rdf.XSDInt:         KindInt,
+		rdf.XSDLong:        KindInt,
+		rdf.XSDDecimal:     KindFloat,
+		rdf.XSDDouble:      KindFloat,
+		rdf.XSDFloat:       KindFloat,
+		rdf.XSDBoolean:     KindBool,
+		rdf.XSDDate:        KindTime,
+		rdf.XSDDateTime:    KindTime,
+		rdf.XSDGYear:       KindTime,
+		"http://custom/dt": KindString,
+	}
+	for dt, want := range cases {
+		if got := KindOf(dt); got != want {
+			t.Errorf("KindOf(%q) = %v, want %v", dt, got, want)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		lex, dt string
+		ok      bool
+	}{
+		{"42", rdf.XSDInteger, true},
+		{" 42 ", rdf.XSDInteger, true},
+		{"4.2", rdf.XSDInteger, false},
+		{"abc", rdf.XSDInteger, false},
+		{"4.2", rdf.XSDDouble, true},
+		{"-1e3", rdf.XSDDouble, true},
+		{"nope", rdf.XSDDouble, false},
+		{"true", rdf.XSDBoolean, true},
+		{"0", rdf.XSDBoolean, true},
+		{"yes", rdf.XSDBoolean, false},
+		{"2024-02-29", rdf.XSDDate, true},
+		{"2023-02-29", rdf.XSDDate, false},
+		{"2024-02-29T10:00:00Z", rdf.XSDDateTime, true},
+		{"2024-02-29T10:00:00", rdf.XSDDateTime, true},
+		{"1999", rdf.XSDGYear, true},
+		{"March", rdf.XSDGYear, false},
+		{"anything", rdf.XSDString, true},
+		{"anything", "http://unknown/dt", true},
+	}
+	for _, c := range cases {
+		if got := Valid(c.lex, c.dt); got != c.ok {
+			t.Errorf("Valid(%q, %q) = %v, want %v", c.lex, c.dt, got, c.ok)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mustCmp := func(a, b Value, want int) {
+		t.Helper()
+		got, err := Compare(a, b)
+		if err != nil {
+			t.Fatalf("Compare error: %v", err)
+		}
+		if got != want {
+			t.Fatalf("Compare(%+v, %+v) = %d, want %d", a, b, got, want)
+		}
+	}
+	i := func(n int64) Value { return Value{Kind: KindInt, I: n} }
+	f := func(x float64) Value { return Value{Kind: KindFloat, F: x} }
+	s := func(x string) Value { return Value{Kind: KindString, Str: x} }
+	b := func(x bool) Value { return Value{Kind: KindBool, B: x} }
+
+	mustCmp(i(1), i(2), -1)
+	mustCmp(i(2), i(2), 0)
+	mustCmp(i(3), i(2), 1)
+	mustCmp(i(1), f(1.5), -1) // int/float promotion
+	mustCmp(f(2.0), i(2), 0)
+	mustCmp(s("a"), s("b"), -1)
+	mustCmp(b(false), b(true), -1)
+
+	d1, _ := Parse("2020-01-01", rdf.XSDDate)
+	d2, _ := Parse("2021-01-01", rdf.XSDDate)
+	mustCmp(d1, d2, -1)
+
+	if _, err := Compare(s("a"), i(1)); err == nil {
+		t.Fatal("expected type error comparing string with int")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		lex, from, to string
+		want          string
+		ok            bool
+	}{
+		// Anything coerces to string keeping its lexical form.
+		{"42", rdf.XSDInteger, rdf.XSDString, "42", true},
+		{"2020-01-01", rdf.XSDDate, rdf.XSDString, "2020-01-01", true},
+		// Numeric widening and exact narrowing.
+		{"42", rdf.XSDInteger, rdf.XSDDouble, "42", true},
+		{"42.0", rdf.XSDDouble, rdf.XSDInteger, "42", true},
+		{"42.5", rdf.XSDDouble, rdf.XSDInteger, "", false},
+		// String to number only when the lexical is numeric.
+		{"17", rdf.XSDString, rdf.XSDInteger, "17", true},
+		{"Tofer Brown", rdf.XSDString, rdf.XSDInteger, "", false},
+		{"3.14", rdf.XSDString, rdf.XSDDouble, "3.14", true},
+		// Incompatible spaces fail.
+		{"2020-01-01", rdf.XSDDate, rdf.XSDInteger, "", false},
+		{"abc", rdf.XSDString, rdf.XSDBoolean, "", false},
+		{"true", rdf.XSDString, rdf.XSDBoolean, "true", true},
+		// Same space passes through when valid.
+		{"5", rdf.XSDInt, rdf.XSDInteger, "5", true},
+	}
+	for _, c := range cases {
+		got, ok := Coerce(c.lex, c.from, c.to)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Coerce(%q, %s, %s) = (%q, %v), want (%q, %v)",
+				c.lex, ShortName(c.from), ShortName(c.to), got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestShortNameRoundTrip(t *testing.T) {
+	dts := []string{
+		rdf.XSDString, rdf.XSDBoolean, rdf.XSDInteger, rdf.XSDDecimal,
+		rdf.XSDDouble, rdf.XSDDate, rdf.XSDDateTime, rdf.XSDGYear, rdf.XSDAnyURI,
+	}
+	for _, dt := range dts {
+		name := ShortName(dt)
+		back := FromShortName(name)
+		// int/long collapse to integer, float to double: check value space.
+		if KindOf(back) != KindOf(dt) {
+			t.Errorf("round trip %s -> %s -> %s changed value space", dt, name, back)
+		}
+	}
+	if got := ShortName("http://example.org/vocab#temperature"); got != "TEMPERATURE" {
+		t.Errorf("custom datatype short name = %q", got)
+	}
+	if FromShortName("NOSUCH") != "" {
+		t.Error("unknown short name should map to empty string")
+	}
+}
+
+// Property: coercion to string always succeeds and preserves the lexical form.
+func TestQuickCoerceToString(t *testing.T) {
+	f := func(n int64) bool {
+		lex := strconv.FormatInt(n, 10)
+		got, ok := Coerce(lex, rdf.XSDInteger, rdf.XSDString)
+		return ok && got == lex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer -> double -> integer round-trips exactly for values
+// representable in a float64 mantissa.
+func TestQuickNumericRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		lex := strconv.FormatInt(int64(n), 10)
+		d, ok := Coerce(lex, rdf.XSDInteger, rdf.XSDDouble)
+		if !ok {
+			return false
+		}
+		back, ok := Coerce(d, rdf.XSDDouble, rdf.XSDInteger)
+		return ok && back == lex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

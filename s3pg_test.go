@@ -1,0 +1,199 @@
+package s3pg_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg"
+	"github.com/s3pg/s3pg/internal/fixtures"
+)
+
+// TestFacadePipeline drives the full public API surface end to end.
+func TestFacadePipeline(t *testing.T) {
+	g, err := s3pg.ParseTurtle(fixtures.UniversityDataTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := s3pg.ShapesFromTurtle(fixtures.UniversityShapesTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s3pg.ValidateSHACL(g, shapes); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+
+	store, schema, err := s3pg.Transform(g, shapes, s3pg.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s3pg.CheckPG(store, schema); len(v) != 0 {
+		t.Fatalf("PG violations: %v", v)
+	}
+
+	// DDL round trip.
+	ddl := s3pg.WriteDDL(schema)
+	reparsed, err := s3pg.ParseDDL(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(reparsed) {
+		t.Fatal("DDL round trip mismatch")
+	}
+
+	// Data round trip.
+	back, err := s3pg.InverseData(store, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("data round trip mismatch")
+	}
+
+	// Schema round trip.
+	shapesBack, err := s3pg.InverseSchema(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shapes.Equal(shapesBack) {
+		t.Fatal("schema round trip mismatch")
+	}
+
+	// Shape serialization round trip.
+	ttl, err := s3pg.ShapesToTurtle(shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes2, err := s3pg.ShapesFromTurtle(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shapes.Equal(shapes2) {
+		t.Fatal("shapes turtle round trip mismatch")
+	}
+}
+
+func TestFacadeQueryPreservation(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	shapes := fixtures.UniversityShapes()
+	store, schema, err := s3pg.Transform(g, shapes, s3pg.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `PREFIX ex: <http://example.org/univ#>
+SELECT ?s ?c WHERE { ?s a ex:GraduateStudent ; ex:takesCourse ?c . }`
+
+	want, err := s3pg.EvalSPARQL(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := s3pg.TranslateQuery(q, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s3pg.EvalCypher(store, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != got.Len() || want.Len() == 0 {
+		t.Fatalf("SPARQL %d answers, translated Cypher %d", want.Len(), got.Len())
+	}
+	w, gg := want.Canonical(), got.Canonical()
+	for i := range w {
+		if w[i] != gg[i] {
+			t.Fatalf("answers differ at %d: %q vs %q", i, w[i], gg[i])
+		}
+	}
+}
+
+func TestFacadeNTriplesAndCSV(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	var buf bytes.Buffer
+	if err := s3pg.WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s3pg.LoadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("ntriples round trip mismatch")
+	}
+
+	store, _, err := s3pg.Transform(g, fixtures.UniversityShapes(), s3pg.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, edges bytes.Buffer
+	if err := s3pg.WriteCSV(store, &nodes, &edges); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s3pg.LoadCSV(&nodes, &edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.Equal(loaded) {
+		t.Fatal("csv round trip mismatch")
+	}
+}
+
+func TestFacadeExtractShapes(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	shapes := s3pg.ExtractShapes(g, 0)
+	if shapes.Len() == 0 {
+		t.Fatal("no shapes extracted")
+	}
+	if v := s3pg.ValidateSHACL(g, shapes); len(v) != 0 {
+		t.Fatalf("extracted shapes reject their own data: %v", v)
+	}
+}
+
+func TestFacadeIncremental(t *testing.T) {
+	shapes := fixtures.UniversityShapes()
+	tr, err := s3pg.NewTransformer(shapes, s3pg.NonParsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fixtures.UniversityGraph()
+	if err := tr.Apply(base); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := s3pg.ParseTurtle(`
+@prefix ex: <http://example.org/univ#> .
+ex:carol a ex:Person ; ex:name "Carol" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+	merged := base.Clone()
+	merged.AddAll(delta)
+	back, err := s3pg.InverseData(tr.Store(), tr.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Equal(back) {
+		t.Fatal("incremental result does not decode to the merged graph")
+	}
+}
+
+func TestDDLMentionsFigure5Syntax(t *testing.T) {
+	shapes := fixtures.UniversityShapes()
+	schema, err := s3pg.TransformSchema(shapes, s3pg.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := s3pg.WriteDDL(schema)
+	for _, want := range []string{
+		"CREATE NODE TYPE (personType: Person",
+		"CREATE VALUE NODE TYPE (stringType: STRING)",
+		"EXTENDS personType",
+		"COUNT 1..1 OF T WITHIN (x)-[:worksFor]",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
