@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test bench verify experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# verify is the pre-commit gate: static checks, formatting, and the racy
+# packages (the obs instruments and the core transformer they instrument)
+# under the race detector.
+verify:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test ./...
+
+experiments:
+	$(GO) run ./cmd/experiments

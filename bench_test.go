@@ -19,6 +19,7 @@ import (
 	"github.com/s3pg/s3pg/internal/cypher"
 	"github.com/s3pg/s3pg/internal/datagen"
 	"github.com/s3pg/s3pg/internal/exp"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/rdf"
 	"github.com/s3pg/s3pg/internal/shacl"
@@ -99,6 +100,36 @@ func BenchmarkTable4_Transform(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead_Transform quantifies the cost of the obs span
+// instrumentation on the full F_st∘F_dt pipeline: the untraced sub-benchmark
+// passes a nil span (the production default — every span call no-ops without
+// allocating), the traced one pays for a live span tree with MemStats reads
+// at each phase boundary. The delta between the two is the price of -trace.
+func BenchmarkObsOverhead_Transform(b *testing.B) {
+	e := benchEnv()
+	g := e.Graph("DBpedia2022")
+	sg := e.Shapes("DBpedia2022")
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.TransformTraced(g, sg, core.Parsimonious, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			root := obs.NewSpan("bench")
+			if _, _, err := core.TransformTraced(g, sg, core.Parsimonious, root); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+			if root.Child("F_dt") == nil {
+				b.Fatal("trace lost the F_dt phase")
+			}
+		}
+	})
 }
 
 // BenchmarkTable4_Loading measures the CSV bulk export/import (the L column).

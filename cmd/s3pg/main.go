@@ -11,46 +11,173 @@
 //	s3pg validate  -shapes shapes.ttl -data data.nt
 //	s3pg translate -schema schema.ddl -query query.rq
 //	s3pg extract   -data data.nt [-minsupport 0.02] [-out shapes.ttl]
+//
+// Every subcommand additionally accepts the observability flags
+//
+//	-metrics file   write a metrics snapshot (counters, meters, phase trace)
+//	                as JSON to file, or to stdout with "-"
+//	-trace          print the per-phase span tree to stderr
+//	-pprof dir      write cpu.pprof and heap.pprof profiles into dir
+//
+// Exit status is 0 on success, 1 on runtime errors (unreadable files,
+// failed transformations, validation violations), and 2 on usage errors
+// (unknown commands, bad flags, missing required flags).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/s3pg/s3pg"
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/obs"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	var err error
-	switch os.Args[1] {
-	case "schema":
-		err = cmdSchema(os.Args[2:])
-	case "data":
-		err = cmdData(os.Args[2:])
-	case "invert":
-		err = cmdInvert(os.Args[2:])
-	case "validate":
-		err = cmdValidate(os.Args[2:])
-	case "translate":
-		err = cmdTranslate(os.Args[2:])
-	case "extract":
-		err = cmdExtract(os.Args[2:])
-	default:
-		usage()
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "s3pg:", err)
-		os.Exit(1)
-	}
+// Exit statuses.
+const (
+	exitOK    = 0
+	exitError = 1 // runtime failure: missing file, bad input, violations
+	exitUsage = 2 // usage failure: unknown command, bad or missing flags
+)
+
+// usageError marks an error as a usage problem so run maps it to exitUsage.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return &usageError{fmt.Errorf(format, args...)}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: s3pg <schema|data|invert|validate|translate|extract> [flags]")
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usageLine = "usage: s3pg <schema|data|invert|validate|translate|extract> [flags]"
+
+// run dispatches a CLI invocation and returns its exit status; stdout and
+// stderr are injected so tests can capture output and statuses directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "s3pg: error: no command")
+		fmt.Fprintln(stderr, usageLine)
+		return exitUsage
+	}
+	cmds := map[string]func([]string, io.Writer, io.Writer) error{
+		"schema":    cmdSchema,
+		"data":      cmdData,
+		"invert":    cmdInvert,
+		"validate":  cmdValidate,
+		"translate": cmdTranslate,
+		"extract":   cmdExtract,
+	}
+	cmd, ok := cmds[args[0]]
+	if !ok {
+		fmt.Fprintf(stderr, "s3pg: error: unknown command %q\n", args[0])
+		fmt.Fprintln(stderr, usageLine)
+		return exitUsage
+	}
+	if err := cmd(args[1:], stdout, stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		fmt.Fprintf(stderr, "s3pg: error: %v\n", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			return exitUsage
+		}
+		return exitError
+	}
+	return exitOK
+}
+
+// parseFlags parses args with a one-line error on failure instead of the
+// flag package's multi-line dump; -h/-help still prints the defaults.
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(args)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(stderr, "usage: s3pg %s [flags]\n", fs.Name())
+		fs.SetOutput(stderr)
+		fs.PrintDefaults()
+		return flag.ErrHelp
+	}
+	return usagef("%s: %v", fs.Name(), err)
+}
+
+// obsFlags carries the observability options shared by every subcommand.
+type obsFlags struct {
+	metrics string
+	trace   bool
+	pprof   string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot as JSON to `file` (- for stdout)")
+	fs.BoolVar(&o.trace, "trace", false, "print the per-phase span tree to stderr")
+	fs.StringVar(&o.pprof, "pprof", "", "write cpu.pprof and heap.pprof profiles into `dir`")
+	return o
+}
+
+// begin starts profiling and, when tracing or metrics capture is requested,
+// a root span named after the subcommand; pipeline stages hang phase spans
+// off it. The returned finish func must run after the command body: it ends
+// the span, stops profiling, and emits the trace and metrics output.
+func (o *obsFlags) begin(name string, stdout, stderr io.Writer) (*obs.Span, func() error, error) {
+	var stop func() error
+	if o.pprof != "" {
+		s, err := obs.StartProfiles(o.pprof)
+		if err != nil {
+			return nil, nil, err
+		}
+		stop = s
+	} else {
+		stop = obs.EnvProfiles()
+	}
+	var span *obs.Span
+	if o.trace || o.metrics != "" {
+		span = obs.NewSpan(name)
+	}
+	finish := func() error {
+		span.End()
+		if err := stop(); err != nil {
+			return err
+		}
+		if o.trace {
+			if err := span.WriteTree(stderr); err != nil {
+				return err
+			}
+		}
+		if o.metrics == "" {
+			return nil
+		}
+		snap := obs.Default.Snapshot()
+		if span != nil {
+			rec := span.Record()
+			snap.Trace = &rec
+		}
+		if o.metrics == "-" {
+			return snap.WriteJSON(stdout)
+		}
+		f, err := os.Create(o.metrics)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return span, finish, nil
 }
 
 func parseMode(s string) (s3pg.Mode, error) {
@@ -60,7 +187,7 @@ func parseMode(s string) (s3pg.Mode, error) {
 	case "nonparsimonious", "non-parsimonious":
 		return s3pg.NonParsimonious, nil
 	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
+		return 0, usagef("unknown mode %q", s)
 	}
 }
 
@@ -72,72 +199,98 @@ func loadShapes(path string) (*s3pg.ShapeSchema, error) {
 	return s3pg.ShapesFromTurtle(string(src))
 }
 
-func loadData(path string) (*s3pg.Graph, error) {
+func loadData(path string, span *obs.Span) (*s3pg.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return s3pg.LoadNTriples(f)
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("ingest")
+	}
+	g, err := s3pg.LoadNTriples(f)
+	if err == nil {
+		sp.Count("triples", int64(g.Len()))
+	}
+	sp.End()
+	return g, err
 }
 
-func writeOut(path, content string) error {
+func writeOut(path, content string, stdout io.Writer) error {
 	if path == "" {
-		_, err := fmt.Print(content)
+		_, err := io.WriteString(stdout, content)
 		return err
 	}
 	return os.WriteFile(path, []byte(content), 0o644)
 }
 
-func cmdSchema(args []string) error {
-	fs := flag.NewFlagSet("schema", flag.ExitOnError)
-	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
+func cmdSchema(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schema", flag.ContinueOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes `file` (Turtle)")
 	mode := fs.String("mode", "parsimonious", "parsimonious|nonparsimonious")
-	out := fs.String("out", "", "output DDL file (default stdout)")
-	fs.Parse(args)
-	if *shapesPath == "" {
-		return fmt.Errorf("-shapes is required")
-	}
-	shapes, err := loadShapes(*shapesPath)
-	if err != nil {
+	out := fs.String("out", "", "output DDL `file` (default stdout)")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
+	}
+	if *shapesPath == "" {
+		return usagef("-shapes is required")
 	}
 	m, err := parseMode(*mode)
 	if err != nil {
 		return err
 	}
-	schema, err := s3pg.TransformSchema(shapes, m)
+	span, finish, err := ob.begin("schema", stdout, stderr)
 	if err != nil {
 		return err
 	}
-	return writeOut(*out, s3pg.WriteDDL(schema))
+	shapes, err := loadShapes(*shapesPath)
+	if err != nil {
+		return err
+	}
+	schema, err := core.TransformSchemaTraced(shapes, m, span)
+	if err != nil {
+		return err
+	}
+	if err := writeOut(*out, s3pg.WriteDDL(schema), stdout); err != nil {
+		return err
+	}
+	return finish()
 }
 
-func cmdData(args []string) error {
-	fs := flag.NewFlagSet("data", flag.ExitOnError)
-	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
-	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
+func cmdData(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("data", flag.ContinueOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes `file` (Turtle)")
+	dataPath := fs.String("data", "", "RDF data `file` (N-Triples)")
 	mode := fs.String("mode", "parsimonious", "parsimonious|nonparsimonious")
-	nodesOut := fs.String("nodes", "nodes.csv", "output nodes CSV")
-	edgesOut := fs.String("edges", "edges.csv", "output edges CSV")
-	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL")
-	fs.Parse(args)
+	nodesOut := fs.String("nodes", "nodes.csv", "output nodes CSV `file`")
+	edgesOut := fs.String("edges", "edges.csv", "output edges CSV `file`")
+	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL `file`")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
 	if *shapesPath == "" || *dataPath == "" {
-		return fmt.Errorf("-shapes and -data are required")
-	}
-	shapes, err := loadShapes(*shapesPath)
-	if err != nil {
-		return err
-	}
-	g, err := loadData(*dataPath)
-	if err != nil {
-		return err
+		return usagef("-shapes and -data are required")
 	}
 	m, err := parseMode(*mode)
 	if err != nil {
 		return err
 	}
-	store, schema, err := s3pg.Transform(g, shapes, m)
+	span, finish, err := ob.begin("data", stdout, stderr)
+	if err != nil {
+		return err
+	}
+	shapes, err := loadShapes(*shapesPath)
+	if err != nil {
+		return err
+	}
+	g, err := loadData(*dataPath, span)
+	if err != nil {
+		return err
+	}
+	store, schema, err := core.TransformTraced(g, shapes, m, span)
 	if err != nil {
 		return err
 	}
@@ -154,23 +307,30 @@ func cmdData(args []string) error {
 	if err := store.WriteCSV(nf, ef); err != nil {
 		return err
 	}
-	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema)); err != nil {
+	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema), stdout); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "transformed %d triples into %d nodes, %d edges (%d relationship types)\n",
+	fmt.Fprintf(stderr, "transformed %d triples into %d nodes, %d edges (%d relationship types)\n",
 		g.Len(), store.NumNodes(), store.NumEdges(), store.RelTypes())
-	return nil
+	return finish()
 }
 
-func cmdInvert(args []string) error {
-	fs := flag.NewFlagSet("invert", flag.ExitOnError)
-	schemaPath := fs.String("schema", "", "PG-Schema DDL file")
-	nodesPath := fs.String("nodes", "", "nodes CSV file")
-	edgesPath := fs.String("edges", "", "edges CSV file")
-	out := fs.String("out", "", "output N-Triples file (default stdout)")
-	fs.Parse(args)
+func cmdInvert(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("invert", flag.ContinueOnError)
+	schemaPath := fs.String("schema", "", "PG-Schema DDL `file`")
+	nodesPath := fs.String("nodes", "", "nodes CSV `file`")
+	edgesPath := fs.String("edges", "", "edges CSV `file`")
+	out := fs.String("out", "", "output N-Triples `file` (default stdout)")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
 	if *schemaPath == "" || *nodesPath == "" || *edgesPath == "" {
-		return fmt.Errorf("-schema, -nodes, and -edges are required")
+		return usagef("-schema, -nodes, and -edges are required")
+	}
+	span, finish, err := ob.begin("invert", stdout, stderr)
+	if err != nil {
+		return err
 	}
 	ddl, err := os.ReadFile(*schemaPath)
 	if err != nil {
@@ -194,11 +354,11 @@ func cmdInvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := s3pg.InverseData(store, schema)
+	g, err := core.InverseDataTraced(store, schema, span)
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -207,43 +367,69 @@ func cmdInvert(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	return s3pg.WriteNTriples(w, g)
+	if err := s3pg.WriteNTriples(w, g); err != nil {
+		return err
+	}
+	return finish()
 }
 
-func cmdValidate(args []string) error {
-	fs := flag.NewFlagSet("validate", flag.ExitOnError)
-	shapesPath := fs.String("shapes", "", "SHACL shapes file (Turtle)")
-	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
-	fs.Parse(args)
+func cmdValidate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	shapesPath := fs.String("shapes", "", "SHACL shapes `file` (Turtle)")
+	dataPath := fs.String("data", "", "RDF data `file` (N-Triples)")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
 	if *shapesPath == "" || *dataPath == "" {
-		return fmt.Errorf("-shapes and -data are required")
+		return usagef("-shapes and -data are required")
+	}
+	span, finish, err := ob.begin("validate", stdout, stderr)
+	if err != nil {
+		return err
 	}
 	shapes, err := loadShapes(*shapesPath)
 	if err != nil {
 		return err
 	}
-	g, err := loadData(*dataPath)
+	g, err := loadData(*dataPath, span)
 	if err != nil {
 		return err
 	}
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("validate")
+	}
 	violations := s3pg.ValidateSHACL(g, shapes)
+	sp.Count("violations", int64(len(violations)))
+	sp.End()
 	for _, v := range violations {
-		fmt.Println(v)
+		fmt.Fprintln(stdout, v)
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("%d violation(s)", len(violations))
 	}
-	fmt.Println("graph conforms to the shape schema")
+	fmt.Fprintln(stdout, "graph conforms to the shape schema")
 	return nil
 }
 
-func cmdTranslate(args []string) error {
-	fs := flag.NewFlagSet("translate", flag.ExitOnError)
-	schemaPath := fs.String("schema", "", "PG-Schema DDL file")
-	queryPath := fs.String("query", "", "SPARQL query file")
-	fs.Parse(args)
+func cmdTranslate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("translate", flag.ContinueOnError)
+	schemaPath := fs.String("schema", "", "PG-Schema DDL `file`")
+	queryPath := fs.String("query", "", "SPARQL query `file`")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
 	if *schemaPath == "" || *queryPath == "" {
-		return fmt.Errorf("-schema and -query are required")
+		return usagef("-schema and -query are required")
+	}
+	span, finish, err := ob.begin("translate", stdout, stderr)
+	if err != nil {
+		return err
 	}
 	ddl, err := os.ReadFile(*schemaPath)
 	if err != nil {
@@ -257,31 +443,52 @@ func cmdTranslate(args []string) error {
 	if err != nil {
 		return err
 	}
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("translate")
+	}
 	cypherQuery, err := s3pg.TranslateQuery(string(query), schema)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	fmt.Println(cypherQuery)
-	return nil
+	fmt.Fprintln(stdout, cypherQuery)
+	return finish()
 }
 
-func cmdExtract(args []string) error {
-	fs := flag.NewFlagSet("extract", flag.ExitOnError)
-	dataPath := fs.String("data", "", "RDF data file (N-Triples)")
+func cmdExtract(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "RDF data `file` (N-Triples)")
 	minSupport := fs.Float64("minsupport", 0.02, "type-alternative pruning threshold")
-	out := fs.String("out", "", "output shapes file (default stdout)")
-	fs.Parse(args)
-	if *dataPath == "" {
-		return fmt.Errorf("-data is required")
+	out := fs.String("out", "", "output shapes `file` (default stdout)")
+	ob := addObsFlags(fs)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
 	}
-	g, err := loadData(*dataPath)
+	if *dataPath == "" {
+		return usagef("-data is required")
+	}
+	span, finish, err := ob.begin("extract", stdout, stderr)
 	if err != nil {
 		return err
 	}
+	g, err := loadData(*dataPath, span)
+	if err != nil {
+		return err
+	}
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("extract")
+	}
 	shapes := s3pg.ExtractShapes(g, *minSupport)
+	sp.Count("node_shapes", int64(shapes.Len()))
+	sp.End()
 	ttl, err := s3pg.ShapesToTurtle(shapes)
 	if err != nil {
 		return err
 	}
-	return writeOut(*out, ttl)
+	if err := writeOut(*out, ttl, stdout); err != nil {
+		return err
+	}
+	return finish()
 }

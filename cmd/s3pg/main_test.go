@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,7 @@ import (
 
 	"github.com/s3pg/s3pg"
 	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rio"
 )
 
@@ -37,7 +40,7 @@ func TestCmdSchemaAndDataAndInvert(t *testing.T) {
 	nodes := filepath.Join(dir, "nodes.csv")
 	edges := filepath.Join(dir, "edges.csv")
 
-	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}); err != nil {
+	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("schema: %v", err)
 	}
 	out, err := os.ReadFile(ddl)
@@ -51,14 +54,14 @@ func TestCmdSchemaAndDataAndInvert(t *testing.T) {
 	if err := cmdData([]string{
 		"-shapes", shapes, "-data", data,
 		"-nodes", nodes, "-edges", edges, "-schema", ddl,
-	}); err != nil {
+	}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("data: %v", err)
 	}
 
 	back := filepath.Join(dir, "back.nt")
 	if err := cmdInvert([]string{
 		"-schema", ddl, "-nodes", nodes, "-edges", edges, "-out", back,
-	}); err != nil {
+	}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("invert: %v", err)
 	}
 	f, err := os.Open(back)
@@ -81,14 +84,14 @@ func TestCmdDataNonParsimonious(t *testing.T) {
 		"-shapes", shapes, "-data", data, "-mode", "nonparsimonious",
 		"-nodes", filepath.Join(dir, "n.csv"), "-edges", filepath.Join(dir, "e.csv"),
 		"-schema", filepath.Join(dir, "s.ddl"),
-	}); err != nil {
+	}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("data: %v", err)
 	}
 }
 
 func TestCmdValidate(t *testing.T) {
 	_, shapes, data := writeFixtures(t)
-	if err := cmdValidate([]string{"-shapes", shapes, "-data", data}); err != nil {
+	if err := cmdValidate([]string{"-shapes", shapes, "-data", data}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("validate: %v", err)
 	}
 	// A graph missing a mandatory property must fail validation.
@@ -99,7 +102,7 @@ func TestCmdValidate(t *testing.T) {
 		0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdValidate([]string{"-shapes", shapes, "-data", bad}); err == nil {
+	if err := cmdValidate([]string{"-shapes", shapes, "-data", bad}, io.Discard, io.Discard); err == nil {
 		t.Fatal("expected validation failure")
 	}
 }
@@ -107,7 +110,7 @@ func TestCmdValidate(t *testing.T) {
 func TestCmdTranslate(t *testing.T) {
 	dir, shapes, _ := writeFixtures(t)
 	ddl := filepath.Join(dir, "schema.ddl")
-	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}); err != nil {
+	if err := cmdSchema([]string{"-shapes", shapes, "-out", ddl}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	query := filepath.Join(dir, "q.rq")
@@ -116,7 +119,7 @@ func TestCmdTranslate(t *testing.T) {
 		0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdTranslate([]string{"-schema", ddl, "-query", query}); err != nil {
+	if err := cmdTranslate([]string{"-schema", ddl, "-query", query}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("translate: %v", err)
 	}
 }
@@ -124,7 +127,7 @@ func TestCmdTranslate(t *testing.T) {
 func TestCmdExtract(t *testing.T) {
 	dir, _, data := writeFixtures(t)
 	out := filepath.Join(dir, "extracted.ttl")
-	if err := cmdExtract([]string{"-data", data, "-out", out}); err != nil {
+	if err := cmdExtract([]string{"-data", data, "-out", out}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("extract: %v", err)
 	}
 	src, err := os.ReadFile(out)
@@ -141,16 +144,147 @@ func TestCmdExtract(t *testing.T) {
 }
 
 func TestCmdErrors(t *testing.T) {
-	if err := cmdSchema([]string{}); err == nil {
+	if err := cmdSchema([]string{}, io.Discard, io.Discard); err == nil {
 		t.Error("schema without -shapes should fail")
 	}
-	if err := cmdData([]string{"-shapes", "/nonexistent", "-data", "/nonexistent"}); err == nil {
+	if err := cmdData([]string{"-shapes", "/nonexistent", "-data", "/nonexistent"}, io.Discard, io.Discard); err == nil {
 		t.Error("data with missing files should fail")
 	}
-	if err := cmdSchema([]string{"-shapes", "/nonexistent"}); err == nil {
+	if err := cmdSchema([]string{"-shapes", "/nonexistent"}, io.Discard, io.Discard); err == nil {
 		t.Error("missing shapes file should fail")
 	}
 	if _, err := parseMode("bogus"); err == nil {
 		t.Error("bogus mode should fail")
+	}
+}
+
+// TestRunExitCodes pins the exit-status contract: 0 success, 1 runtime
+// errors, 2 usage errors — each with a one-line "s3pg: error:" diagnostic.
+func TestRunExitCodes(t *testing.T) {
+	dir, shapes, data := writeFixtures(t)
+	bad := filepath.Join(dir, "bad.nt")
+	if err := os.WriteFile(bad, []byte(
+		"<http://example.org/univ#x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/univ#Person> .\n"),
+		0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no command", nil, exitUsage},
+		{"unknown command", []string{"frobnicate"}, exitUsage},
+		{"undefined flag", []string{"schema", "-bogus"}, exitUsage},
+		{"missing required flag", []string{"schema"}, exitUsage},
+		{"bad mode value", []string{"schema", "-shapes", shapes, "-mode", "bogus"}, exitUsage},
+		{"missing input file", []string{"schema", "-shapes", filepath.Join(dir, "absent.ttl")}, exitError},
+		{"validation violations", []string{"validate", "-shapes", shapes, "-data", bad}, exitError},
+		{"help", []string{"schema", "-h"}, exitOK},
+		{"success", []string{"validate", "-shapes", shapes, "-data", data}, exitOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.want != exitOK && tc.name != "help" {
+				msg := stderr.String()
+				if !strings.Contains(msg, "error:") {
+					t.Fatalf("expected an error: diagnostic, got %q", msg)
+				}
+			}
+		})
+	}
+}
+
+// TestRunMetricsSnapshot exercises the acceptance-criterion path: a data
+// transform with -metrics - must emit a JSON snapshot carrying ingestion
+// triple counts, transform node/edge counters, and the per-phase trace.
+func TestRunMetricsSnapshot(t *testing.T) {
+	dir, shapes, data := writeFixtures(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"data", "-metrics", "-", "-trace",
+		"-shapes", shapes, "-data", data,
+		"-nodes", filepath.Join(dir, "nodes.csv"),
+		"-edges", filepath.Join(dir, "edges.csv"),
+		"-schema", filepath.Join(dir, "schema.ddl"),
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if n := snap.Meters["rio.ntriples.triples"].Count; n <= 0 {
+		t.Fatalf("ingestion triple meter = %d, want > 0", n)
+	}
+	if n := snap.Meters["core.transform.nodes"].Count; n <= 0 {
+		t.Fatalf("transform node meter = %d, want > 0", n)
+	}
+	if n := snap.Meters["core.transform.edges"].Count; n <= 0 {
+		t.Fatalf("transform edge meter = %d, want > 0", n)
+	}
+	if snap.Trace == nil || snap.Trace.Name != "data" {
+		t.Fatalf("missing or misnamed trace: %+v", snap.Trace)
+	}
+	fdt := findSpan(*snap.Trace, "F_dt")
+	if fdt == nil {
+		t.Fatalf("trace has no F_dt span:\n%s", stdout.String())
+	}
+	if findSpan(*fdt, "phase1.types") == nil || findSpan(*fdt, "phase2.properties") == nil {
+		t.Fatalf("F_dt span lacks phase children: %+v", fdt)
+	}
+	if fdt.WallNS <= 0 {
+		t.Fatalf("F_dt wall time = %d", fdt.WallNS)
+	}
+	if !strings.Contains(stderr.String(), "F_dt") {
+		t.Fatalf("-trace did not print the span tree to stderr: %s", stderr.String())
+	}
+}
+
+func findSpan(r obs.SpanRecord, name string) *obs.SpanRecord {
+	if r.Name == name {
+		return &r
+	}
+	for i := range r.Children {
+		if s := findSpan(r.Children[i], name); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestRunMetricsToFile checks the -metrics file form and -pprof output.
+func TestRunMetricsToFile(t *testing.T) {
+	dir, shapes, _ := writeFixtures(t)
+	metrics := filepath.Join(dir, "metrics.json")
+	pprofDir := filepath.Join(dir, "profiles")
+	code := run([]string{
+		"schema", "-metrics", metrics, "-pprof", pprofDir,
+		"-shapes", shapes, "-out", filepath.Join(dir, "schema.ddl"),
+	}, io.Discard, io.Discard)
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	src, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(src, &snap); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	if snap.Trace == nil || snap.Trace.Name != "schema" {
+		t.Fatalf("trace = %+v", snap.Trace)
+	}
+	for _, p := range []string{"cpu.pprof", "heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(pprofDir, p)); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

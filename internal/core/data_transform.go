@@ -2,12 +2,22 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/rdf"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/xsd"
+)
+
+// Always-on transform throughput meters and counters (obs.Default registry):
+// PG elements produced by F_dt, fed once per Apply call.
+var (
+	mTransformNodes = obs.Default.Meter("core.transform.nodes")
+	mTransformEdges = obs.Default.Meter("core.transform.edges")
+	cTransformKV    = obs.Default.Counter("core.transform.kv_props")
 )
 
 // Transformer implements the S3PG data transformation F_dt (Algorithm 1):
@@ -32,6 +42,10 @@ type Transformer struct {
 	// removes a term-hash per triple on the hot path.
 	lastEntity rdf.Term
 	lastNode   pg.NodeID
+
+	// kvProps counts key/value-inlined literals for span accounting (plain
+	// int: Apply is single-goroutine).
+	kvProps int64
 }
 
 // valKey identifies a value node: the exact lexical, datatype, language tag,
@@ -87,11 +101,30 @@ func (t *Transformer) Mapping() *Mapping { return t.mapping }
 // delta graph performs the monotone incremental update: existing nodes are
 // reused and only elements for new triples are created.
 func (t *Transformer) Apply(g *rdf.Graph) error {
+	return t.ApplyTraced(g, nil)
+}
+
+// ApplyTraced is Apply recording Algorithm 1's two phases (and the deferred
+// RDF-star annotation pass) as child spans with per-phase element counts.
+// A nil span disables tracing at no cost; the Default-registry transform
+// meters are always fed.
+func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
+	nodes0, edges0 := t.store.NumNodes(), t.store.NumEdges()
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		mTransformNodes.Observe(int64(t.store.NumNodes()-nodes0), elapsed)
+		mTransformEdges.Observe(int64(t.store.NumEdges()-edges0), elapsed)
+	}()
+
 	// Phase 1 (Algorithm 1, lines 4–14): collect entity types and create
 	// PG nodes with labels and the iri key.
+	p1 := span.StartSpan("phase1.types")
+	typeTriples := int64(0)
 	typePred := rdf.A
 	var err error
 	g.Match(nil, &typePred, nil, func(tr rdf.Triple) bool {
+		typeTriples++
 		if !tr.O.IsIRI() {
 			err = fmt.Errorf("core: rdf:type object %v is not an IRI", tr.O)
 			return false
@@ -108,6 +141,9 @@ func (t *Transformer) Apply(g *rdf.Graph) error {
 		t.store.AddLabel(id, label)
 		return true
 	})
+	p1.Count("type_triples", typeTriples)
+	p1.Count("nodes_created", int64(t.store.NumNodes()-nodes0))
+	p1.End()
 	if err != nil {
 		return err
 	}
@@ -116,6 +152,8 @@ func (t *Transformer) Apply(g *rdf.Graph) error {
 	// key/value attribute, or an edge to a literal value node. RDF-star
 	// annotations (quoted-triple subjects) are deferred so the statements
 	// they annotate exist first.
+	p2 := span.StartSpan("phase2.properties")
+	nodes1, kv1 := t.store.NumNodes(), t.kvProps
 	var annotations []rdf.Triple
 	g.ForEach(func(tr rdf.Triple) bool {
 		if tr.P == rdf.A {
@@ -128,12 +166,22 @@ func (t *Transformer) Apply(g *rdf.Graph) error {
 		err = t.applyTriple(tr)
 		return err == nil
 	})
+	cTransformKV.Add(t.kvProps - kv1)
+	p2.Count("edges_created", int64(t.store.NumEdges()-edges0))
+	p2.Count("value_nodes_created", int64(t.store.NumNodes()-nodes1))
+	p2.Count("kv_props", t.kvProps-kv1)
+	p2.End()
 	if err != nil {
 		return err
 	}
-	for _, tr := range annotations {
-		if err := t.applyAnnotation(tr); err != nil {
-			return err
+	if len(annotations) > 0 {
+		pa := span.StartSpan("phase2.annotations")
+		pa.Count("annotations", int64(len(annotations)))
+		defer pa.End()
+		for _, tr := range annotations {
+			if err := t.applyAnnotation(tr); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -175,6 +223,7 @@ func (t *Transformer) applyTriple(tr rdf.Triple) error {
 	if route != nil && route.Kind == RouteKV && lang == "" && dt == route.Datatype {
 		if native, canonical := nativeValue(lex, dt); canonical {
 			t.store.AppendProp(sid, route.Name, native)
+			t.kvProps++
 			return nil
 		}
 	}
@@ -363,11 +412,31 @@ func nativeValue(lex, dt string) (pg.Value, bool) {
 // Transform is a convenience: build the transformer, apply the graph, and
 // return the property graph with its (possibly extended) schema.
 func Transform(g *rdf.Graph, sg *shacl.Schema, mode Mode) (*pg.Store, *pgschema.Schema, error) {
-	t, err := NewTransformer(sg, mode)
+	return TransformTraced(g, sg, mode, nil)
+}
+
+// TransformTraced is Transform with the whole pipeline traced under span:
+// F_st (schema transformation), the F_st↔F_dt correspondence-table build,
+// and F_dt's phases each become child spans. A nil span runs the exact
+// uninstrumented path.
+func TransformTraced(g *rdf.Graph, sg *shacl.Schema, mode Mode, span *obs.Span) (*pg.Store, *pgschema.Schema, error) {
+	fst := span.StartSpan("F_st")
+	spg, err := TransformSchemaTraced(sg, mode, fst)
+	fst.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := t.Apply(g); err != nil {
+	mb := span.StartSpan("mapping")
+	t, err := NewTransformerForSchema(spg, mode)
+	mb.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	fdt := span.StartSpan("F_dt")
+	err = t.ApplyTraced(g, fdt)
+	fdt.Count("triples", int64(g.Len()))
+	fdt.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	return t.Store(), t.Schema(), nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/rdf"
@@ -16,14 +17,20 @@ import (
 // and the PG-Schema the transformation produced (the schema carries all the
 // label/key/edge ↔ IRI correspondences).
 func InverseData(store *pg.Store, spg *pgschema.Schema) (*rdf.Graph, error) {
+	return InverseDataTraced(store, spg, nil)
+}
+
+// InverseDataTraced is InverseData recording its node and edge
+// reconstruction passes under the given span (nil disables tracing).
+func InverseDataTraced(store *pg.Store, spg *pgschema.Schema, span *obs.Span) (*rdf.Graph, error) {
 	m, err := BuildMapping(spg)
 	if err != nil {
 		return nil, err
 	}
-	return inverseDataWithMapping(store, m)
+	return inverseDataWithMapping(store, m, span)
 }
 
-func inverseDataWithMapping(store *pg.Store, m *Mapping) (*rdf.Graph, error) {
+func inverseDataWithMapping(store *pg.Store, m *Mapping, span *obs.Span) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
 
 	// Classify nodes: value nodes (reconstructed through edges) vs entities.
@@ -39,6 +46,7 @@ func inverseDataWithMapping(store *pg.Store, m *Mapping) (*rdf.Graph, error) {
 		return false
 	}
 
+	np := span.StartSpan("nodes")
 	for _, n := range store.Nodes() {
 		if isValue(n) {
 			continue
@@ -74,7 +82,11 @@ func inverseDataWithMapping(store *pg.Store, m *Mapping) (*rdf.Graph, error) {
 			}
 		}
 	}
+	np.Count("triples", int64(g.Len()))
+	np.End()
 
+	ep := span.StartSpan("edges")
+	edgeStart := g.Len()
 	for _, e := range store.Edges() {
 		pred, ok := m.PredOfEdgeLabel(e.Label)
 		if !ok {
@@ -120,6 +132,9 @@ func inverseDataWithMapping(store *pg.Store, m *Mapping) (*rdf.Graph, error) {
 			}
 		}
 	}
+	ep.Count("triples", int64(g.Len()-edgeStart))
+	ep.End()
+	span.Count("triples", int64(g.Len()))
 	return g, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/xsd"
@@ -42,6 +43,12 @@ type schemaBuilder struct {
 // a PG-Schema following the Figure 3 taxonomy rules of §4.1. The resulting
 // schema carries IRI metadata making the transformation invertible.
 func TransformSchema(sg *shacl.Schema, mode Mode) (*pgschema.Schema, error) {
+	return TransformSchemaTraced(sg, mode, nil)
+}
+
+// TransformSchemaTraced is TransformSchema recording its two passes and
+// output sizes under the given phase span (nil disables tracing at no cost).
+func TransformSchemaTraced(sg *shacl.Schema, mode Mode, span *obs.Span) (*pgschema.Schema, error) {
 	b := &schemaBuilder{
 		sg:       sg,
 		mode:     mode,
@@ -53,6 +60,7 @@ func TransformSchema(sg *shacl.Schema, mode Mode) (*pgschema.Schema, error) {
 
 	// Pass 1: declare a node type per node shape so that inheritance and
 	// edge targets can reference them regardless of declaration order.
+	p1 := span.StartSpan("pass1.node_types")
 	for _, ns := range sg.Shapes() {
 		label := b.shapeLabel(ns)
 		nt := &pgschema.NodeType{
@@ -70,8 +78,11 @@ func TransformSchema(sg *shacl.Schema, mode Mode) (*pgschema.Schema, error) {
 		}
 		b.spg.AddNodeType(nt)
 	}
+	p1.Count("node_shapes", int64(sg.Len()))
+	p1.End()
 
 	// Pass 2: transform every owned property shape.
+	p2 := span.StartSpan("pass2.properties")
 	for _, ns := range sg.Shapes() {
 		nt := b.spg.NodeType(typeName(b.shapeLabel(ns)))
 		for _, ps := range ns.Properties {
@@ -80,6 +91,9 @@ func TransformSchema(sg *shacl.Schema, mode Mode) (*pgschema.Schema, error) {
 			}
 		}
 	}
+	p2.End()
+	span.Count("node_types", int64(len(b.spg.NodeTypes())))
+	span.Count("edge_types", int64(len(b.spg.EdgeTypes())))
 	return b.spg, nil
 }
 

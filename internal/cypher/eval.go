@@ -2,9 +2,17 @@ package cypher
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
+)
+
+// Always-on evaluation counters (obs.Default registry).
+var (
+	cEvalQueries = obs.Default.Counter("cypher.eval.queries")
+	cEvalRows    = obs.Default.Counter("cypher.eval.rows")
 )
 
 // nodeRef and edgeRef are binding values referencing graph elements.
@@ -24,12 +32,25 @@ func (b binding) clone() binding {
 
 // Eval executes a query against a property graph store.
 func Eval(store *pg.Store, q *Query) (*Results, error) {
+	return EvalTraced(store, q, nil)
+}
+
+// EvalTraced is Eval recording each UNION part as a child span with its row
+// count (nil span disables tracing at no cost).
+func EvalTraced(store *pg.Store, q *Query, span *obs.Span) (*Results, error) {
+	cEvalQueries.Inc()
 	var combined *Results
-	for _, part := range q.Parts {
+	for i, part := range q.Parts {
+		var sp *obs.Span
+		if span != nil {
+			sp = span.StartSpan("part" + strconv.Itoa(i+1))
+		}
 		res, err := evalSingle(store, part)
 		if err != nil {
 			return nil, err
 		}
+		sp.Count("rows", int64(len(res.Rows)))
+		sp.End()
 		if combined == nil {
 			combined = res
 			continue
@@ -52,6 +73,8 @@ func Eval(store *pg.Store, q *Query) (*Results, error) {
 	if q.Limit >= 0 && len(combined.Rows) > q.Limit {
 		combined.Rows = combined.Rows[:q.Limit]
 	}
+	cEvalRows.Add(int64(len(combined.Rows)))
+	span.Count("rows", int64(len(combined.Rows)))
 	return combined, nil
 }
 

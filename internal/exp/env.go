@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"time"
 
 	"github.com/s3pg/s3pg/internal/baseline/neosem"
 	"github.com/s3pg/s3pg/internal/baseline/rdf2pgx"
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/rdf"
@@ -132,18 +132,15 @@ func (e *Env) RDF2PG(name string) *pg.Store {
 	return s
 }
 
-// timed measures a function's wall-clock time and heap growth.
-func timed(fn func()) (time.Duration, uint64) {
-	var before, after runtime.MemStats
+// measure runs fn under a fresh, ended obs span: wall time, allocation, and
+// heap-growth deltas come from the span; fn may hang child spans and
+// counters off it for per-phase breakdowns. The heap is settled with a GC
+// first so the span's heap-growth delta keeps the Table 4 peak-heap
+// semantics of the old ad-hoc timing helper.
+func measure(name string, fn func(*obs.Span)) *obs.Span {
 	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	fn()
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	var heap uint64
-	if after.HeapAlloc > before.HeapAlloc {
-		heap = after.HeapAlloc - before.HeapAlloc
-	}
-	return elapsed, heap
+	sp := obs.NewSpan(name)
+	fn(sp)
+	sp.End()
+	return sp
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/cypher"
 	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/sparql"
 	"github.com/s3pg/s3pg/internal/stats"
@@ -91,13 +92,15 @@ func RunTable3(e *Env) error {
 }
 
 // Table4Row holds the measured transformation (T) and loading (L) times of
-// one method on one dataset.
+// one method on one dataset. For S3PG, Phases carries the obs span tree of
+// the transformation (F_st, mapping, F_dt with its two phases).
 type Table4Row struct {
 	Dataset   string
 	Method    string
 	Transform time.Duration
 	Load      time.Duration
 	HeapBytes uint64
+	Phases    *obs.SpanRecord
 }
 
 // Sum returns T+L.
@@ -115,52 +118,62 @@ func RunTable4(e *Env) ([]Table4Row, error) {
 		sg := e.Shapes(name)
 
 		var s3store *pg.Store
-		tS3, heapS3 := timed(func() {
-			st, _, err := core.Transform(g, sg, core.Parsimonious)
+		s3span := measure("S3PG/"+name, func(sp *obs.Span) {
+			st, _, err := core.TransformTraced(g, sg, core.Parsimonious, sp)
 			if err != nil {
 				panic(err)
 			}
 			s3store = st
 		})
 		lS3 := loadTime(s3store)
-		out = append(out, Table4Row{name, "S3PG", tS3, lS3, heapS3})
+		rec := s3span.Record()
+		out = append(out, Table4Row{name, "S3PG", s3span.Wall(), lS3, s3span.HeapGrowth(), &rec})
 
 		var rdfStore *pg.Store
-		tR, heapR := timed(func() { rdfStore, _ = rdf2pgx.Transform(g) })
+		rSpan := measure("rdf2pg/"+name, func(*obs.Span) { rdfStore, _ = rdf2pgx.Transform(g) })
 		lR := loadTime(rdfStore)
-		out = append(out, Table4Row{name, "rdf2pg", tR, lR, heapR})
+		out = append(out, Table4Row{name, "rdf2pg", rSpan.Wall(), lR, rSpan.HeapGrowth(), nil})
 
-		tN, heapN := timed(func() { _, _ = neosem.Transform(g) })
-		out = append(out, Table4Row{name, "NeoSem", tN, 0, heapN})
+		nSpan := measure("NeoSem/"+name, func(*obs.Span) { _, _ = neosem.Transform(g) })
+		out = append(out, Table4Row{name, "NeoSem", nSpan.Wall(), 0, nSpan.HeapGrowth(), nil})
 	}
 
 	fmt.Fprintln(e.Cfg.W, "== Table 4: Transformation (T) and Loading (L) times ==")
 	tw := tabwriter.NewWriter(e.Cfg.W, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "dataset\tmethod\tT\tL\tSum\tpeak-heap")
 	for _, r := range out {
-		tStr, lStr := fmtDur(r.Transform), fmtDur(r.Load)
+		tStr, lStr := obs.FormatDuration(r.Transform), obs.FormatDuration(r.Load)
 		if r.Method == "NeoSem" {
 			tStr, lStr = "-", "-"
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
-			r.Dataset, r.Method, tStr, lStr, fmtDur(r.Sum()), humanBytes(r.HeapBytes))
+			r.Dataset, r.Method, tStr, lStr, obs.FormatDuration(r.Sum()), obs.FormatBytes(r.HeapBytes))
 	}
 	tw.Flush()
+	fmt.Fprintln(e.Cfg.W, "\n-- S3PG per-phase breakdown (obs trace) --")
+	for _, r := range out {
+		if r.Phases != nil {
+			if err := r.Phases.WriteTree(e.Cfg.W); err != nil {
+				return nil, err
+			}
+		}
+	}
 	fmt.Fprintln(e.Cfg.W)
 	return out, nil
 }
 
 // loadTime measures the CSV export + bulk import round trip.
 func loadTime(store *pg.Store) time.Duration {
-	var nodes, edges bytes.Buffer
-	start := time.Now()
-	if err := store.WriteCSV(&nodes, &edges); err != nil {
-		panic(err)
-	}
-	if _, err := pg.LoadCSV(&nodes, &edges); err != nil {
-		panic(err)
-	}
-	return time.Since(start)
+	sp := measure("load", func(*obs.Span) {
+		var nodes, edges bytes.Buffer
+		if err := store.WriteCSV(&nodes, &edges); err != nil {
+			panic(err)
+		}
+		if _, err := pg.LoadCSV(&nodes, &edges); err != nil {
+			panic(err)
+		}
+	})
+	return sp.Wall()
 }
 
 // RunTable5 prints the transformed-graph statistics (Table 5).
@@ -295,11 +308,12 @@ func RunFig6(e *Env) ([]Fig6Row, error) {
 
 func avgTime(reps int, fn func()) time.Duration {
 	fn() // warm-up
-	start := time.Now()
+	sp := obs.NewSpan("reps")
 	for i := 0; i < reps; i++ {
 		fn()
 	}
-	return time.Since(start) / time.Duration(reps)
+	sp.End()
+	return sp.Wall() / time.Duration(reps)
 }
 
 // MonotonicityResult holds the §5.4 measurements.
@@ -329,24 +343,24 @@ func RunMonotonicity(e *Env) (*MonotonicityResult, error) {
 
 	res := &MonotonicityResult{BaseTriples: s1.Len(), DeltaTriples: delta.Len()}
 
-	res.FullParsimonious, _ = timed(func() {
-		if _, _, err := core.Transform(s1, sg, core.Parsimonious); err != nil {
+	res.FullParsimonious = measure("full.s1.parsimonious", func(sp *obs.Span) {
+		if _, _, err := core.TransformTraced(s1, sg, core.Parsimonious, sp); err != nil {
 			panic(err)
 		}
-	})
-	res.FullNonParsimonious, _ = timed(func() {
-		if _, _, err := core.Transform(s1, sg, core.NonParsimonious); err != nil {
+	}).Wall()
+	res.FullNonParsimonious = measure("full.s1.nonparsimonious", func(sp *obs.Span) {
+		if _, _, err := core.TransformTraced(s1, sg, core.NonParsimonious, sp); err != nil {
 			panic(err)
 		}
-	})
+	}).Wall()
 
 	s2 := s1.Clone()
 	s2.AddAll(delta)
-	res.FullS2Parsimonious, _ = timed(func() {
-		if _, _, err := core.Transform(s2, sg, core.Parsimonious); err != nil {
+	res.FullS2Parsimonious = measure("full.s2.parsimonious", func(sp *obs.Span) {
+		if _, _, err := core.TransformTraced(s2, sg, core.Parsimonious, sp); err != nil {
 			panic(err)
 		}
-	})
+	}).Wall()
 
 	// Incremental: transform S1 once, then apply only Δ.
 	tr, err := core.NewTransformer(sg, core.NonParsimonious)
@@ -356,11 +370,11 @@ func RunMonotonicity(e *Env) (*MonotonicityResult, error) {
 	if err := tr.Apply(s1); err != nil {
 		return nil, err
 	}
-	res.IncrementalDelta, _ = timed(func() {
-		if err := tr.Apply(delta); err != nil {
+	res.IncrementalDelta = measure("incremental.delta", func(sp *obs.Span) {
+		if err := tr.ApplyTraced(delta, sp); err != nil {
 			panic(err)
 		}
-	})
+	}).Wall()
 	res.SavingsPct = 1 - float64(res.IncrementalDelta)/float64(res.FullS2Parsimonious)
 
 	back, err := core.InverseData(tr.Store(), tr.Schema())
@@ -374,10 +388,10 @@ func RunMonotonicity(e *Env) (*MonotonicityResult, error) {
 	fmt.Fprintf(tw, "base snapshot\t%s triples\n", human(res.BaseTriples))
 	fmt.Fprintf(tw, "delta (Δ)\t%s triples (%.2f%%)\n", human(res.DeltaTriples),
 		100*float64(res.DeltaTriples)/float64(res.BaseTriples))
-	fmt.Fprintf(tw, "full transform S1, parsimonious\t%s\n", fmtDur(res.FullParsimonious))
-	fmt.Fprintf(tw, "full transform S1, non-parsimonious\t%s\n", fmtDur(res.FullNonParsimonious))
-	fmt.Fprintf(tw, "full transform S1∪Δ, parsimonious\t%s\n", fmtDur(res.FullS2Parsimonious))
-	fmt.Fprintf(tw, "incremental Δ only, non-parsimonious\t%s\n", fmtDur(res.IncrementalDelta))
+	fmt.Fprintf(tw, "full transform S1, parsimonious\t%s\n", obs.FormatDuration(res.FullParsimonious))
+	fmt.Fprintf(tw, "full transform S1, non-parsimonious\t%s\n", obs.FormatDuration(res.FullNonParsimonious))
+	fmt.Fprintf(tw, "full transform S1∪Δ, parsimonious\t%s\n", obs.FormatDuration(res.FullS2Parsimonious))
+	fmt.Fprintf(tw, "incremental Δ only, non-parsimonious\t%s\n", obs.FormatDuration(res.IncrementalDelta))
 	fmt.Fprintf(tw, "time saved vs full recomputation\t%.1f%%\n", 100*res.SavingsPct)
 	fmt.Fprintf(tw, "incremental PG ≅ F(S1∪Δ)\t%v\n", res.Equivalent)
 	tw.Flush()
@@ -395,30 +409,6 @@ func human(n int) string {
 		return fmt.Sprintf("%.0fK", float64(n)/1e3)
 	default:
 		return fmt.Sprint(n)
-	}
-}
-
-func humanBytes(n uint64) string {
-	switch {
-	case n >= 1<<30:
-		return fmt.Sprintf("%.1fGiB", float64(n)/float64(1<<30))
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
-}
-
-func fmtDur(d time.Duration) string {
-	switch {
-	case d >= time.Second:
-		return fmt.Sprintf("%.2fs", d.Seconds())
-	case d >= time.Millisecond:
-		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
-	default:
-		return fmt.Sprintf("%dµs", d.Microseconds())
 	}
 }
 

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled is the acceptance gate for disabled instrumentation:
+// the nil-span path a non-traced pipeline run takes must allocate nothing
+// (0 B/op) and cost a few nanoseconds at most.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var root *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := root.StartSpan("phase")
+		sp.Count("items", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the cost of a live span (dominated by the two
+// runtime.ReadMemStats calls), for comparison with the disabled path.
+func BenchmarkSpanEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := NewSpan("phase")
+		sp.Count("items", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkCounterAdd is the always-on counter cost: one atomic add.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+// BenchmarkMeterObserve is the batched throughput-meter cost per stage.
+func BenchmarkMeterObserve(b *testing.B) {
+	var m Meter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(4096, time.Millisecond)
+	}
+}
+
+// BenchmarkRegistryCounterLookup is the read-path cost of fetching an
+// existing instrument by name.
+func BenchmarkRegistryCounterLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("hot").Inc()
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// EnvPprofDir is the environment variable that, when set to a directory,
+// enables profiling of any instrumented run without code or flag changes.
+const EnvPprofDir = "S3PG_PPROF"
+
+// StartProfiles begins a CPU profile at dir/cpu.pprof and returns a stop
+// function that ends it and writes a heap profile to dir/heap.pprof. The
+// directory is created if needed.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: pprof dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		cerr := cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		return cerr
+	}, nil
+}
+
+// EnvProfiles starts profiling when the S3PG_PPROF environment variable
+// names a directory, returning the stop function; otherwise (or on error,
+// reported on stderr) it returns a no-op stop so callers can defer
+// unconditionally.
+func EnvProfiles() func() error {
+	dir := os.Getenv(EnvPprofDir)
+	if dir == "" {
+		return func() error { return nil }
+	}
+	stop, err := StartProfiles(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return func() error { return nil }
+	}
+	return stop
+}

@@ -3,6 +3,17 @@ package rdf
 import (
 	"fmt"
 	"sort"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Always-on encoding/index counters (obs.Default registry): terms interned
+// into dictionaries, triples admitted into graphs, and posting-list entries
+// appended across the subject/predicate/object indexes.
+var (
+	cDictTerms    = obs.Default.Counter("rdf.dict.terms")
+	cGraphTriples = obs.Default.Counter("rdf.graph.triples")
+	cIndexEntries = obs.Default.Counter("rdf.graph.index_entries")
 )
 
 // TermID is a dense dictionary id for an interned term.
@@ -32,6 +43,7 @@ func (d *Dict) Intern(t Term) TermID {
 	id := TermID(len(d.terms))
 	d.ids[t] = id
 	d.terms = append(d.terms, t)
+	cDictTerms.Inc()
 	return id
 }
 
@@ -110,6 +122,8 @@ func (g *Graph) addEnc(e encTriple) bool {
 	g.bySubj[e.s] = append(g.bySubj[e.s], idx)
 	g.byPred[e.p] = append(g.byPred[e.p], idx)
 	g.byObj[e.o] = append(g.byObj[e.o], idx)
+	cGraphTriples.Inc()
+	cIndexEntries.Add(3)
 	return true
 }
 

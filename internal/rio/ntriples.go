@@ -10,8 +10,17 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// Ingestion throughput meters (obs.Default registry). Readers batch one
+// Observe call per document, so the per-triple cost is a local increment.
+var (
+	ntMeter  = obs.Default.Meter("rio.ntriples.triples")
+	ttlMeter = obs.Default.Meter("rio.turtle.triples")
 )
 
 // TripleHandler receives each parsed triple. Returning an error aborts the
@@ -24,7 +33,9 @@ type TripleHandler func(rdf.Triple) error
 func ReadNTriples(r io.Reader, fn TripleHandler) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
+	lineNo, triples := 0, int64(0)
+	start := time.Now()
+	defer func() { ntMeter.Observe(triples, time.Since(start)) }()
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -35,6 +46,7 @@ func ReadNTriples(r io.Reader, fn TripleHandler) error {
 		if err != nil {
 			return fmt.Errorf("rio: line %d: %w", lineNo, err)
 		}
+		triples++
 		if err := fn(t); err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 	"unicode"
 	"unicode/utf8"
 
@@ -28,7 +29,14 @@ func ReadTurtle(r io.Reader, fn TripleHandler) error {
 	if err != nil {
 		return err
 	}
-	p := &ttlParser{src: string(data), prefixes: map[string]string{}, emit: fn}
+	triples := int64(0)
+	start := time.Now()
+	defer func() { ttlMeter.Observe(triples, time.Since(start)) }()
+	counted := func(t rdf.Triple) error {
+		triples++
+		return fn(t)
+	}
+	p := &ttlParser{src: string(data), prefixes: map[string]string{}, emit: counted}
 	return p.parse()
 }
 
