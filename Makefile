@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench verify experiments
+.PHONY: build test bench verify fuzz experiments
 
 build:
 	$(GO) build ./...
@@ -11,15 +12,36 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# verify is the pre-commit gate: static checks, formatting, and the racy
+# verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)
-# under the race detector.
+# under the race detector, the full test suite (including the corrupted-input
+# corpus tests), and a short fuzz pass over every parser entry point.
 verify:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 	$(GO) test ./...
+	$(MAKE) fuzz
+
+# fuzz runs every native fuzz target for FUZZTIME each: the N-Triples and
+# Turtle parsers (strict and lenient), the Cypher lexer and parser, and the
+# SPARQL parser. New crashers land in testdata/fuzz/ and become regression
+# tests.
+FUZZ_TARGETS = \
+	FuzzParseNTriplesLine:./internal/rio \
+	FuzzReadNTriplesLenient:./internal/rio \
+	FuzzReadTurtle:./internal/rio \
+	FuzzLexer:./internal/cypher \
+	FuzzParse:./internal/cypher \
+	FuzzParse:./internal/sparql
+
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "fuzzing $$name in $$pkg for $(FUZZTIME)"; \
+		$(GO) test -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+	done
 
 experiments:
 	$(GO) run ./cmd/experiments

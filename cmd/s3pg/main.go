@@ -19,28 +19,45 @@
 //	-trace          print the per-phase span tree to stderr
 //	-pprof dir      write cpu.pprof and heap.pprof profiles into dir
 //
+// and the resilience flags
+//
+//	-timeout d      abort the run after the duration d (exit status 3)
+//	-lenient        skip malformed RDF statements and transform non-
+//	                conforming nodes through documented fallbacks instead of
+//	                aborting; a summary of skipped statements, SHACL
+//	                violations, and degradations is printed to stderr
+//	-max-errors n   lenient mode: hard-stop once more than n malformed
+//	                statements were skipped (0 = 1000, negative = unlimited)
+//
 // Exit status is 0 on success, 1 on runtime errors (unreadable files,
-// failed transformations, validation violations), and 2 on usage errors
-// (unknown commands, bad flags, missing required flags).
+// failed transformations, validation violations, internal panics), 2 on
+// usage errors (unknown commands, bad flags, missing required flags), and 3
+// when -timeout expires before the run completes.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
+	"time"
 
 	"github.com/s3pg/s3pg"
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
 )
 
 // Exit statuses.
 const (
-	exitOK    = 0
-	exitError = 1 // runtime failure: missing file, bad input, violations
-	exitUsage = 2 // usage failure: unknown command, bad or missing flags
+	exitOK      = 0
+	exitError   = 1 // runtime failure: missing file, bad input, violations, panic
+	exitUsage   = 2 // usage failure: unknown command, bad or missing flags
+	exitTimeout = 3 // the -timeout budget expired before the run completed
 )
 
 // usageError marks an error as a usage problem so run maps it to exitUsage.
@@ -81,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, usageLine)
 		return exitUsage
 	}
-	if err := cmd(args[1:], stdout, stderr); err != nil {
+	if err := runCommand(cmd, args[1:], stdout, stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return exitOK
 		}
@@ -90,9 +107,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if errors.As(err, &ue) {
 			return exitUsage
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			return exitTimeout
+		}
 		return exitError
 	}
 	return exitOK
+}
+
+// runCommand executes one subcommand behind a panic-recovery boundary, so an
+// internal bug surfaces as an ordinary runtime error (exit status 1, with
+// the stack on stderr for bug reports) instead of a raw crash.
+func runCommand(cmd func([]string, io.Writer, io.Writer) error, args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "s3pg: stack:\n%s", debug.Stack())
+			err = fmt.Errorf("internal panic: %v", r)
+		}
+	}()
+	return cmd(args, stdout, stderr)
 }
 
 // parseFlags parses args with a one-line error on failure instead of the
@@ -180,6 +213,76 @@ func (o *obsFlags) begin(name string, stdout, stderr io.Writer) (*obs.Span, func
 	return span, finish, nil
 }
 
+// resFlags carries the resilience options shared by the subcommands:
+// cancellation via -timeout, and the strict/lenient parse policy.
+type resFlags struct {
+	lenient   bool
+	maxErrors int
+	timeout   time.Duration
+	log       parseLog
+}
+
+// addResFlags registers the resilience flags. withLenient is false for
+// subcommands that read no RDF serializations (where -lenient would be
+// meaningless).
+func addResFlags(fs *flag.FlagSet, withLenient bool) *resFlags {
+	rf := &resFlags{}
+	fs.DurationVar(&rf.timeout, "timeout", 0, "abort after `duration` with exit status 3 (0 = no limit)")
+	if withLenient {
+		fs.BoolVar(&rf.lenient, "lenient", false, "skip malformed statements and degrade non-conforming nodes instead of aborting")
+		fs.IntVar(&rf.maxErrors, "max-errors", 0, "lenient: hard-stop after more than `n` malformed statements (0 = 1000, negative = unlimited)")
+	}
+	return rf
+}
+
+// context returns the run context, bounded by -timeout when one was given.
+func (rf *resFlags) context() (context.Context, context.CancelFunc) {
+	if rf.timeout > 0 {
+		return context.WithTimeout(context.Background(), rf.timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// rioOptions builds the reader options implementing the chosen policy,
+// recording skipped statements in rf.log.
+func (rf *resFlags) rioOptions() rio.Options {
+	return rio.Options{Lenient: rf.lenient, MaxErrors: rf.maxErrors, OnError: rf.log.record}
+}
+
+// summarize prints the lenient-mode skip summary to stderr (satisfying the
+// "report, don't hide" contract); it prints nothing when nothing was
+// skipped or in strict mode.
+func (rf *resFlags) summarize(stderr io.Writer) { rf.log.summarize(stderr) }
+
+// parseLog retains the first few skipped-statement errors for the stderr
+// summary and counts the rest.
+type parseLog struct {
+	count int
+	first []rio.ParseError
+}
+
+const maxShownParseErrors = 5
+
+func (l *parseLog) record(e rio.ParseError) {
+	l.count++
+	if len(l.first) < maxShownParseErrors {
+		l.first = append(l.first, e)
+	}
+}
+
+func (l *parseLog) summarize(stderr io.Writer) {
+	if l.count == 0 {
+		return
+	}
+	fmt.Fprintf(stderr, "s3pg: lenient: skipped %d malformed statement(s):\n", l.count)
+	for i := range l.first {
+		fmt.Fprintf(stderr, "  %v\n", &l.first[i])
+	}
+	if rest := l.count - len(l.first); rest > 0 {
+		fmt.Fprintf(stderr, "  … and %d more\n", rest)
+	}
+}
+
 func parseMode(s string) (s3pg.Mode, error) {
 	switch s {
 	case "parsimonious", "":
@@ -191,15 +294,19 @@ func parseMode(s string) (s3pg.Mode, error) {
 	}
 }
 
-func loadShapes(path string) (*s3pg.ShapeSchema, error) {
+func loadShapes(ctx context.Context, path string, rf *resFlags) (*s3pg.ShapeSchema, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return s3pg.ShapesFromTurtle(string(src))
+	g, err := rio.ParseTurtleWith(ctx, string(src), rf.rioOptions())
+	if err != nil {
+		return nil, err
+	}
+	return shacl.FromGraph(g)
 }
 
-func loadData(path string, span *obs.Span) (*s3pg.Graph, error) {
+func loadData(ctx context.Context, path string, rf *resFlags, span *obs.Span) (*s3pg.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -209,7 +316,7 @@ func loadData(path string, span *obs.Span) (*s3pg.Graph, error) {
 	if span != nil {
 		sp = span.StartSpan("ingest")
 	}
-	g, err := s3pg.LoadNTriples(f)
+	g, err := rio.LoadNTriplesWith(ctx, f, rf.rioOptions())
 	if err == nil {
 		sp.Count("triples", int64(g.Len()))
 	}
@@ -231,6 +338,7 @@ func cmdSchema(args []string, stdout, stderr io.Writer) error {
 	mode := fs.String("mode", "parsimonious", "parsimonious|nonparsimonious")
 	out := fs.String("out", "", "output DDL `file` (default stdout)")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, true)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -241,14 +349,17 @@ func cmdSchema(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("schema", stdout, stderr)
 	if err != nil {
 		return err
 	}
-	shapes, err := loadShapes(*shapesPath)
+	shapes, err := loadShapes(ctx, *shapesPath, rf)
 	if err != nil {
 		return err
 	}
+	rf.summarize(stderr)
 	schema, err := core.TransformSchemaTraced(shapes, m, span)
 	if err != nil {
 		return err
@@ -268,6 +379,7 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	edgesOut := fs.String("edges", "edges.csv", "output edges CSV `file`")
 	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL `file`")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, true)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -278,21 +390,46 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("data", stdout, stderr)
 	if err != nil {
 		return err
 	}
-	shapes, err := loadShapes(*shapesPath)
+	shapes, err := loadShapes(ctx, *shapesPath, rf)
 	if err != nil {
 		return err
 	}
-	g, err := loadData(*dataPath, span)
+	g, err := loadData(ctx, *dataPath, rf, span)
 	if err != nil {
 		return err
 	}
-	store, schema, err := core.TransformTraced(g, shapes, m, span)
+	rf.summarize(stderr)
+	if rf.lenient {
+		// Data-vs-shapes validation pass: in lenient mode non-conformance is
+		// reported (stderr summary + shacl.violations counter) rather than
+		// failed on; the transformation then degrades gracefully over it.
+		var sp *obs.Span
+		if span != nil {
+			sp = span.StartSpan("validate")
+		}
+		violations, verr := shacl.ValidateContext(ctx, g, shapes)
+		sp.Count("violations", int64(len(violations)))
+		sp.End()
+		if verr != nil {
+			return verr
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "s3pg: lenient: %s\n", shacl.NewViolationReport(violations))
+		}
+	}
+	tr, err := core.TransformWith(ctx, g, shapes, m, span, core.TransformOptions{Lenient: rf.lenient})
 	if err != nil {
 		return err
+	}
+	store, schema := tr.Store(), tr.Schema()
+	if n := tr.DegradedCount(); n > 0 {
+		fmt.Fprintf(stderr, "s3pg: lenient: %d statement(s) transformed via degradation fallbacks\n", n)
 	}
 	nf, err := os.Create(*nodesOut)
 	if err != nil {
@@ -322,12 +459,15 @@ func cmdInvert(args []string, stdout, stderr io.Writer) error {
 	edgesPath := fs.String("edges", "", "edges CSV `file`")
 	out := fs.String("out", "", "output N-Triples `file` (default stdout)")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, false)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *schemaPath == "" || *nodesPath == "" || *edgesPath == "" {
 		return usagef("-schema, -nodes, and -edges are required")
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("invert", stdout, stderr)
 	if err != nil {
 		return err
@@ -354,7 +494,7 @@ func cmdInvert(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := core.InverseDataTraced(store, schema, span)
+	g, err := core.InverseDataContext(ctx, store, schema, span)
 	if err != nil {
 		return err
 	}
@@ -378,31 +518,38 @@ func cmdValidate(args []string, stdout, stderr io.Writer) error {
 	shapesPath := fs.String("shapes", "", "SHACL shapes `file` (Turtle)")
 	dataPath := fs.String("data", "", "RDF data `file` (N-Triples)")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, true)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *shapesPath == "" || *dataPath == "" {
 		return usagef("-shapes and -data are required")
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("validate", stdout, stderr)
 	if err != nil {
 		return err
 	}
-	shapes, err := loadShapes(*shapesPath)
+	shapes, err := loadShapes(ctx, *shapesPath, rf)
 	if err != nil {
 		return err
 	}
-	g, err := loadData(*dataPath, span)
+	g, err := loadData(ctx, *dataPath, rf, span)
 	if err != nil {
 		return err
 	}
+	rf.summarize(stderr)
 	var sp *obs.Span
 	if span != nil {
 		sp = span.StartSpan("validate")
 	}
-	violations := s3pg.ValidateSHACL(g, shapes)
+	violations, verr := shacl.ValidateContext(ctx, g, shapes)
 	sp.Count("violations", int64(len(violations)))
 	sp.End()
+	if verr != nil {
+		return verr
+	}
 	for _, v := range violations {
 		fmt.Fprintln(stdout, v)
 	}
@@ -410,6 +557,7 @@ func cmdValidate(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if len(violations) > 0 {
+		fmt.Fprintf(stderr, "s3pg: %s\n", shacl.NewViolationReport(violations))
 		return fmt.Errorf("%d violation(s)", len(violations))
 	}
 	fmt.Fprintln(stdout, "graph conforms to the shape schema")
@@ -421,12 +569,15 @@ func cmdTranslate(args []string, stdout, stderr io.Writer) error {
 	schemaPath := fs.String("schema", "", "PG-Schema DDL `file`")
 	queryPath := fs.String("query", "", "SPARQL query `file`")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, false)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *schemaPath == "" || *queryPath == "" {
 		return usagef("-schema and -query are required")
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("translate", stdout, stderr)
 	if err != nil {
 		return err
@@ -441,6 +592,9 @@ func cmdTranslate(args []string, stdout, stderr io.Writer) error {
 	}
 	query, err := os.ReadFile(*queryPath)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var sp *obs.Span
@@ -462,20 +616,24 @@ func cmdExtract(args []string, stdout, stderr io.Writer) error {
 	minSupport := fs.Float64("minsupport", 0.02, "type-alternative pruning threshold")
 	out := fs.String("out", "", "output shapes `file` (default stdout)")
 	ob := addObsFlags(fs)
+	rf := addResFlags(fs, true)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *dataPath == "" {
 		return usagef("-data is required")
 	}
+	ctx, cancel := rf.context()
+	defer cancel()
 	span, finish, err := ob.begin("extract", stdout, stderr)
 	if err != nil {
 		return err
 	}
-	g, err := loadData(*dataPath, span)
+	g, err := loadData(ctx, *dataPath, rf, span)
 	if err != nil {
 		return err
 	}
+	rf.summarize(stderr)
 	var sp *obs.Span
 	if span != nil {
 		sp = span.StartSpan("extract")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,12 +14,38 @@ import (
 )
 
 // Always-on transform throughput meters and counters (obs.Default registry):
-// PG elements produced by F_dt, fed once per Apply call.
+// PG elements produced by F_dt, fed once per Apply call, plus the lenient-
+// mode degradation tally.
 var (
-	mTransformNodes = obs.Default.Meter("core.transform.nodes")
-	mTransformEdges = obs.Default.Meter("core.transform.edges")
-	cTransformKV    = obs.Default.Counter("core.transform.kv_props")
+	mTransformNodes   = obs.Default.Meter("core.transform.nodes")
+	mTransformEdges   = obs.Default.Meter("core.transform.edges")
+	cTransformKV      = obs.Default.Counter("core.transform.kv_props")
+	cTransformDegrade = obs.Default.Counter("core.transform.degraded")
 )
+
+// GenericClass is the rdf:type assumed for shape-less entities under the
+// lenient degradation policy: untyped subjects are labelled as instances of
+// rdfs:Resource so their properties still land on a labelled node instead of
+// being dropped.
+const GenericClass = rdf.RDFSNS + "Resource"
+
+// Degradation records one statement the lenient policy could not realize
+// faithfully: it was either skipped (unrepresentable) or coerced through the
+// documented fallback (generic label, string-coerced value).
+type Degradation struct {
+	// Reason says which fallback applied or why the statement was skipped.
+	Reason string
+	// Triple is the statement concerned.
+	Triple rdf.Triple
+}
+
+// String renders the degradation for diagnostics.
+func (d Degradation) String() string { return fmt.Sprintf("%s: %v", d.Reason, d.Triple) }
+
+// maxRetainedDegradations caps the per-transformer detail list; the count
+// keeps growing past it (DegradedCount) but details are dropped so dirty
+// inputs cannot balloon memory.
+const maxRetainedDegradations = 100
 
 // Transformer implements the S3PG data transformation F_dt (Algorithm 1):
 // a two-phase streaming conversion of RDF triples into a property graph
@@ -46,6 +73,13 @@ type Transformer struct {
 	// kvProps counts key/value-inlined literals for span accounting (plain
 	// int: Apply is single-goroutine).
 	kvProps int64
+
+	// lenient enables the degradation policy: statements that strict mode
+	// rejects are realized through documented fallbacks or skipped and
+	// recorded instead of aborting the transformation.
+	lenient       bool
+	degraded      []Degradation
+	degradedCount int64
 }
 
 // valKey identifies a value node: the exact lexical, datatype, language tag,
@@ -87,6 +121,33 @@ func NewTransformerForSchema(spg *pgschema.Schema, mode Mode) (*Transformer, err
 // Mode returns the transformation mode.
 func (t *Transformer) Mode() Mode { return t.mode }
 
+// SetLenient switches the degradation policy on or off. With it on, Apply
+// keeps transforming dirty inputs: untyped subjects get the GenericClass
+// label, literal rdf:type objects are string-coerced into ordinary property
+// statements, and unrepresentable statements (typed or object-position
+// quoted triples, malformed annotations) are skipped — each case recorded as
+// a Degradation and counted in the core.transform.degraded counter.
+func (t *Transformer) SetLenient(on bool) { t.lenient = on }
+
+// Lenient reports whether the degradation policy is active.
+func (t *Transformer) Lenient() bool { return t.lenient }
+
+// Degradations returns the recorded degradation details, capped at
+// maxRetainedDegradations entries (DegradedCount keeps the full tally).
+func (t *Transformer) Degradations() []Degradation { return t.degraded }
+
+// DegradedCount returns how many statements were degraded or skipped.
+func (t *Transformer) DegradedCount() int64 { return t.degradedCount }
+
+// degrade records one statement handled by the degradation policy.
+func (t *Transformer) degrade(reason string, tr rdf.Triple) {
+	t.degradedCount++
+	cTransformDegrade.Inc()
+	if len(t.degraded) < maxRetainedDegradations {
+		t.degraded = append(t.degraded, Degradation{Reason: reason, Triple: tr})
+	}
+}
+
 // Store returns the property graph built so far.
 func (t *Transformer) Store() *pg.Store { return t.store }
 
@@ -109,6 +170,17 @@ func (t *Transformer) Apply(g *rdf.Graph) error {
 // A nil span disables tracing at no cost; the Default-registry transform
 // meters are always fed.
 func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
+	return t.ApplyContext(context.Background(), g, span)
+}
+
+// ctxCheckInterval is how many triples each phase processes between context
+// cancellation checks.
+const ctxCheckInterval = 4096
+
+// ApplyContext is ApplyTraced with cancellation: each phase checks ctx every
+// ctxCheckInterval triples and aborts with ctx.Err() when it ends, leaving
+// the store in a consistent (if partial) state.
+func (t *Transformer) ApplyContext(ctx context.Context, g *rdf.Graph, span *obs.Span) error {
 	nodes0, edges0 := t.store.NumNodes(), t.store.NumEdges()
 	start := time.Now()
 	defer func() {
@@ -118,19 +190,38 @@ func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
 	}()
 
 	// Phase 1 (Algorithm 1, lines 4–14): collect entity types and create
-	// PG nodes with labels and the iri key.
+	// PG nodes with labels and the iri key. Under the lenient policy,
+	// malformed typing statements degrade instead of aborting: literal
+	// rdf:type objects are deferred to phase 2 as ordinary (string-coerced)
+	// property statements, typed quoted triples are skipped.
 	p1 := span.StartSpan("phase1.types")
-	typeTriples := int64(0)
+	typeTriples, seen := int64(0), 0
 	typePred := rdf.A
 	var err error
+	var coerced []rdf.Triple
 	g.Match(nil, &typePred, nil, func(tr rdf.Triple) bool {
+		if seen%ctxCheckInterval == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		seen++
 		typeTriples++
-		if !tr.O.IsIRI() {
-			err = fmt.Errorf("core: rdf:type object %v is not an IRI", tr.O)
+		if tr.S.IsTripleTerm() {
+			if t.lenient {
+				t.degrade("skipped: quoted triples cannot be typed", tr)
+				return true
+			}
+			err = fmt.Errorf("core: quoted triples cannot be typed: %v", tr)
 			return false
 		}
-		if tr.S.IsTripleTerm() {
-			err = fmt.Errorf("core: quoted triples cannot be typed: %v", tr)
+		if !tr.O.IsIRI() {
+			if t.lenient {
+				t.degrade("coerced: rdf:type object is not an IRI, realized as a property statement", tr)
+				coerced = append(coerced, tr)
+				return true
+			}
+			err = fmt.Errorf("core: rdf:type object %v is not an IRI", tr.O)
 			return false
 		}
 		id := t.ensureEntityNode(tr.S)
@@ -155,7 +246,14 @@ func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
 	p2 := span.StartSpan("phase2.properties")
 	nodes1, kv1 := t.store.NumNodes(), t.kvProps
 	var annotations []rdf.Triple
+	seen = 0
 	g.ForEach(func(tr rdf.Triple) bool {
+		if seen%ctxCheckInterval == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		seen++
 		if tr.P == rdf.A {
 			return true
 		}
@@ -164,8 +262,22 @@ func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
 			return true
 		}
 		err = t.applyTriple(tr)
+		if err != nil && t.lenient {
+			t.degrade("skipped: "+err.Error(), tr)
+			err = nil
+		}
 		return err == nil
 	})
+	if err == nil {
+		// Deferred literal-typed statements from phase 1 (lenient only):
+		// realized like any other property statement, so the information is
+		// preserved as a string-coerced value node.
+		for _, tr := range coerced {
+			if aerr := t.applyTriple(tr); aerr != nil {
+				t.degrade("skipped: "+aerr.Error(), tr)
+			}
+		}
+	}
 	cTransformKV.Add(t.kvProps - kv1)
 	p2.Count("edges_created", int64(t.store.NumEdges()-edges0))
 	p2.Count("value_nodes_created", int64(t.store.NumNodes()-nodes1))
@@ -180,6 +292,10 @@ func (t *Transformer) ApplyTraced(g *rdf.Graph, span *obs.Span) error {
 		defer pa.End()
 		for _, tr := range annotations {
 			if err := t.applyAnnotation(tr); err != nil {
+				if t.lenient {
+					t.degrade("skipped: "+err.Error(), tr)
+					continue
+				}
 				return err
 			}
 		}
@@ -194,6 +310,14 @@ func (t *Transformer) applyTriple(tr rdf.Triple) error {
 	}
 	sid := t.ensureEntityNode(tr.S)
 	sLabels := t.store.Node(sid).Labels
+	if len(sLabels) == 0 && t.lenient {
+		// Degradation policy: a subject with no rdf:type (hence no shape)
+		// gets the generic rdfs:Resource label so its properties attach to a
+		// labelled node; routes fall back to data-extended edge types.
+		t.degrade("generic label: subject has no rdf:type, labelled as rdfs:Resource", tr)
+		t.store.AddLabel(sid, t.mapping.EnsureClassLabel(GenericClass))
+		sLabels = t.store.Node(sid).Labels
+	}
 	route := t.mapping.Route(sLabels, tr.P.Value)
 
 	// Case 1 (lines 16–20): the object is a known entity → entity edge.
@@ -420,24 +544,42 @@ func Transform(g *rdf.Graph, sg *shacl.Schema, mode Mode) (*pg.Store, *pgschema.
 // and F_dt's phases each become child spans. A nil span runs the exact
 // uninstrumented path.
 func TransformTraced(g *rdf.Graph, sg *shacl.Schema, mode Mode, span *obs.Span) (*pg.Store, *pgschema.Schema, error) {
+	t, err := TransformWith(context.Background(), g, sg, mode, span, TransformOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.Store(), t.Schema(), nil
+}
+
+// TransformOptions configures the resilience aspects of a full pipeline run.
+type TransformOptions struct {
+	// Lenient activates the degradation policy (see Transformer.SetLenient).
+	Lenient bool
+}
+
+// TransformWith runs the traced pipeline with cancellation and the chosen
+// resilience options, returning the transformer so callers can inspect the
+// store, the (possibly extended) schema, and the recorded degradations.
+func TransformWith(ctx context.Context, g *rdf.Graph, sg *shacl.Schema, mode Mode, span *obs.Span, opts TransformOptions) (*Transformer, error) {
 	fst := span.StartSpan("F_st")
 	spg, err := TransformSchemaTraced(sg, mode, fst)
 	fst.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	mb := span.StartSpan("mapping")
 	t, err := NewTransformerForSchema(spg, mode)
 	mb.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	t.SetLenient(opts.Lenient)
 	fdt := span.StartSpan("F_dt")
-	err = t.ApplyTraced(g, fdt)
+	err = t.ApplyContext(ctx, g, fdt)
 	fdt.Count("triples", int64(g.Len()))
 	fdt.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return t.Store(), t.Schema(), nil
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,14 +24,21 @@ func InverseData(store *pg.Store, spg *pgschema.Schema) (*rdf.Graph, error) {
 // InverseDataTraced is InverseData recording its node and edge
 // reconstruction passes under the given span (nil disables tracing).
 func InverseDataTraced(store *pg.Store, spg *pgschema.Schema, span *obs.Span) (*rdf.Graph, error) {
+	return InverseDataContext(context.Background(), store, spg, span)
+}
+
+// InverseDataContext is InverseDataTraced with cancellation: the node and
+// edge reconstruction passes check ctx periodically and abort with ctx.Err()
+// when it ends.
+func InverseDataContext(ctx context.Context, store *pg.Store, spg *pgschema.Schema, span *obs.Span) (*rdf.Graph, error) {
 	m, err := BuildMapping(spg)
 	if err != nil {
 		return nil, err
 	}
-	return inverseDataWithMapping(store, m, span)
+	return inverseDataWithMapping(ctx, store, m, span)
 }
 
-func inverseDataWithMapping(store *pg.Store, m *Mapping, span *obs.Span) (*rdf.Graph, error) {
+func inverseDataWithMapping(ctx context.Context, store *pg.Store, m *Mapping, span *obs.Span) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
 
 	// Classify nodes: value nodes (reconstructed through edges) vs entities.
@@ -47,7 +55,12 @@ func inverseDataWithMapping(store *pg.Store, m *Mapping, span *obs.Span) (*rdf.G
 	}
 
 	np := span.StartSpan("nodes")
-	for _, n := range store.Nodes() {
+	for i, n := range store.Nodes() {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if isValue(n) {
 			continue
 		}
@@ -87,7 +100,12 @@ func inverseDataWithMapping(store *pg.Store, m *Mapping, span *obs.Span) (*rdf.G
 
 	ep := span.StartSpan("edges")
 	edgeStart := g.Len()
-	for _, e := range store.Edges() {
+	for i, e := range store.Edges() {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pred, ok := m.PredOfEdgeLabel(e.Label)
 		if !ok {
 			return nil, fmt.Errorf("core: edge label %q maps to no predicate", e.Label)

@@ -1,0 +1,52 @@
+package fixtures
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// CorruptNTriplesLines are malformed N-Triples statements, one per common
+// corruption class seen in real dumps: truncated statements, unterminated
+// literals, unterminated IRIs, missing terminators, raw binary garbage, and
+// free text. Each is a single line, so interleaving them with a clean
+// serialization corrupts exactly that many statements.
+var CorruptNTriplesLines = []string{
+	`<http://example.org/univ#x> <http://example.org/univ#name>`,                    // truncated: object and '.' missing
+	`<http://example.org/univ#x> <http://example.org/univ#name> "unterminated .`,    // unterminated literal
+	`<http://example.org/univ#x> <http://example.org/univ#knows <http://e.org/y> .`, // unterminated IRI
+	`<http://example.org/univ#x> <http://example.org/univ#age> "41"`,                // missing '.' terminator
+	"\xff\xfe\x00 binary garbage \x80 .",                                            // invalid UTF-8
+	`this is not an n-triples statement at all .`,                                   // free text
+}
+
+// CorruptUniversityNTriples serializes the university graph (Figure 2a) as
+// N-Triples and interleaves every CorruptNTriplesLines entry between clean
+// statements. It returns the dirty source and the number of injected
+// corruptions: a lenient parse must skip exactly that many statements and
+// recover exactly UniversityGraph.
+func CorruptUniversityNTriples() (src string, corruptions int) {
+	var nt strings.Builder
+	if err := rio.WriteNTriples(&nt, UniversityGraph()); err != nil {
+		panic(fmt.Sprintf("fixtures: serializing university graph: %v", err))
+	}
+	clean := strings.Split(strings.TrimRight(nt.String(), "\n"), "\n")
+
+	var out strings.Builder
+	bad := CorruptNTriplesLines
+	for i, line := range clean {
+		if i < len(bad) {
+			out.WriteString(bad[i])
+			out.WriteByte('\n')
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	// The clean serialization has more statements than corruption classes,
+	// but guard the invariant so fixture edits cannot silently drop some.
+	if len(clean) < len(bad) {
+		panic("fixtures: university graph too small to host all corruption classes")
+	}
+	return out.String(), len(bad)
+}

@@ -154,8 +154,11 @@ func EscapeLiteral(s string) string {
 	}
 	var b strings.Builder
 	b.Grow(len(s) + 8)
-	for _, r := range s {
-		switch r {
+	// Byte-wise: every escaped character is ASCII, so multi-byte sequences —
+	// including invalid UTF-8 — pass through unchanged and serialization
+	// round-trips the lexical form exactly.
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '"':
 			b.WriteString(`\"`)
 		case '\\':
@@ -167,7 +170,7 @@ func EscapeLiteral(s string) string {
 		case '\t':
 			b.WriteString(`\t`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()

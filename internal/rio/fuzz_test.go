@@ -1,0 +1,107 @@
+package rio
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// ntSeeds are representative well-formed and malformed N-Triples lines used
+// to seed both line-level and document-level fuzzing.
+var ntSeeds = []string{
+	`<http://example.org/s> <http://example.org/p> <http://example.org/o> .`,
+	`<http://example.org/s> <http://example.org/p> "plain" .`,
+	`<http://example.org/s> <http://example.org/p> "typed"^^<http://www.w3.org/2001/XMLSchema#gYear> .`,
+	`<http://example.org/s> <http://example.org/p> "tagged"@en-GB .`,
+	`_:b1 <http://example.org/p> _:b2 .`,
+	`<< <http://example.org/s> <http://example.org/p> "o" >> <http://example.org/certainty> "0.9" .`,
+	`# comment`,
+	``,
+	`<http://example.org/s> <http://example.org/p>`,
+	`<http://example.org/s> <http://example.org/p> "unterminated .`,
+	`<http://example.org/s> <http://example.org/p> "esc é \q" .`,
+	"\xff\xfe not utf8 .",
+	strings.Repeat("<<", 100),
+}
+
+// FuzzParseNTriplesLine checks that single-line parsing never panics, and
+// that every accepted triple round-trips: serializing it and reparsing must
+// yield the identical triple.
+func FuzzParseNTriplesLine(f *testing.F) {
+	for _, s := range ntSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseNTriplesLine(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseNTriplesLine(tr.String())
+		if err != nil {
+			t.Fatalf("accepted triple %q does not reparse: %v", tr, err)
+		}
+		if back != tr {
+			t.Fatalf("round trip changed the triple: %v != %v", back, tr)
+		}
+	})
+}
+
+// FuzzReadNTriplesLenient checks the lenient reader invariant: with an
+// unlimited error budget every input — however corrupted — parses to
+// completion without error, and every line is either a triple or a recorded
+// skip.
+func FuzzReadNTriplesLenient(f *testing.F) {
+	f.Add(strings.Join(ntSeeds, "\n"))
+	for _, s := range ntSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		skipped := 0
+		opts := Options{Lenient: true, MaxErrors: -1, OnError: func(ParseError) { skipped++ }}
+		triples := 0
+		err := ReadNTriplesWith(context.Background(), strings.NewReader(src), opts, func(rdf.Triple) error {
+			triples++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("lenient unlimited parse failed: %v", err)
+		}
+		lines := 0
+		for _, l := range strings.Split(src, "\n") {
+			l = strings.TrimSpace(l)
+			if l != "" && !strings.HasPrefix(l, "#") {
+				lines++
+			}
+		}
+		if triples+skipped != lines {
+			t.Fatalf("%d triples + %d skipped != %d statement lines", triples, skipped, lines)
+		}
+	})
+}
+
+// FuzzReadTurtle checks that the Turtle parser neither panics nor loops on
+// arbitrary input, and that the lenient reader's recovery always terminates
+// with a nil error under an unlimited budget.
+func FuzzReadTurtle(f *testing.F) {
+	f.Add("@prefix ex: <http://example.org/> .\nex:s ex:p ex:o ; ex:q \"v\" .")
+	f.Add("@prefix ex: <http://example.org/> .\nex:s ex:p ( 1 2.5 1e3 true ) .")
+	f.Add("ex:s ex:p ex:o .") // undeclared prefix
+	f.Add("<s> <p> [ <q> [ <r> 'x' ] ] .")
+	f.Add("<s> <p> \"\"\"long\nstring\"\"\"@en .")
+	f.Add("<< <s> <p> <o> >> <q> 1 .")
+	f.Add(strings.Repeat("[", 300))
+	f.Add(strings.Repeat("(", 300))
+	f.Add("\x00\xff @prefix : <x .")
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := ParseTurtleWith(context.Background(), src, Options{}); err != nil {
+			// Strict mode may reject; it must only do so via ParseError-based
+			// errors, which the lenient invariant below exercises.
+			_ = err
+		}
+		if _, err := ParseTurtleWith(context.Background(), src, Options{Lenient: true, MaxErrors: -1}); err != nil {
+			t.Fatalf("lenient unlimited parse failed: %v", err)
+		}
+	})
+}

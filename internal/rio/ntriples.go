@@ -6,6 +6,7 @@ package rio
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -29,35 +30,83 @@ type TripleHandler func(rdf.Triple) error
 
 // ReadNTriples parses an N-Triples document from r, streaming each triple to
 // fn. Lines that are empty or comments are skipped. The reader allocates no
-// intermediate graph, so arbitrarily large files can be processed.
+// intermediate graph, so arbitrarily large files can be processed. It is the
+// strict, non-cancellable form of ReadNTriplesWith.
 func ReadNTriples(r io.Reader, fn TripleHandler) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return ReadNTriplesWith(context.Background(), r, Options{}, fn)
+}
+
+// ctxCheckInterval is how many lines/statements the readers process between
+// context cancellation checks: frequent enough that cancellation is prompt,
+// rare enough that the per-statement cost is unmeasurable.
+const ctxCheckInterval = 4096
+
+// ReadNTriplesWith is ReadNTriples with cancellation and fault-tolerance
+// control. In strict mode (the zero Options) the first malformed line aborts
+// with a *ParseError; in lenient mode malformed lines are skipped, reported
+// to opts.OnError, counted in the rio.ntriples.skipped counter, and the
+// parse hard-stops with ErrTooManyErrors once opts.MaxErrors is exceeded.
+// Lines are read through a bufio.Reader, so there is no upper bound on line
+// length (bufio.Scanner's token limit does not apply).
+func ReadNTriplesWith(ctx context.Context, r io.Reader, opts Options, fn TripleHandler) error {
+	br := bufio.NewReaderSize(r, 64*1024)
 	lineNo, triples := 0, int64(0)
 	start := time.Now()
 	defer func() { ntMeter.Observe(triples, time.Since(start)) }()
-	for sc.Scan() {
+	sink := errorSink{opts: &opts, counter: ntSkipped}
+	for {
+		if lineNo%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		raw, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		atEOF := rerr == io.EOF
+		if raw == "" && atEOF {
+			return nil
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return nil
+			}
 			continue
 		}
-		t, err := ParseNTriplesLine(line)
-		if err != nil {
-			return fmt.Errorf("rio: line %d: %w", lineNo, err)
+		t, perr := parseNTriplesLine(line)
+		if perr != nil {
+			perr.Line = lineNo
+			if !opts.Lenient {
+				return fmt.Errorf("rio: %w", perr)
+			}
+			if err := sink.record(*perr); err != nil {
+				return err
+			}
+		} else {
+			triples++
+			if err := fn(t); err != nil {
+				return err
+			}
 		}
-		triples++
-		if err := fn(t); err != nil {
-			return err
+		if atEOF {
+			return nil
 		}
 	}
-	return sc.Err()
 }
 
 // LoadNTriples parses an N-Triples document into a new graph.
 func LoadNTriples(r io.Reader) (*rdf.Graph, error) {
+	return LoadNTriplesWith(context.Background(), r, Options{})
+}
+
+// LoadNTriplesWith is LoadNTriples with cancellation and fault-tolerance
+// control (see ReadNTriplesWith).
+func LoadNTriplesWith(ctx context.Context, r io.Reader, opts Options) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
-	err := ReadNTriples(r, func(t rdf.Triple) error {
+	err := ReadNTriplesWith(ctx, r, opts, func(t rdf.Triple) error {
 		g.Add(t)
 		return nil
 	})
@@ -68,34 +117,53 @@ func LoadNTriples(r io.Reader) (*rdf.Graph, error) {
 }
 
 // ParseNTriplesLine parses one N-Triples statement (without trailing newline).
+// Parse failures are returned as a *ParseError carrying the column and the
+// offending input (the line number is unknown at this level and left zero).
 func ParseNTriplesLine(line string) (rdf.Triple, error) {
-	p := &ntParser{in: line}
-	s, err := p.term()
-	if err != nil {
-		return rdf.Triple{}, fmt.Errorf("subject: %w", err)
-	}
-	pr, err := p.term()
-	if err != nil {
-		return rdf.Triple{}, fmt.Errorf("predicate: %w", err)
-	}
-	o, err := p.term()
-	if err != nil {
-		return rdf.Triple{}, fmt.Errorf("object: %w", err)
-	}
-	p.skipSpace()
-	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
-		return rdf.Triple{}, fmt.Errorf("expected terminating '.' in %q", line)
-	}
-	t := rdf.NewTriple(s, pr, o)
-	if !t.Valid() {
-		return rdf.Triple{}, fmt.Errorf("malformed triple %q", line)
+	t, perr := parseNTriplesLine(line)
+	if perr != nil {
+		return rdf.Triple{}, perr
 	}
 	return t, nil
 }
 
+func parseNTriplesLine(line string) (rdf.Triple, *ParseError) {
+	p := &ntParser{in: line}
+	fail := func(what string, err error) *ParseError {
+		return &ParseError{Col: p.pos + 1, Input: line, Reason: what + ": " + err.Error()}
+	}
+	s, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fail("subject", err)
+	}
+	pr, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fail("predicate", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, fail("object", err)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return rdf.Triple{}, &ParseError{Col: p.pos + 1, Input: line, Reason: "expected terminating '.'"}
+	}
+	t := rdf.NewTriple(s, pr, o)
+	if !t.Valid() {
+		return rdf.Triple{}, &ParseError{Col: 1, Input: line, Reason: "malformed triple (term kinds violate RDF positions)"}
+	}
+	return t, nil
+}
+
+// maxQuotedDepth bounds RDF-star quoted-triple nesting so that hostile
+// inputs like "<<<<<<…" fail with a ParseError instead of overflowing the
+// stack.
+const maxQuotedDepth = 64
+
 type ntParser struct {
-	in  string
-	pos int
+	in    string
+	pos   int
+	depth int
 }
 
 func (p *ntParser) skipSpace() {
@@ -113,6 +181,11 @@ func (p *ntParser) term() (rdf.Term, error) {
 	case '<':
 		// RDF-star quoted triple: << s p o >>.
 		if p.pos+1 < len(p.in) && p.in[p.pos+1] == '<' {
+			p.depth++
+			defer func() { p.depth-- }()
+			if p.depth > maxQuotedDepth {
+				return rdf.Term{}, fmt.Errorf("quoted triples nested deeper than %d", maxQuotedDepth)
+			}
 			p.pos += 2
 			var comps [3]rdf.Term
 			for i := range comps {

@@ -1,0 +1,113 @@
+package rio
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Skipped-statement counters for lenient-mode parsing (obs.Default
+// registry). They appear in every metrics snapshot, so CLI users can see at
+// a glance how much of a dirty input was dropped.
+var (
+	ntSkipped  = obs.Default.Counter("rio.ntriples.skipped")
+	ttlSkipped = obs.Default.Counter("rio.turtle.skipped")
+)
+
+// ErrTooManyErrors is returned (wrapped, with counts) by the lenient readers
+// once more than Options.MaxErrors malformed statements have been skipped.
+// It marks inputs too corrupted to be worth degrading gracefully.
+var ErrTooManyErrors = errors.New("too many parse errors")
+
+// ParseError describes one malformed statement: where it was found, what the
+// offending input looked like, and why it was rejected. The strict readers
+// return it (wrapped) as the parse failure; the lenient readers hand each one
+// to Options.OnError and keep going.
+type ParseError struct {
+	// Line is the 1-based line number of the statement.
+	Line int
+	// Col is the 1-based byte offset within the statement where parsing
+	// failed, when known (0 otherwise).
+	Col int
+	// Input is the offending line or statement, truncated for display.
+	Input string
+	// Reason says what was wrong.
+	Reason string
+}
+
+// Error renders the position, reason, and a snippet of the offending input.
+func (e *ParseError) Error() string {
+	pos := fmt.Sprintf("line %d", e.Line)
+	if e.Col > 0 {
+		pos = fmt.Sprintf("line %d:%d", e.Line, e.Col)
+	}
+	if e.Input == "" {
+		return fmt.Sprintf("%s: %s", pos, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s (near %q)", pos, e.Reason, clip(e.Input, 60))
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// DefaultMaxErrors bounds lenient-mode error skipping when Options.MaxErrors
+// is left zero: inputs with more malformed statements than this abort with
+// ErrTooManyErrors rather than degrade into noise.
+const DefaultMaxErrors = 1000
+
+// Options configures the fault tolerance of the readers.
+//
+// The zero value is strict mode: the first malformed statement aborts the
+// parse with a *ParseError. With Lenient set, malformed statements are
+// skipped, reported through OnError, and counted in the rio.*.skipped
+// observability counters; parsing hard-stops with ErrTooManyErrors once more
+// than MaxErrors statements have been skipped.
+type Options struct {
+	// Lenient selects skip-and-report mode instead of fail-fast.
+	Lenient bool
+	// MaxErrors caps how many malformed statements lenient mode tolerates.
+	// Zero means DefaultMaxErrors; negative means unlimited.
+	MaxErrors int
+	// OnError, when non-nil, receives every skipped statement's ParseError.
+	OnError func(ParseError)
+}
+
+// maxErrors resolves the effective error budget.
+func (o *Options) maxErrors() int {
+	switch {
+	case o.MaxErrors == 0:
+		return DefaultMaxErrors
+	case o.MaxErrors < 0:
+		return int(^uint(0) >> 1) // effectively unlimited
+	default:
+		return o.MaxErrors
+	}
+}
+
+// errorSink tracks skipped statements against the MaxErrors budget shared by
+// both readers.
+type errorSink struct {
+	opts    *Options
+	counter *obs.Counter
+	n       int
+}
+
+// record reports one skipped statement; the returned error is non-nil once
+// the budget is exhausted.
+func (s *errorSink) record(pe ParseError) error {
+	s.n++
+	s.counter.Inc()
+	if s.opts.OnError != nil {
+		s.opts.OnError(pe)
+	}
+	if s.n > s.opts.maxErrors() {
+		return fmt.Errorf("rio: %w: %d malformed statements exceed the limit of %d (last: %v)",
+			ErrTooManyErrors, s.n, s.opts.maxErrors(), &pe)
+	}
+	return nil
+}

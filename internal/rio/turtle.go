@@ -1,6 +1,8 @@
 package rio
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -13,8 +15,14 @@ import (
 
 // ParseTurtle parses a Turtle document into a new graph.
 func ParseTurtle(src string) (*rdf.Graph, error) {
+	return ParseTurtleWith(context.Background(), src, Options{})
+}
+
+// ParseTurtleWith is ParseTurtle with cancellation and fault-tolerance
+// control (see ReadTurtleWith).
+func ParseTurtleWith(ctx context.Context, src string, opts Options) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
-	if err := ReadTurtle(strings.NewReader(src), func(t rdf.Triple) error {
+	if err := ReadTurtleWith(ctx, strings.NewReader(src), opts, func(t rdf.Triple) error {
 		g.Add(t)
 		return nil
 	}); err != nil {
@@ -25,6 +33,17 @@ func ParseTurtle(src string) (*rdf.Graph, error) {
 
 // ReadTurtle parses a Turtle document from r, streaming triples to fn.
 func ReadTurtle(r io.Reader, fn TripleHandler) error {
+	return ReadTurtleWith(context.Background(), r, Options{}, fn)
+}
+
+// ReadTurtleWith is ReadTurtle with cancellation and fault-tolerance
+// control. In strict mode (the zero Options) the first malformed statement
+// aborts with a *ParseError; in lenient mode the parser reports the error to
+// opts.OnError, re-synchronizes at the next top-level '.' terminator, and
+// keeps parsing — triples already streamed from the failed statement's
+// prefix stand. Parsing hard-stops with ErrTooManyErrors once opts.MaxErrors
+// malformed statements have been skipped.
+func ReadTurtleWith(ctx context.Context, r io.Reader, opts Options, fn TripleHandler) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return err
@@ -36,32 +55,141 @@ func ReadTurtle(r io.Reader, fn TripleHandler) error {
 		triples++
 		return fn(t)
 	}
-	p := &ttlParser{src: string(data), prefixes: map[string]string{}, emit: counted}
+	p := &ttlParser{
+		ctx:      ctx,
+		opts:     opts,
+		sink:     errorSink{opts: &opts, counter: ttlSkipped},
+		src:      string(data),
+		prefixes: map[string]string{},
+		emit:     counted,
+	}
 	return p.parse()
 }
 
+// maxTurtleDepth bounds blank-node property list, collection, and quoted
+// triple nesting so that hostile inputs ("[[[[…", "((((…") fail with a
+// ParseError instead of overflowing the stack.
+const maxTurtleDepth = 128
+
 type ttlParser struct {
+	ctx      context.Context
+	opts     Options
+	sink     errorSink
 	src      string
 	pos      int
 	line     int
+	depth    int
+	stmts    int
 	prefixes map[string]string
 	base     string
 	emit     TripleHandler
 	blankSeq int
 }
 
+// errf builds a parse error as a wrapped *ParseError carrying line, column,
+// and an input snippet, so lenient mode can tell parse failures apart from
+// handler and cancellation errors.
 func (p *ttlParser) errf(format string, args ...any) error {
-	return fmt.Errorf("rio: turtle line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+	col := p.pos - strings.LastIndexByte(p.src[:min(p.pos, len(p.src))], '\n')
+	return fmt.Errorf("rio: turtle: %w", &ParseError{
+		Line:   p.line + 1,
+		Col:    col,
+		Input:  p.snippet(),
+		Reason: fmt.Sprintf(format, args...),
+	})
 }
+
+// enter guards recursive productions against pathological nesting.
+func (p *ttlParser) enter() error {
+	p.depth++
+	if p.depth > maxTurtleDepth {
+		return p.errf("nesting deeper than %d levels", maxTurtleDepth)
+	}
+	return nil
+}
+
+func (p *ttlParser) leave() { p.depth-- }
 
 func (p *ttlParser) parse() error {
 	for {
+		if p.stmts%64 == 0 {
+			if err := p.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		p.stmts++
 		p.skipWS()
 		if p.pos >= len(p.src) {
 			return nil
 		}
 		if err := p.statement(); err != nil {
-			return err
+			var pe *ParseError
+			if !p.opts.Lenient || !errors.As(err, &pe) {
+				return err // strict mode, handler error, or cancellation
+			}
+			p.recoverStatement()
+			if err := p.sink.record(*pe); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// recoverStatement advances past the remainder of a malformed statement:
+// it scans for the next top-level '.' terminator, skipping over quoted
+// strings, IRI references, and comments so '.' characters inside them do not
+// end recovery early. Reaching end of input also terminates recovery.
+func (p *ttlParser) recoverStatement() {
+	for p.pos < len(p.src) {
+		switch c := p.src[p.pos]; c {
+		case '\n':
+			p.line++
+			p.pos++
+		case '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		case '"', '\'':
+			p.skipQuoted(c)
+		case '<':
+			for p.pos++; p.pos < len(p.src) && p.src[p.pos] != '>' && p.src[p.pos] != '\n'; p.pos++ {
+			}
+		case '.':
+			p.pos++
+			return
+		default:
+			p.pos++
+		}
+	}
+}
+
+// skipQuoted moves the cursor past a (possibly long) quoted string during
+// recovery, tolerating unterminated strings by stopping at end of input.
+func (p *ttlParser) skipQuoted(q byte) {
+	long := strings.Repeat(string(q), 3)
+	if strings.HasPrefix(p.src[p.pos:], long) {
+		p.pos += 3
+		if end := strings.Index(p.src[p.pos:], long); end >= 0 {
+			p.line += strings.Count(p.src[p.pos:p.pos+end], "\n")
+			p.pos += end + 3
+		} else {
+			p.line += strings.Count(p.src[p.pos:], "\n")
+			p.pos = len(p.src)
+		}
+		return
+	}
+	for p.pos++; p.pos < len(p.src); {
+		switch c := p.src[p.pos]; {
+		case c == '\\' && p.pos+1 < len(p.src):
+			p.pos += 2
+		case c == q:
+			p.pos++
+			return
+		case c == '\n':
+			// Short strings cannot span lines; treat as end of the string.
+			return
+		default:
+			p.pos++
 		}
 	}
 }
@@ -228,6 +356,10 @@ func (p *ttlParser) object() (rdf.Term, error) {
 
 // quotedTriple parses an RDF-star << s p o >> term.
 func (p *ttlParser) quotedTriple() (rdf.Term, error) {
+	if err := p.enter(); err != nil {
+		return rdf.Term{}, err
+	}
+	defer p.leave()
 	p.pos += 2 // <<
 	var comps [3]rdf.Term
 	for i := range comps {
@@ -257,6 +389,10 @@ func (p *ttlParser) quotedTriple() (rdf.Term, error) {
 }
 
 func (p *ttlParser) blankPropertyList() (rdf.Term, error) {
+	if err := p.enter(); err != nil {
+		return rdf.Term{}, err
+	}
+	defer p.leave()
 	p.eat('[')
 	p.blankSeq++
 	node := rdf.NewBlank(fmt.Sprintf("genid%d", p.blankSeq))
@@ -275,6 +411,10 @@ func (p *ttlParser) blankPropertyList() (rdf.Term, error) {
 }
 
 func (p *ttlParser) collection() (rdf.Term, error) {
+	if err := p.enter(); err != nil {
+		return rdf.Term{}, err
+	}
+	defer p.leave()
 	p.eat('(')
 	first, rest, nilT := rdf.NewIRI(rdf.RDFFirst), rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil)
 	var items []rdf.Term

@@ -1,22 +1,61 @@
 package shacl
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rdf"
 )
+
+// cViolations counts every violation found across validation runs
+// (obs.Default registry), so metrics snapshots expose how dirty the
+// processed data was.
+var cViolations = obs.Default.Counter("shacl.violations")
+
+// ViolationKind classifies a conformance failure by the constraint it
+// breaks; ViolationReport aggregates per-shape counts along these kinds.
+type ViolationKind uint8
+
+// The violation kinds, mirroring the constraint components of Definition
+// 2.2: cardinality bounds, literal datatype membership, class membership,
+// and node-kind mismatches (a literal where a resource is required or vice
+// versa).
+const (
+	ViolationCardinality ViolationKind = iota + 1
+	ViolationDatatype
+	ViolationClass
+	ViolationNodeKind
+)
+
+// String returns the constraint family name.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationCardinality:
+		return "cardinality"
+	case ViolationDatatype:
+		return "datatype"
+	case ViolationClass:
+		return "class"
+	case ViolationNodeKind:
+		return "nodeKind"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+	}
+}
 
 // Violation describes one conformance failure found by Validate.
 type Violation struct {
 	Entity  rdf.Term
 	Shape   string
 	Path    string
+	Kind    ViolationKind
 	Message string
 }
 
 // String renders the violation for diagnostics.
 func (v Violation) String() string {
-	return fmt.Sprintf("%v ⊭ %s (path %s): %s", v.Entity, v.Shape, v.Path, v.Message)
+	return fmt.Sprintf("%v ⊭ %s (path %s): %s: %s", v.Entity, v.Shape, v.Path, v.Kind, v.Message)
 }
 
 // Validator checks graph conformance against a shape schema, implementing
@@ -46,21 +85,43 @@ func Validate(g *rdf.Graph, s *Schema) []Violation {
 	return NewValidator(g, s).ValidateAll()
 }
 
+// ValidateContext is Validate with cancellation: it returns the violations
+// found so far together with ctx.Err() when the context ends mid-pass.
+func ValidateContext(ctx context.Context, g *rdf.Graph, s *Schema) ([]Violation, error) {
+	return NewValidator(g, s).ValidateAllContext(ctx)
+}
+
 // Conforms reports whether G ⊨ S_G.
 func Conforms(g *rdf.Graph, s *Schema) bool { return len(Validate(g, s)) == 0 }
 
 // ValidateAll checks all node shapes with target classes.
 func (v *Validator) ValidateAll() []Violation {
+	out, _ := v.ValidateAllContext(context.Background())
+	return out
+}
+
+// ValidateAllContext checks all node shapes with target classes, checking
+// for cancellation between entities. On cancellation the violations found so
+// far are returned alongside ctx.Err().
+func (v *Validator) ValidateAllContext(ctx context.Context) ([]Violation, error) {
 	var out []Violation
+	checked := 0
+	defer func() { cViolations.Add(int64(len(out))) }()
 	for _, ns := range v.s.Shapes() {
 		if ns.TargetClass == "" {
 			continue
 		}
 		for _, e := range v.g.InstancesOf(rdf.NewIRI(ns.TargetClass)) {
+			if checked%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
+			}
+			checked++
 			out = append(out, v.ValidateEntity(e, ns.Name)...)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ValidateEntity checks a single entity against a node shape (including
@@ -84,22 +145,43 @@ func (v *Validator) validateProperty(e rdf.Term, shapeName string, ps *PropertyS
 
 	// Cardinality: n ≤ |{⟨e, τ_p, o⟩}| ≤ m.
 	if len(objects) < ps.MinCount {
-		out = append(out, Violation{e, shapeName, ps.Path,
+		out = append(out, Violation{e, shapeName, ps.Path, ViolationCardinality,
 			fmt.Sprintf("cardinality %d below minCount %d", len(objects), ps.MinCount)})
 	}
 	if ps.MaxCount != Unbounded && len(objects) > ps.MaxCount {
-		out = append(out, Violation{e, shapeName, ps.Path,
+		out = append(out, Violation{e, shapeName, ps.Path, ViolationCardinality,
 			fmt.Sprintf("cardinality %d above maxCount %d", len(objects), ps.MaxCount)})
 	}
 
 	// Type constraints: every value must satisfy at least one alternative.
 	for _, o := range objects {
 		if !v.valueMatches(o, ps.Types) {
-			out = append(out, Violation{e, shapeName, ps.Path,
+			out = append(out, Violation{e, shapeName, ps.Path, typeViolationKind(o, ps.Types),
 				fmt.Sprintf("value %v matches none of %v", o, ps.Types)})
 		}
 	}
 	return out
+}
+
+// typeViolationKind classifies a failed type constraint: a value of the
+// right node kind but the wrong datatype/class is a datatype/class
+// violation; a value of the wrong node kind entirely (literal where only
+// resources are admitted, or vice versa) is a nodeKind violation.
+func typeViolationKind(o rdf.Term, types []TypeRef) ViolationKind {
+	if o.IsLiteral() {
+		for _, ref := range types {
+			if ref.IsLiteral() {
+				return ViolationDatatype
+			}
+		}
+		return ViolationNodeKind
+	}
+	for _, ref := range types {
+		if !ref.IsLiteral() {
+			return ViolationClass
+		}
+	}
+	return ViolationNodeKind
 }
 
 // valueMatches reports whether the object satisfies at least one alternative.

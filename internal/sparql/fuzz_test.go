@@ -1,0 +1,21 @@
+package sparql
+
+import "testing"
+
+// FuzzParse checks that the SPARQL parser neither panics nor hangs on
+// arbitrary input. Input length is capped to bound recursion depth in the
+// expression grammar (parenthesized expressions recurse per byte of input).
+func FuzzParse(f *testing.F) {
+	f.Add("PREFIX ex: <http://example.org/univ#>\nSELECT ?s ?n WHERE { ?s a ex:Person ; ex:name ?n . }")
+	f.Add("SELECT DISTINCT ?s WHERE { ?s ?p ?o . FILTER(isLiteral(?o) && REGEX(?o, \"^A\")) } ORDER BY ?s LIMIT 5")
+	f.Add("SELECT (COUNT(?s) AS ?n) WHERE { { ?s a ?c } UNION { ?s ?p ?o } OPTIONAL { ?s ?q ?v } }")
+	f.Add("SELECT ?x WHERE { FILTER((((((?x > 1)))))) }")
+	f.Add("SELECT")
+	f.Add("\x00\xff SELECT ?s WHERE {")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			return
+		}
+		_, _ = Parse(src)
+	})
+}

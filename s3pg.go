@@ -30,6 +30,7 @@
 package s3pg
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -106,11 +107,44 @@ var (
 	NewGraph = rdf.NewGraph
 )
 
+// Fault tolerance aliases: the strict/lenient parse policy and its errors,
+// plus the aggregated SHACL violation report of the lenient pipeline.
+type (
+	// ParseOptions configures fault tolerance of the RDF readers: the zero
+	// value is strict (first malformed statement aborts); Lenient skips and
+	// reports malformed statements up to MaxErrors.
+	ParseOptions = rio.Options
+	// ParseError describes one malformed statement (line, column, input
+	// snippet, reason).
+	ParseError = rio.ParseError
+	// TransformOptions configures resilience of the full pipeline.
+	TransformOptions = core.TransformOptions
+	// ViolationReport aggregates SHACL violations into per-shape counts by
+	// constraint family.
+	ViolationReport = shacl.ViolationReport
+)
+
+// ErrTooManyParseErrors is returned by lenient parses whose malformed-
+// statement count exceeds ParseOptions.MaxErrors.
+var ErrTooManyParseErrors = rio.ErrTooManyErrors
+
 // ParseTurtle parses a Turtle document into a graph.
 func ParseTurtle(src string) (*Graph, error) { return rio.ParseTurtle(src) }
 
+// ParseTurtleWith is ParseTurtle with cancellation and fault-tolerance
+// control.
+func ParseTurtleWith(ctx context.Context, src string, opts ParseOptions) (*Graph, error) {
+	return rio.ParseTurtleWith(ctx, src, opts)
+}
+
 // LoadNTriples parses an N-Triples stream into a graph.
 func LoadNTriples(r io.Reader) (*Graph, error) { return rio.LoadNTriples(r) }
+
+// LoadNTriplesWith is LoadNTriples with cancellation and fault-tolerance
+// control.
+func LoadNTriplesWith(ctx context.Context, r io.Reader, opts ParseOptions) (*Graph, error) {
+	return rio.LoadNTriplesWith(ctx, r, opts)
+}
 
 // WriteNTriples serializes a graph as N-Triples.
 func WriteNTriples(w io.Writer, g *Graph) error { return rio.WriteNTriples(w, g) }
@@ -154,6 +188,12 @@ func ExtractShapes(g *Graph, minSupport float64) *ShapeSchema {
 // ValidateSHACL checks G ⊨ S_G and returns all violations.
 func ValidateSHACL(g *Graph, s *ShapeSchema) []shacl.Violation { return shacl.Validate(g, s) }
 
+// NewViolationReport aggregates a violation list into per-shape counts by
+// constraint family (cardinality, datatype, class, nodeKind).
+func NewViolationReport(vs []shacl.Violation) *ViolationReport {
+	return shacl.NewViolationReport(vs)
+}
+
 // TransformSchema is F_st: it converts a SHACL shape schema into PG-Schema.
 func TransformSchema(s *ShapeSchema, mode Mode) (*PGSchema, error) {
 	return core.TransformSchema(s, mode)
@@ -164,6 +204,13 @@ func TransformSchema(s *ShapeSchema, mode Mode) (*PGSchema, error) {
 // PG-Schema.
 func Transform(g *Graph, s *ShapeSchema, mode Mode) (*Store, *PGSchema, error) {
 	return core.Transform(g, s, mode)
+}
+
+// TransformWith is Transform with cancellation and resilience options; it
+// returns the transformer so callers can inspect the store, schema, and any
+// degradations the lenient policy recorded.
+func TransformWith(ctx context.Context, g *Graph, s *ShapeSchema, mode Mode, opts TransformOptions) (*Transformer, error) {
+	return core.TransformWith(ctx, g, s, mode, nil, opts)
 }
 
 // NewTransformer prepares an incremental transformer: Apply may be called
