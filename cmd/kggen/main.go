@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"github.com/s3pg/s3pg/internal/ckpt"
 	"github.com/s3pg/s3pg/internal/datagen"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
@@ -54,31 +56,28 @@ func run(profileName string, scale float64, seed int64, out, shapesOut string, m
 		g = datagen.Evolve(g, p, evolve, seed+1000)
 	}
 
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+	// Outputs are committed atomically (temp file + rename): generating a
+	// multi-gigabyte dataset that dies mid-write must not leave a truncated
+	// file that looks like a complete dataset.
+	emit := func(w io.Writer) error { return rio.WriteNTriples(w, g) }
+	if out == "" {
+		if err := emit(os.Stdout); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := rio.WriteNTriples(w, g); err != nil {
+	} else if err := ckpt.WriteFileAtomic(out, 0o644, emit); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d triples\n", p.Name, g.Len())
 
 	if shapesOut != "" {
 		shapes := shapeex.Extract(g, shapeex.Options{MinSupport: minSupport})
-		f, err := os.Create(shapesOut)
+		err := ckpt.WriteFileAtomic(shapesOut, 0o644, func(w io.Writer) error {
+			tw := rio.NewTurtleWriter()
+			tw.Prefix("d", p.NS)
+			tw.Prefix("shape", shapeex.ShapeNS)
+			return tw.Write(w, shacl.ToGraph(shapes))
+		})
 		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tw := rio.NewTurtleWriter()
-		tw.Prefix("d", p.NS)
-		tw.Prefix("shape", shapeex.ShapeNS)
-		if err := tw.Write(f, shacl.ToGraph(shapes)); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "extracted %d node shapes\n", shapes.Len())

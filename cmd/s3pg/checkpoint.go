@@ -1,0 +1,419 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// Checkpoint-pipeline observability counters (obs.Default registry).
+var (
+	cResumes  = obs.Default.Counter("cli.ckpt.resumes")
+	cChunks   = obs.Default.Counter("cli.ckpt.chunks")
+	cMemStops = obs.Default.Counter("cli.ckpt.mem_stops")
+)
+
+// Test hooks, both environment-gated so the robustness tests can exercise
+// the real binary:
+//
+//   - S3PG_FAULT_FS routes every atomic commit through a fault-injecting
+//     filesystem. Its value is a comma-separated k=v list over the faultio
+//     Plan and FS knobs, e.g. "seed=7,shortevery=3,failsync=1".
+//   - S3PG_CRASH_AFTER_CHECKPOINT=N kills the process (exit 86, no cleanup)
+//     right after the N-th checkpoint save, simulating a crash at an
+//     arbitrary chunk boundary.
+const (
+	faultFSEnv    = "S3PG_FAULT_FS"
+	crashAfterEnv = "S3PG_CRASH_AFTER_CHECKPOINT"
+	crashExitCode = 86
+)
+
+// commitFS resolves the filesystem all atomic commits go through, once per
+// process: the real one, or the env-configured fault injector.
+var commitFS = sync.OnceValue(func() ckpt.FS {
+	spec := os.Getenv(faultFSEnv)
+	if spec == "" {
+		return ckpt.OSFS
+	}
+	fsys, err := parseFaultFS(spec)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", faultFSEnv, err))
+	}
+	return fsys
+})
+
+// parseFaultFS builds a fault-injecting FS from a "k=v,k=v" spec.
+func parseFaultFS(spec string) (*faultio.FS, error) {
+	fsys := &faultio.FS{}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed entry %q", kv)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %v", kv, err)
+		}
+		switch k {
+		case "seed":
+			fsys.Plan.Seed = n
+		case "shortevery":
+			fsys.Plan.ShortEvery = int(n)
+		case "transientevery":
+			fsys.Plan.TransientEvery = int(n)
+		case "failat":
+			fsys.Plan.FailAtByte = n
+		case "failcreate":
+			fsys.FailCreate = int(n)
+		case "failsync":
+			fsys.FailSync = int(n)
+		case "failrename":
+			fsys.FailRename = int(n)
+		default:
+			return nil, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	return fsys, nil
+}
+
+// commitAtomic writes one output file atomically through the (possibly
+// fault-injecting) commit filesystem, retrying transient faults with capped
+// exponential backoff. Hard failures abort with the output path untouched.
+func commitAtomic(path string, fn func(io.Writer) error) error {
+	return faultio.Retry(context.Background(), faultio.DefaultRetryPolicy, func() error {
+		return ckpt.WriteFileAtomicFS(commitFS(), path, 0o644, fn)
+	})
+}
+
+// writeStoreAtomic commits the node and edge CSV exports. Each file is
+// individually complete-or-absent; the edges file commits first, so a crash
+// between the two renames leaves a stale-nodes/new-edges pair at worst —
+// re-running the command repairs it, and the checkpoint (if any) is only
+// removed after both commits succeed.
+func writeStoreAtomic(store *pg.Store, nodesPath, edgesPath string) error {
+	return commitAtomic(nodesPath, func(nw io.Writer) error {
+		return commitAtomic(edgesPath, func(ew io.Writer) error {
+			return store.WriteCSV(nw, ew)
+		})
+	})
+}
+
+// ckptFlags carries the crash-safety options of the data subcommand.
+type ckptFlags struct {
+	path     string
+	every    int
+	interval time.Duration
+	resume   bool
+	maxMemMB int
+}
+
+func addCkptFlags(fs *flag.FlagSet) *ckptFlags {
+	ck := &ckptFlags{}
+	fs.StringVar(&ck.path, "checkpoint", "", "stream the input in chunks and record progress in this `file`")
+	fs.IntVar(&ck.every, "checkpoint-every", 50000, "statements per chunk (checkpoint saves happen at chunk boundaries)")
+	fs.DurationVar(&ck.interval, "checkpoint-interval", 0, "minimum `duration` between checkpoint saves (0 = every chunk)")
+	fs.BoolVar(&ck.resume, "resume", false, "continue from the checkpoint file instead of starting over")
+	fs.IntVar(&ck.maxMemMB, "max-mem", 0, "soft heap watermark in `MiB`: checkpoint and exit with status 5 when exceeded (0 = off)")
+	return ck
+}
+
+func (ck *ckptFlags) validate() error {
+	if ck.path == "" {
+		if ck.resume {
+			return usagef("-resume requires -checkpoint")
+		}
+		if ck.maxMemMB != 0 {
+			return usagef("-max-mem requires -checkpoint")
+		}
+		return nil
+	}
+	if ck.every <= 0 {
+		return usagef("-checkpoint-every must be positive")
+	}
+	if ck.maxMemMB < 0 {
+		return usagef("-max-mem must be non-negative")
+	}
+	return nil
+}
+
+// dataArgs bundles the data subcommand's file paths.
+type dataArgs struct {
+	shapes, data         string
+	nodes, edges, schema string
+}
+
+// cmdDataCheckpointed is the crash-safe form of the data pipeline: the input
+// streams through the offset-tracking scanner in chunks of -checkpoint-every
+// statements, the transformer state is checkpointed at chunk boundaries, and
+// the outputs are committed atomically at the end. A run killed at any point
+// and restarted with -resume produces outputs byte-identical to an
+// uninterrupted run with the same chunking (Prop. 4.3 guarantees the
+// checkpointed prefix graph never has to be retracted; the pipeline is
+// deterministic, so equality is exact, not just isomorphic).
+//
+// Compared to the whole-graph path, the chunked pipeline skips the lenient
+// SHACL validation report (it would need the full graph in memory) and
+// chunking is observable to RDF-star annotations that precede the statement
+// they annotate across a chunk boundary — which is why equivalence is stated
+// against same-chunking runs.
+func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf *resFlags, m core.Mode, paths dataArgs, stdout, stderr io.Writer) error {
+	f, err := os.Open(paths.data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inputSize, err := fileSize(f)
+	if err != nil {
+		return err
+	}
+
+	var tr *core.Transformer
+	var base struct {
+		off            int64
+		lines          int64
+		stmts, skipped int64
+	}
+	if ck.resume {
+		cp, lerr := ckpt.Load(ck.path)
+		switch {
+		case errors.Is(lerr, fs.ErrNotExist):
+			// Nothing saved yet (e.g. the previous run died before its first
+			// checkpoint): a fresh start is the correct resume.
+			fmt.Fprintf(stderr, "s3pg: no checkpoint at %s, starting from the beginning\n", ck.path)
+		case lerr != nil:
+			return lerr
+		default:
+			if err := checkResumeMatches(cp, paths, m, rf.lenient, inputSize); err != nil {
+				return err
+			}
+			tr, err = core.RestoreTransformer(pipelineStateOf(cp))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Seek(cp.ByteOffset, io.SeekStart); err != nil {
+				return err
+			}
+			base.off, base.lines = cp.ByteOffset, cp.Lines
+			base.stmts, base.skipped = cp.Statements, cp.Skipped
+			rf.log.count = int(cp.Skipped) // summary continuity (earlier samples are gone)
+			cResumes.Inc()
+			fmt.Fprintf(stderr, "s3pg: resuming at byte %d (%d statements done)\n", cp.ByteOffset, cp.Statements)
+		}
+	}
+	if tr == nil {
+		shapes, err := loadShapes(ctx, paths.shapes, rf)
+		if err != nil {
+			return err
+		}
+		tr, err = core.NewTransformer(shapes, m)
+		if err != nil {
+			return err
+		}
+		tr.SetLenient(rf.lenient)
+	}
+
+	sc := rio.NewNTriplesScanner(f, rf.rioOptions())
+	sc.SetPos(base.off, int(base.lines))
+
+	// bound is the last clean chunk boundary: the position a checkpoint saved
+	// now would record. It trails the scanner by exactly the statements that
+	// have been scanned but not yet applied.
+	bound := base
+	saves := 0
+	lastSave := time.Now()
+	saveCkpt := func() error {
+		st, err := tr.SnapshotState()
+		if err != nil {
+			return err
+		}
+		cp := checkpointOf(st, paths, inputSize, bound.off, bound.lines, bound.stmts, bound.skipped)
+		if err := faultio.Retry(ctx, faultio.DefaultRetryPolicy, func() error {
+			return ckpt.SaveFS(commitFS(), ck.path, cp)
+		}); err != nil {
+			return fmt.Errorf("checkpoint save: %w", err)
+		}
+		saves++
+		lastSave = time.Now()
+		if n, _ := strconv.Atoi(os.Getenv(crashAfterEnv)); n > 0 && saves == n {
+			os.Exit(crashExitCode) // test hook: simulated crash, no cleanup
+		}
+		return nil
+	}
+
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("chunked-transform")
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			// Cancelled (signal or timeout) at a clean boundary: flush a
+			// checkpoint so the run is resumable, then report the cause.
+			if serr := saveCkpt(); serr != nil {
+				return errors.Join(err, serr)
+			}
+			sp.End()
+			return err
+		}
+		chunk := rdf.NewGraph()
+		for chunk.Len() < ck.every {
+			t, ok, err := sc.Scan()
+			if err != nil {
+				sp.End()
+				return err
+			}
+			if !ok {
+				break
+			}
+			chunk.Add(t)
+		}
+		atEOF := chunk.Len() < ck.every
+		if chunk.Len() > 0 {
+			if err := tr.ApplyContext(ctx, chunk, sp); err != nil {
+				// A mid-Apply abort leaves the in-memory state dirty; the last
+				// on-disk checkpoint remains the recovery point.
+				sp.End()
+				return err
+			}
+			bound.off, bound.lines = sc.Offset(), int64(sc.Line())
+			bound.stmts = base.stmts + sc.Triples()
+			bound.skipped = base.skipped + sc.Skipped()
+			cChunks.Inc()
+		}
+		if atEOF {
+			break
+		}
+		if ck.interval == 0 || time.Since(lastSave) >= ck.interval {
+			if err := saveCkpt(); err != nil {
+				sp.End()
+				return err
+			}
+		}
+		if ck.maxMemMB > 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > uint64(ck.maxMemMB)<<20 {
+				if err := saveCkpt(); err != nil {
+					sp.End()
+					return err
+				}
+				cMemStops.Inc()
+				sp.End()
+				fmt.Fprintf(stderr, "s3pg: heap %d MiB exceeds -max-mem %d MiB; resume with -resume\n",
+					ms.HeapAlloc>>20, ck.maxMemMB)
+				return errMemLimit
+			}
+		}
+	}
+	sp.End()
+
+	rf.summarize(stderr)
+	store, schema := tr.Store(), tr.Schema()
+	if n := tr.DegradedCount(); n > 0 {
+		fmt.Fprintf(stderr, "s3pg: lenient: %d statement(s) transformed via degradation fallbacks\n", n)
+	}
+	if err := writeStoreAtomic(store, paths.nodes, paths.edges); err != nil {
+		return err
+	}
+	if err := writeOut(paths.schema, pgschema.WriteDDL(schema), stdout); err != nil {
+		return err
+	}
+	// The run is complete and its outputs are committed: the checkpoint is
+	// consumed. Removing it keeps a later -resume from silently replaying a
+	// finished run.
+	if err := os.Remove(ck.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	fmt.Fprintf(stderr, "transformed %d triples into %d nodes, %d edges (%d relationship types)\n",
+		bound.stmts, store.NumNodes(), store.NumEdges(), store.RelTypes())
+	return nil
+}
+
+// checkResumeMatches rejects resumes whose flags or input no longer match
+// the checkpoint: continuing under a different configuration would violate
+// the equivalence guarantee, and a truncated input cannot contain the
+// recorded offset.
+func checkResumeMatches(cp *ckpt.Checkpoint, paths dataArgs, m core.Mode, lenient bool, inputSize int64) error {
+	if cp.InputPath != paths.data {
+		return fmt.Errorf("checkpoint is for input %s, not %s", cp.InputPath, paths.data)
+	}
+	if cp.ShapesPath != paths.shapes {
+		return fmt.Errorf("checkpoint is for shapes %s, not %s", cp.ShapesPath, paths.shapes)
+	}
+	if cp.Mode != m.String() {
+		return fmt.Errorf("checkpoint was written in %s mode, not %s", cp.Mode, m)
+	}
+	if cp.Lenient != lenient {
+		return fmt.Errorf("checkpoint lenient=%v does not match this run", cp.Lenient)
+	}
+	if inputSize < cp.ByteOffset {
+		return fmt.Errorf("input %s is %d bytes, smaller than the checkpoint offset %d (input truncated or replaced)",
+			paths.data, inputSize, cp.ByteOffset)
+	}
+	return nil
+}
+
+// pipelineStateOf extracts the transformer state embedded in a checkpoint.
+func pipelineStateOf(cp *ckpt.Checkpoint) *core.PipelineState {
+	return &core.PipelineState{
+		Mode:           cp.Mode,
+		Lenient:        cp.Lenient,
+		SchemaDDL:      cp.SchemaDDL,
+		NodesCSV:       cp.NodesCSV,
+		EdgesCSV:       cp.EdgesCSV,
+		FallbackRoutes: cp.FallbackRoutes,
+		KVProps:        cp.KVProps,
+		Degraded:       cp.Degraded,
+		Nodes:          int(cp.Nodes),
+		Edges:          int(cp.Edges),
+	}
+}
+
+// checkpointOf embeds a transformer snapshot plus input positions in a
+// checkpoint record.
+func checkpointOf(st *core.PipelineState, paths dataArgs, inputSize, off, lines, stmts, skipped int64) *ckpt.Checkpoint {
+	return &ckpt.Checkpoint{
+		InputPath:      paths.data,
+		InputSize:      inputSize,
+		ByteOffset:     off,
+		Lines:          lines,
+		Statements:     stmts,
+		Skipped:        skipped,
+		Mode:           st.Mode,
+		Lenient:        st.Lenient,
+		ShapesPath:     paths.shapes,
+		Nodes:          int64(st.Nodes),
+		Edges:          int64(st.Edges),
+		KVProps:        st.KVProps,
+		Degraded:       st.Degraded,
+		SchemaDDL:      st.SchemaDDL,
+		NodesCSV:       st.NodesCSV,
+		EdgesCSV:       st.EdgesCSV,
+		FallbackRoutes: st.FallbackRoutes,
+	}
+}
+
+func fileSize(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/shapeex"
+)
+
+// The crash tests re-execute the test binary as the real CLI (TestMain
+// dispatches to main when the marker env var is set), so exits, signals, and
+// the env-gated fault hooks behave exactly as in production.
+const runMainEnv = "S3PG_TEST_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(runMainEnv) == "1" {
+		main() // exits the process with the CLI's status
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// execCLI re-runs the test binary as the s3pg CLI and returns its exit code.
+func execCLI(t *testing.T, extraEnv []string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), append([]string{runMainEnv + "=1"}, extraEnv...)...)
+	var ob, eb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err = cmd.Run()
+	var ee *exec.ExitError
+	switch {
+	case err == nil:
+		code = 0
+	case errors.As(err, &ee):
+		code = ee.ExitCode()
+	default:
+		t.Fatalf("exec: %v", err)
+	}
+	return code, ob.String(), eb.String()
+}
+
+// writeGeneratedDataset materializes a seeded synthetic dataset and its
+// extracted shapes — large enough for multi-chunk runs, small enough to keep
+// the crash matrix fast.
+func writeGeneratedDataset(t *testing.T, dir string, scale float64, dirty bool) (shapesPath, dataPath string) {
+	t.Helper()
+	p := datagen.University()
+	g := datagen.Generate(p, scale, 7)
+	shapes := shapeex.Extract(g, shapeex.Options{MinSupport: 0.01})
+
+	shapesPath = filepath.Join(dir, "shapes.ttl")
+	sf, err := os.Create(shapesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := rio.NewTurtleWriter()
+	tw.Prefix("d", p.NS)
+	tw.Prefix("shape", shapeex.ShapeNS)
+	if err := tw.Write(sf, shacl.ToGraph(shapes)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dataPath = filepath.Join(dir, "data.nt")
+	df, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rio.WriteNTriples(df, g); err != nil {
+		t.Fatal(err)
+	}
+	if dirty {
+		// Malformed lines and dirty statements sprinkled at the end exercise
+		// the lenient tallies across crash/resume boundaries.
+		_, err = df.WriteString("this line is not a triple\n" +
+			"<http://x/untyped> <http://x/p> \"dangling\" .\n" +
+			"also garbage\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return shapesPath, dataPath
+}
+
+// outPaths returns per-run output locations inside dir.
+func outPaths(t *testing.T, dir string) (nodes, edges, schema, cp string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "nodes.csv"), filepath.Join(dir, "edges.csv"),
+		filepath.Join(dir, "schema.ddl"), filepath.Join(dir, "run.ckpt")
+}
+
+func dataArgsFor(shapes, data, nodes, edges, schema, cp string, extra ...string) []string {
+	args := []string{"data", "-shapes", shapes, "-data", data,
+		"-nodes", nodes, "-edges", edges, "-schema", schema,
+		"-checkpoint", cp, "-checkpoint-every", "200"}
+	return append(args, extra...)
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// noTempFiles asserts no abandoned atomic-commit temp files are left in dir.
+func noTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) > 0 {
+		t.Fatalf("abandoned temp files: %v", matches)
+	}
+}
+
+// TestCrashResumeEquivalence is the tentpole guarantee: kill the pipeline
+// right after every checkpoint boundary in turn, resume each run, and
+// require outputs byte-identical to an uninterrupted run with the same
+// chunking. Strict and lenient (dirty-input) variants both hold.
+func TestCrashResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess matrix")
+	}
+	for _, dirty := range []bool{false, true} {
+		name := "strict"
+		if dirty {
+			name = "lenient-dirty"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			shapes, data := writeGeneratedDataset(t, dir, 0.5, dirty)
+			var lenientFlag []string
+			if dirty {
+				lenientFlag = []string{"-lenient"}
+			}
+
+			// Uninterrupted baseline (same -checkpoint-every, so identical
+			// chunk boundaries).
+			bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+			code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp, lenientFlag...)...)
+			if code != 0 {
+				t.Fatalf("baseline exit %d: %s", code, errOut)
+			}
+			if _, err := os.Stat(bcp); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("baseline checkpoint not removed after success: %v", err)
+			}
+			wantNodes, wantEdges, wantSchema := readFile(t, bn), readFile(t, be), readFile(t, bs)
+
+			crashed := 0
+			for k := 1; ; k++ {
+				rd := filepath.Join(dir, fmt.Sprintf("crash%d", k))
+				n, e, s, cp := outPaths(t, rd)
+				args := dataArgsFor(shapes, data, n, e, s, cp, lenientFlag...)
+				code, _, _ := execCLI(t, []string{fmt.Sprintf("%s=%d", crashAfterEnv, k)}, args...)
+				if code == 0 {
+					// Fewer than k checkpoints in a full run: matrix complete.
+					break
+				}
+				if code != crashExitCode {
+					t.Fatalf("crash run %d: exit %d, want %d", k, code, crashExitCode)
+				}
+				crashed++
+				// The crash happened before any output commit: outputs are
+				// absent, the checkpoint is loadable, no torn temp files.
+				if _, err := os.Stat(n); !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("crash run %d left a nodes file", k)
+				}
+				if _, err := ckpt.Load(cp); err != nil {
+					t.Fatalf("crash run %d: checkpoint unreadable: %v", k, err)
+				}
+				noTempFiles(t, rd)
+
+				resumeArgs := append(args, "-resume")
+				code, _, errOut := execCLI(t, nil, resumeArgs...)
+				if code != 0 {
+					t.Fatalf("resume after crash %d: exit %d: %s", k, code, errOut)
+				}
+				if !bytes.Equal(readFile(t, n), wantNodes) {
+					t.Fatalf("resume after crash %d: nodes differ from uninterrupted run", k)
+				}
+				if !bytes.Equal(readFile(t, e), wantEdges) {
+					t.Fatalf("resume after crash %d: edges differ from uninterrupted run", k)
+				}
+				if !bytes.Equal(readFile(t, s), wantSchema) {
+					t.Fatalf("resume after crash %d: schema differs from uninterrupted run", k)
+				}
+				if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("resume after crash %d: checkpoint not removed", k)
+				}
+			}
+			if crashed < 2 {
+				t.Fatalf("only %d crash points exercised; dataset too small for the matrix", crashed)
+			}
+		})
+	}
+}
+
+// TestCrashResumeChained: crash after the first checkpoint of every
+// generation — a run that only ever advances one chunk between crashes must
+// still converge to the exact uninterrupted outputs.
+func TestCrashResumeChained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess matrix")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.3, false)
+
+	bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp)...); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	n, e, s, cp := outPaths(t, filepath.Join(dir, "chain"))
+	args := dataArgsFor(shapes, data, n, e, s, cp)
+	env := []string{crashAfterEnv + "=1"}
+	code, _, _ := execCLI(t, env, args...)
+	if code != crashExitCode {
+		t.Fatalf("first run: exit %d, want %d", code, crashExitCode)
+	}
+	resumeArgs := append(args, "-resume")
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("chained resume did not converge")
+		}
+		code, _, errOut := execCLI(t, env, resumeArgs...)
+		if code == crashExitCode {
+			continue
+		}
+		if code != 0 {
+			t.Fatalf("chained resume: exit %d: %s", code, errOut)
+		}
+		break
+	}
+	if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+		!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+		!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+		t.Fatal("chained crash/resume outputs differ from uninterrupted run")
+	}
+}
+
+// TestInterruptLeavesCompleteOrAbsentOutput: SIGINT mid-run must exit with
+// the interrupt status, flush a loadable checkpoint, and leave the output
+// paths untouched; resuming finishes the job with byte-identical outputs.
+func TestInterruptLeavesCompleteOrAbsentOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess timing test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 3, false)
+
+	bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp, "-checkpoint-every", "100")...); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheduler decides when the signal lands, so try a few times: the
+	// run is long enough (tiny chunks, fsync per boundary) that at least one
+	// attempt gets interrupted mid-flight.
+	for attempt := 0; attempt < 5; attempt++ {
+		rd := filepath.Join(dir, fmt.Sprintf("int%d", attempt))
+		n, e, s, cp := outPaths(t, rd)
+		cmd := exec.Command(exe, dataArgsFor(shapes, data, n, e, s, cp, "-checkpoint-every", "100")...)
+		cmd.Env = append(os.Environ(), runMainEnv+"=1")
+		var eb bytes.Buffer
+		cmd.Stderr = &eb
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(40 * time.Millisecond)
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		err := cmd.Wait()
+		code := 0
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if code == 0 {
+			continue // finished before the signal landed; try again
+		}
+		if code != exitInterrupt {
+			t.Fatalf("interrupted run: exit %d, want %d (stderr: %s)", code, exitInterrupt, eb.String())
+		}
+		if !strings.Contains(eb.String(), "stopping at the next safe point") {
+			t.Fatalf("missing graceful-shutdown notice in stderr: %s", eb.String())
+		}
+		// Complete-or-absent: the interrupt arrived before the final commit,
+		// so the outputs must be absent — and never torn.
+		for _, p := range []string{n, e, s} {
+			if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("interrupted run left output %s", p)
+			}
+		}
+		noTempFiles(t, rd)
+		if _, err := ckpt.Load(cp); err != nil {
+			t.Fatalf("interrupted run: checkpoint unreadable: %v", err)
+		}
+
+		code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, n, e, s, cp, "-checkpoint-every", "100", "-resume")...)
+		if code != 0 {
+			t.Fatalf("resume after interrupt: exit %d: %s", code, errOut)
+		}
+		if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+			!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+			!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+			t.Fatal("post-interrupt resume outputs differ from uninterrupted run")
+		}
+		return
+	}
+	t.Skip("run completed before SIGINT landed on every attempt; machine too fast for the timing window")
+}
+
+// TestMaxMemWatermark: a 1 MiB watermark trips on the first boundary check,
+// the run exits with the resource status and a checkpoint, and a resume
+// without the limit completes with byte-identical outputs.
+func TestMaxMemWatermark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.5, false)
+
+	bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp)...); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	n, e, s, cp := outPaths(t, filepath.Join(dir, "mem"))
+	args := dataArgsFor(shapes, data, n, e, s, cp, "-max-mem", "1")
+	code, _, errOut := execCLI(t, nil, args...)
+	if code != exitMemLimit {
+		t.Fatalf("watermark run: exit %d, want %d (stderr: %s)", code, exitMemLimit, errOut)
+	}
+	if !strings.Contains(errOut, "-max-mem") {
+		t.Fatalf("watermark notice missing from stderr: %s", errOut)
+	}
+	if _, err := ckpt.Load(cp); err != nil {
+		t.Fatalf("watermark run: checkpoint unreadable: %v", err)
+	}
+	for _, p := range []string{n, e, s} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("watermark run left output %s", p)
+		}
+	}
+
+	code, _, errOut = execCLI(t, nil, dataArgsFor(shapes, data, n, e, s, cp, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume after watermark: exit %d: %s", code, errOut)
+	}
+	if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+		!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+		!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+		t.Fatal("post-watermark resume outputs differ from uninterrupted run")
+	}
+}
+
+// TestFaultInjectedCommitNeverTearsOutputs: hard faults at each stage of the
+// atomic commit (sync, rename) must fail the run without leaving a partial
+// or stale-temp output file.
+func TestFaultInjectedCommitNeverTearsOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.1, false)
+	for _, spec := range []string{"failsync=1", "failrename=1", "failcreate=1"} {
+		t.Run(spec, func(t *testing.T) {
+			rd := filepath.Join(dir, strings.ReplaceAll(spec, "=", "_"))
+			n, e, s, _ := outPaths(t, rd)
+			// Plain (non-checkpoint) path: outputs are the only commits.
+			args := []string{"data", "-shapes", shapes, "-data", data,
+				"-nodes", n, "-edges", e, "-schema", s}
+			code, _, errOut := execCLI(t, []string{faultFSEnv + "=" + spec}, args...)
+			if code != exitError {
+				t.Fatalf("faulted run: exit %d, want %d (stderr: %s)", code, exitError, errOut)
+			}
+			for _, p := range []string{n, e, s} {
+				if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("faulted run left output %s", p)
+				}
+			}
+			noTempFiles(t, rd)
+		})
+	}
+}
+
+// TestResumeRejectsMismatchedRun: a checkpoint from one configuration must
+// not silently continue under another.
+func TestResumeRejectsMismatchedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.3, false)
+	n, e, s, cp := outPaths(t, filepath.Join(dir, "run"))
+	args := dataArgsFor(shapes, data, n, e, s, cp)
+	if code, _, _ := execCLI(t, []string{crashAfterEnv + "=1"}, args...); code != crashExitCode {
+		t.Fatalf("setup crash run did not crash (exit %d)", code)
+	}
+	resume := append(dataArgsFor(shapes, data, n, e, s, cp, "-mode", "nonparsimonious"), "-resume")
+	code, _, errOut := execCLI(t, nil, resume...)
+	if code != exitError || !strings.Contains(errOut, "mode") {
+		t.Fatalf("mismatched resume: exit %d, stderr %q; want exit %d mentioning mode", code, errOut, exitError)
+	}
+}

@@ -29,10 +29,30 @@
 //	-max-errors n   lenient mode: hard-stop once more than n malformed
 //	                statements were skipped (0 = 1000, negative = unlimited)
 //
+// The data subcommand additionally supports crash-safe, resumable runs:
+//
+//	-checkpoint file          stream the input in chunks and record progress
+//	                          in a checkpoint file after each chunk
+//	-checkpoint-every n       statements per chunk (default 50000)
+//	-checkpoint-interval d    minimum time between checkpoint saves
+//	                          (0 = save at every chunk boundary)
+//	-resume                   continue from the checkpoint file instead of
+//	                          starting over
+//	-max-mem n                soft heap watermark in MiB: when exceeded, the
+//	                          run checkpoints and exits with status 5
+//
+// All file outputs are committed atomically (temp file + rename), so an
+// interrupted run leaves either the previous complete file or the new
+// complete file, never a torn prefix. On the first SIGINT/SIGTERM the run
+// cancels, flushes a checkpoint when one is configured, and exits with
+// status 4; a second signal aborts immediately.
+//
 // Exit status is 0 on success, 1 on runtime errors (unreadable files,
 // failed transformations, validation violations, internal panics), 2 on
-// usage errors (unknown commands, bad flags, missing required flags), and 3
-// when -timeout expires before the run completes.
+// usage errors (unknown commands, bad flags, missing required flags), 3
+// when -timeout expires before the run completes, 4 when the run was
+// interrupted by a signal, and 5 when the -max-mem watermark forced a
+// checkpoint-and-exit.
 package main
 
 import (
@@ -42,10 +62,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/debug"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/s3pg/s3pg"
+	"github.com/s3pg/s3pg/internal/ckpt"
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rio"
@@ -54,11 +78,44 @@ import (
 
 // Exit statuses.
 const (
-	exitOK      = 0
-	exitError   = 1 // runtime failure: missing file, bad input, violations, panic
-	exitUsage   = 2 // usage failure: unknown command, bad or missing flags
-	exitTimeout = 3 // the -timeout budget expired before the run completed
+	exitOK        = 0
+	exitError     = 1 // runtime failure: missing file, bad input, violations, panic
+	exitUsage     = 2 // usage failure: unknown command, bad or missing flags
+	exitTimeout   = 3 // the -timeout budget expired before the run completed
+	exitInterrupt = 4 // SIGINT/SIGTERM: run cancelled, checkpoint flushed if configured
+	exitMemLimit  = 5 // the -max-mem watermark forced a checkpoint-and-exit
 )
+
+// errMemLimit marks a run that stopped at the -max-mem watermark after
+// flushing a checkpoint; run maps it to exitMemLimit.
+var errMemLimit = errors.New("memory watermark exceeded (state checkpointed)")
+
+// interrupted records that a termination signal arrived, so run can
+// distinguish signal-driven cancellation (exit 4) from other cancellations.
+var interrupted atomic.Bool
+
+// baseContext is the parent of every subcommand context. main replaces it
+// with a signal-aware context; tests that call run directly keep Background.
+var baseContext = context.Background()
+
+// signalContext cancels the returned context on the first SIGINT/SIGTERM so
+// commands can flush checkpoints and commit or abandon outputs cleanly; a
+// second signal aborts the process at once.
+func signalContext(stderr io.Writer) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		interrupted.Store(true)
+		fmt.Fprintf(stderr, "s3pg: received %v: stopping at the next safe point (send again to abort)\n", s)
+		cancel()
+		<-ch
+		fmt.Fprintln(stderr, "s3pg: aborted")
+		os.Exit(exitError)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
 
 // usageError marks an error as a usage problem so run maps it to exitUsage.
 type usageError struct{ err error }
@@ -71,7 +128,11 @@ func usagef(format string, args ...any) error {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signalContext(os.Stderr)
+	baseContext = ctx
+	code := run(os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 const usageLine = "usage: s3pg <schema|data|invert|validate|translate|extract> [flags]"
@@ -109,6 +170,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			return exitTimeout
+		}
+		if errors.Is(err, errMemLimit) {
+			return exitMemLimit
+		}
+		if interrupted.Load() && errors.Is(err, context.Canceled) {
+			return exitInterrupt
 		}
 		return exitError
 	}
@@ -200,15 +267,7 @@ func (o *obsFlags) begin(name string, stdout, stderr io.Writer) (*obs.Span, func
 		if o.metrics == "-" {
 			return snap.WriteJSON(stdout)
 		}
-		f, err := os.Create(o.metrics)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return ckpt.WriteFileAtomicFS(commitFS(), o.metrics, 0o644, snap.WriteJSON)
 	}
 	return span, finish, nil
 }
@@ -236,11 +295,13 @@ func addResFlags(fs *flag.FlagSet, withLenient bool) *resFlags {
 }
 
 // context returns the run context, bounded by -timeout when one was given.
+// It derives from baseContext, so a termination signal cancels every
+// subcommand at its next cancellation check.
 func (rf *resFlags) context() (context.Context, context.CancelFunc) {
 	if rf.timeout > 0 {
-		return context.WithTimeout(context.Background(), rf.timeout)
+		return context.WithTimeout(baseContext, rf.timeout)
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(baseContext)
 }
 
 // rioOptions builds the reader options implementing the chosen policy,
@@ -324,12 +385,17 @@ func loadData(ctx context.Context, path string, rf *resFlags, span *obs.Span) (*
 	return g, err
 }
 
+// writeOut emits content to stdout, or commits it atomically to path: a
+// crash or injected fault mid-write never leaves a torn file behind.
 func writeOut(path, content string, stdout io.Writer) error {
 	if path == "" {
 		_, err := io.WriteString(stdout, content)
 		return err
 	}
-	return os.WriteFile(path, []byte(content), 0o644)
+	return commitAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	})
 }
 
 func cmdSchema(args []string, stdout, stderr io.Writer) error {
@@ -380,11 +446,15 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL `file`")
 	ob := addObsFlags(fs)
 	rf := addResFlags(fs, true)
+	ck := addCkptFlags(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *shapesPath == "" || *dataPath == "" {
 		return usagef("-shapes and -data are required")
+	}
+	if err := ck.validate(); err != nil {
+		return err
 	}
 	m, err := parseMode(*mode)
 	if err != nil {
@@ -395,6 +465,15 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	span, finish, err := ob.begin("data", stdout, stderr)
 	if err != nil {
 		return err
+	}
+	if ck.path != "" {
+		if err := cmdDataCheckpointed(ctx, span, ck, rf, m, dataArgs{
+			shapes: *shapesPath, data: *dataPath,
+			nodes: *nodesOut, edges: *edgesOut, schema: *schemaOut,
+		}, stdout, stderr); err != nil {
+			return err
+		}
+		return finish()
 	}
 	shapes, err := loadShapes(ctx, *shapesPath, rf)
 	if err != nil {
@@ -431,17 +510,7 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	if n := tr.DegradedCount(); n > 0 {
 		fmt.Fprintf(stderr, "s3pg: lenient: %d statement(s) transformed via degradation fallbacks\n", n)
 	}
-	nf, err := os.Create(*nodesOut)
-	if err != nil {
-		return err
-	}
-	defer nf.Close()
-	ef, err := os.Create(*edgesOut)
-	if err != nil {
-		return err
-	}
-	defer ef.Close()
-	if err := store.WriteCSV(nf, ef); err != nil {
+	if err := writeStoreAtomic(store, *nodesOut, *edgesOut); err != nil {
 		return err
 	}
 	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema), stdout); err != nil {
@@ -498,16 +567,13 @@ func cmdInvert(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := s3pg.WriteNTriples(stdout, g); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := s3pg.WriteNTriples(w, g); err != nil {
+	} else if err := commitAtomic(*out, func(w io.Writer) error {
+		return s3pg.WriteNTriples(w, g)
+	}); err != nil {
 		return err
 	}
 	return finish()

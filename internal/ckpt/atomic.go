@@ -1,0 +1,126 @@
+// Package ckpt provides the crash-safety substrate of the pipeline: atomic
+// output commits (temp file in the destination directory → Sync → Rename, so
+// a reader of the destination path never observes a torn file) and a
+// CRC-checksummed, versioned checkpoint file recording how far a
+// transformation got, so an interrupted run can resume instead of starting
+// over. The soundness of prefix resume rests on Prop. 4.3 (monotonicity):
+// the transformation of a prefix of the input is a valid sub-graph of the
+// transformation of the whole input, so committed checkpoint state never has
+// to be retracted.
+package ckpt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Commit observability counters (obs.Default registry).
+var (
+	cCommits      = obs.Default.Counter("ckpt.commits")
+	cCommitBytes  = obs.Default.Counter("ckpt.commit_bytes")
+	cCommitAborts = obs.Default.Counter("ckpt.commit_aborts")
+)
+
+// File is the writable handle the atomic committer needs: the subset of
+// *os.File it uses, so tests can substitute fault-injecting files.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations behind an atomic commit. OSFS is
+// the real implementation; internal/faultio provides a fault-injecting one.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chmod(name string, mode os.FileMode) error
+}
+
+// osFS is the passthrough FS over the real filesystem.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Chmod(name string, mode os.FileMode) error    { return os.Chmod(name, mode) }
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+// WriteFileAtomic writes the output produced by fn to path atomically: the
+// bytes go to a temporary file in path's directory, are flushed and fsynced,
+// and the file is renamed over path only after everything succeeded. On any
+// failure the temporary file is removed and path is left untouched — a
+// reader of path therefore observes either the previous complete file (or
+// its absence) or the new complete file, never a prefix.
+func WriteFileAtomic(path string, perm os.FileMode, fn func(io.Writer) error) error {
+	return WriteFileAtomicFS(OSFS, path, perm, fn)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit FS, the seam the
+// fault-injection tests use to prove the no-torn-outputs property.
+func WriteFileAtomicFS(fsys FS, path string, perm os.FileMode, fn func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := fsys.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: atomic %s: %w", path, err)
+	}
+	tmp := f.Name()
+	committed := false
+	var written int64
+	defer func() {
+		if !committed {
+			cCommitAborts.Inc()
+			fsys.Remove(tmp) // best effort; the temp name never collides with path
+		}
+	}()
+	bw := bufio.NewWriterSize(countWriter{f, &written}, 1<<16)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: atomic %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: atomic %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: atomic %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: atomic %s: close: %w", path, err)
+	}
+	if err := fsys.Chmod(tmp, perm); err != nil {
+		return fmt.Errorf("ckpt: atomic %s: chmod: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ckpt: atomic %s: rename: %w", path, err)
+	}
+	committed = true
+	cCommits.Inc()
+	cCommitBytes.Add(written)
+	return nil
+}
+
+// countWriter feeds the commit-bytes counter as data flows to the file.
+type countWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}

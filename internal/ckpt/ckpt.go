@@ -1,0 +1,178 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Checkpoint observability counters (obs.Default registry).
+var (
+	cSaves     = obs.Default.Counter("ckpt.saves")
+	cSaveBytes = obs.Default.Counter("ckpt.save_bytes")
+	cLoads     = obs.Default.Counter("ckpt.loads")
+)
+
+// Checkpoint file format, version 1 (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "S3PGCKP1"
+//	8       4     format version (1)
+//	12      8     payload length n
+//	20      n     payload: the Checkpoint struct as JSON
+//	20+n    4     CRC-32 (IEEE) over bytes [0, 20+n)
+//
+// The trailing checksum covers the header too, so torn or bit-rotted
+// checkpoint files are rejected on load instead of resuming from garbage.
+// Checkpoints are written via WriteFileAtomic, so a crash during a save
+// leaves the previous checkpoint intact.
+const (
+	magic   = "S3PGCKP1"
+	version = 1
+)
+
+// Sentinel load errors, wrapped with detail by Load.
+var (
+	ErrBadMagic   = errors.New("ckpt: not a checkpoint file")
+	ErrBadVersion = errors.New("ckpt: unsupported checkpoint version")
+	ErrChecksum   = errors.New("ckpt: checksum mismatch (torn or corrupted checkpoint)")
+)
+
+// Checkpoint is the durable record of how far a transformation run got: the
+// input position to resume reading from, the run configuration (so a resume
+// with mismatched flags is rejected), the serialized transform state, and
+// the tallies used both for reporting continuity and for verifying that the
+// restored state is consistent before continuing.
+type Checkpoint struct {
+	// InputPath is the data file the offsets refer to.
+	InputPath string `json:"input_path"`
+	// InputSize is the input's size when the checkpoint was written; on
+	// resume a smaller current size means the input was swapped/truncated.
+	InputSize int64 `json:"input_size"`
+	// ByteOffset is the byte position after the last consumed statement:
+	// resume seeks here and continues with the next line.
+	ByteOffset int64 `json:"byte_offset"`
+	// Lines is how many input lines were consumed (for error-message
+	// continuity after resume).
+	Lines int64 `json:"lines"`
+	// Statements is how many statements were parsed and applied.
+	Statements int64 `json:"statements"`
+	// Skipped is the lenient-mode malformed-statement tally so far.
+	Skipped int64 `json:"skipped"`
+
+	// Mode is the transformation mode ("parsimonious"/"non-parsimonious").
+	Mode string `json:"mode"`
+	// Lenient records whether the degradation policy was active.
+	Lenient bool `json:"lenient"`
+	// ShapesPath is the shape schema the run was started with.
+	ShapesPath string `json:"shapes_path"`
+
+	// Nodes and Edges are the dictionary high-water marks of the emitted
+	// property graph; RestoreTransformer cross-checks them against the
+	// embedded state.
+	Nodes int64 `json:"nodes"`
+	Edges int64 `json:"edges"`
+	// KVProps and Degraded carry the transformer's tallies across resume.
+	KVProps  int64 `json:"kv_props"`
+	Degraded int64 `json:"degraded"`
+
+	// SchemaDDL is the (possibly fallback-extended) PG-Schema at the
+	// checkpoint boundary.
+	SchemaDDL string `json:"schema_ddl"`
+	// NodesCSV and EdgesCSV are the property graph store serialized in the
+	// bulk CSV format — by Prop. 4.3 this prefix graph is a sub-graph of
+	// the final result, so it is committed as-is and only grown on resume.
+	NodesCSV []byte `json:"nodes_csv"`
+	EdgesCSV []byte `json:"edges_csv"`
+	// FallbackRoutes lists the (source label, predicate IRI) pairs whose
+	// edge routes were invented for uncovered data; the Fallback flag does
+	// not survive the DDL round trip, so it is carried explicitly.
+	FallbackRoutes [][2]string `json:"fallback_routes,omitempty"`
+}
+
+// Encode serializes the checkpoint in the versioned, checksummed format.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 24)
+	buf.WriteString(magic)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	buf.Write(tail[:])
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// Decode parses a checkpoint, verifying magic, version, and checksum.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read: %w", err)
+	}
+	if len(raw) < len(magic)+12+4 || string(raw[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != version {
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, v, version)
+	}
+	n := binary.LittleEndian.Uint64(raw[12:20])
+	if uint64(len(raw)) != 20+n+4 {
+		return nil, fmt.Errorf("%w: payload length %d does not match file size %d", ErrChecksum, n, len(raw))
+	}
+	want := binary.LittleEndian.Uint32(raw[20+n:])
+	if got := crc32.ChecksumIEEE(raw[:20+n]); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	c := &Checkpoint{}
+	if err := json.Unmarshal(raw[20:20+n], c); err != nil {
+		return nil, fmt.Errorf("ckpt: payload: %w", err)
+	}
+	return c, nil
+}
+
+// Save atomically writes the checkpoint to path: a crash mid-save leaves
+// the previous checkpoint (or none) in place, never a torn file.
+func Save(path string, c *Checkpoint) error {
+	return SaveFS(OSFS, path, c)
+}
+
+// SaveFS is Save over an explicit FS (the fault-injection seam).
+func SaveFS(fsys FS, path string, c *Checkpoint) error {
+	err := WriteFileAtomicFS(fsys, path, 0o644, c.Encode)
+	if err == nil {
+		cSaves.Inc()
+		cSaveBytes.Add(int64(len(c.NodesCSV) + len(c.EdgesCSV) + len(c.SchemaDDL)))
+	}
+	return err
+}
+
+// Load reads and verifies the checkpoint at path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	cLoads.Inc()
+	return c, nil
+}

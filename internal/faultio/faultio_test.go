@@ -1,0 +1,211 @@
+package faultio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestZeroPlanIsInert(t *testing.T) {
+	src := strings.Repeat("abc", 1000)
+	r := NewReader(strings.NewReader(src), Plan{})
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != src {
+		t.Fatalf("zero-plan read: err=%v, %d bytes", err, len(got))
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{})
+	if _, err := io.WriteString(w, src); err != nil {
+		t.Fatalf("zero-plan write: %v", err)
+	}
+	if buf.String() != src {
+		t.Fatal("zero-plan write altered data")
+	}
+}
+
+func TestReaderFailAtByte(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	r := NewReader(strings.NewReader(src), Plan{FailAtByte: 37})
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("want exactly 37 bytes before the fault, got %d", len(got))
+	}
+	// The fault is sticky: later reads keep failing.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault not sticky: %v", err)
+	}
+}
+
+func TestReaderShortAndTransientDeterministic(t *testing.T) {
+	src := strings.Repeat("y", 4096)
+	read := func() (int, []int, error) {
+		r := NewReader(strings.NewReader(src), Plan{Seed: 7, ShortEvery: 2, TransientEvery: 5})
+		var sizes []int
+		total := 0
+		buf := make([]byte, 256)
+		for total < len(src) {
+			n, err := r.Read(buf)
+			total += n
+			sizes = append(sizes, n)
+			if err != nil {
+				if Transient(err) {
+					continue
+				}
+				return total, sizes, err
+			}
+		}
+		return total, sizes, nil
+	}
+	t1, s1, err1 := read()
+	t2, s2, err2 := read()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unexpected errors: %v %v", err1, err2)
+	}
+	if t1 != len(src) || t2 != len(src) {
+		t.Fatalf("lost data: %d/%d of %d", t1, t2, len(src))
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("schedule not deterministic: %d vs %d ops", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("op %d: %d vs %d bytes", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestWriterShortWriteReturnsTransient(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{Seed: 1, ShortEvery: 1})
+	n, err := w.Write([]byte("hello world"))
+	if !Transient(err) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("want transient short write, got n=%d err=%v", n, err)
+	}
+	if n >= 11 || n < 1 {
+		t.Fatalf("short write wrote %d of 11", n)
+	}
+	if buf.Len() != n {
+		t.Fatalf("underlying writer got %d bytes, reported %d", buf.Len(), n)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(ErrInjected) {
+		t.Fatal("hard faults must not be transient")
+	}
+	if !Transient(ErrTransient) {
+		t.Fatal("ErrTransient must be transient")
+	}
+	if Transient(nil) {
+		t.Fatal("nil is not transient")
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 40 * time.Millisecond, Jitter: 0,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := Retry(context.Background(), p, func() error {
+		calls++
+		if calls < 4 {
+			return ErrTransient
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("want 4 calls, got %d", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("want %d sleeps, got %v", len(want), slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d: want %v, got %v (capped exponential backoff)", i, want[i], slept[i])
+		}
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 6, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 25 * time.Millisecond, Jitter: 0,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := Retry(context.Background(), p, func() error { return ErrTransient })
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("want exhausted transient error, got %v", err)
+	}
+	for i, d := range slept {
+		if d > 25*time.Millisecond {
+			t.Fatalf("sleep %d exceeds cap: %v", i, d)
+		}
+	}
+	if last := slept[len(slept)-1]; last != 25*time.Millisecond {
+		t.Fatalf("backoff did not reach the cap: %v", last)
+	}
+}
+
+func TestRetryJitterDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		p := RetryPolicy{
+			MaxAttempts: 4, BaseDelay: 100 * time.Millisecond,
+			MaxDelay: time.Second, Jitter: 0.5, Seed: seed,
+			Sleep: func(d time.Duration) { slept = append(slept, d) },
+		}
+		Retry(context.Background(), p, func() error { return ErrTransient })
+		return slept
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule: %v vs %v", a, b)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
+	}
+}
+
+func TestRetryHardErrorNotRetried(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Sleep: func(time.Duration) {}}, func() error {
+		calls++
+		return ErrInjected
+	})
+	if !errors.Is(err, ErrInjected) || calls != 1 {
+		t.Fatalf("hard error must fail immediately: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryPolicy{}, func() error { return ErrTransient })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

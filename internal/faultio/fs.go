@@ -1,0 +1,72 @@
+package faultio
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+)
+
+// FS is a fault-injecting ckpt.FS: it wraps the real filesystem, applies a
+// write Plan to every file created through it, and can fail the n-th
+// create/sync/rename operation — the exact failure points of an atomic
+// commit. The zero value injects nothing.
+type FS struct {
+	// Plan is applied to the data written into each created file.
+	Plan Plan
+	// FailCreate, FailSync, FailRename fail the n-th such operation
+	// (1-based) with ErrInjected. 0 disables.
+	FailCreate, FailSync, FailRename int
+
+	creates, syncs, renames int
+}
+
+// nth reports whether this occurrence (post-increment of *count) is the one
+// scheduled to fail.
+func nth(count *int, fail int) bool {
+	*count++
+	return fail > 0 && *count == fail
+}
+
+// CreateTemp implements ckpt.FS.
+func (f *FS) CreateTemp(dir, pattern string) (ckpt.File, error) {
+	if nth(&f.creates, f.FailCreate) {
+		return nil, fmt.Errorf("%w: create in %s", ErrInjected, dir)
+	}
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, w: NewWriter(file, f.Plan), fs: f}, nil
+}
+
+// Rename implements ckpt.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if nth(&f.renames, f.FailRename) {
+		return fmt.Errorf("%w: rename %s", ErrInjected, newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements ckpt.FS.
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// Chmod implements ckpt.FS.
+func (f *FS) Chmod(name string, mode os.FileMode) error { return os.Chmod(name, mode) }
+
+// faultFile routes writes through the fault-injecting writer and syncs
+// through the FS's sync schedule.
+type faultFile struct {
+	*os.File
+	w  *Writer
+	fs *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) { return f.w.Write(p) }
+
+func (f *faultFile) Sync() error {
+	if nth(&f.fs.syncs, f.fs.FailSync) {
+		return fmt.Errorf("%w: sync %s", ErrInjected, f.Name())
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,107 @@
+package faultio
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Retry observability counters (obs.Default registry): attempts beyond the
+// first, and operations abandoned after exhausting the budget.
+var (
+	cRetryAttempts = obs.Default.Counter("faultio.retry.attempts")
+	cRetryGiveups  = obs.Default.Counter("faultio.retry.giveups")
+)
+
+// RetryPolicy bounds a capped exponential backoff with proportional jitter.
+// The zero value is usable and resolves to DefaultRetryPolicy's fields.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Zero means DefaultRetryPolicy.MaxAttempts; 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it until MaxDelay caps the growth.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff (before jitter).
+	MaxDelay time.Duration
+	// Jitter is the fraction of the delay randomized around it: a delay d
+	// becomes d * (1 - Jitter/2 + Jitter*u) for uniform u in [0,1). Zero
+	// means no jitter.
+	Jitter float64
+	// Seed drives the jitter PRNG, making schedules reproducible. The zero
+	// seed is a valid fixed seed.
+	Seed int64
+	// Sleep replaces time.Sleep, letting tests run the schedule against a
+	// deterministic clock. Nil means time.Sleep (interruptible via ctx).
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy used when fields are left zero: five
+// attempts starting at 10ms, doubling to a 500ms cap, with 50% jitter.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 5,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    500 * time.Millisecond,
+	Jitter:      0.5,
+}
+
+// resolve fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) resolve() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// Retry runs fn until it succeeds, returns a non-transient error, the
+// attempt budget is exhausted, or ctx ends. Only errors for which
+// Transient reports true are retried; anything else is returned as-is so
+// hard faults surface immediately.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	p = p.resolve()
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		err = fn()
+		if err == nil || !Transient(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			cRetryGiveups.Inc()
+			return fmt.Errorf("faultio: giving up after %d attempts: %w", attempt, err)
+		}
+		cRetryAttempts.Inc()
+		d := delay
+		if rng != nil {
+			d = time.Duration(float64(d) * (1 - p.Jitter/2 + p.Jitter*rng.Float64()))
+		}
+		if p.Sleep != nil {
+			p.Sleep(d)
+		} else {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,17 +30,25 @@ func StartProfiles(dir string) (stop func() error, err error) {
 	}
 	return func() error {
 		pprof.StopCPUProfile()
-		cerr := cpu.Close()
+		var cerr error
+		if err := cpu.Close(); err != nil {
+			cerr = fmt.Errorf("obs: cpu profile close: %w", err)
+		}
 		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
 		if err != nil {
-			return fmt.Errorf("obs: heap profile: %w", err)
+			return errors.Join(cerr, fmt.Errorf("obs: heap profile: %w", err))
 		}
-		defer heap.Close()
 		runtime.GC() // materialize up-to-date heap statistics
+		var werr, herr error
 		if err := pprof.WriteHeapProfile(heap); err != nil {
-			return fmt.Errorf("obs: heap profile: %w", err)
+			werr = fmt.Errorf("obs: heap profile: %w", err)
 		}
-		return cerr
+		// A failed close can drop buffered profile data, so it is an error of
+		// its own, not a cleanup detail.
+		if err := heap.Close(); err != nil {
+			herr = fmt.Errorf("obs: heap profile close: %w", err)
+		}
+		return errors.Join(cerr, werr, herr)
 	}, nil
 }
 

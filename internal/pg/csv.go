@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -118,20 +119,27 @@ func encodeProps(props map[string]Value) (string, error) {
 	if len(props) == 0 {
 		return "", nil
 	}
+	// Keys are emitted in sorted order so exports are byte-deterministic:
+	// the crash-resume equivalence guarantee (a resumed run's outputs are
+	// bit-identical to an uninterrupted run's) depends on it, and it makes
+	// repeated exports diffable.
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var b strings.Builder
-	first := true
-	for k, v := range props {
-		if !first {
+	for i, k := range keys {
+		if i > 0 {
 			b.WriteByte(sepEntry)
 		}
-		first = false
 		if strings.ContainsAny(k, "\\\x1d\x1e\x1f") {
 			b.WriteString(propEscaper.Replace(k))
 		} else {
 			b.WriteString(k)
 		}
 		b.WriteByte(sepKV)
-		if err := appendValue(&b, v, false); err != nil {
+		if err := appendValue(&b, props[k], false); err != nil {
 			return "", fmt.Errorf("property %q: %w", k, err)
 		}
 	}

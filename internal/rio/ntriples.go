@@ -11,7 +11,6 @@ import (
 	"io"
 	"strconv"
 	"strings"
-	"time"
 
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rdf"
@@ -49,50 +48,22 @@ const ctxCheckInterval = 4096
 // Lines are read through a bufio.Reader, so there is no upper bound on line
 // length (bufio.Scanner's token limit does not apply).
 func ReadNTriplesWith(ctx context.Context, r io.Reader, opts Options, fn TripleHandler) error {
-	br := bufio.NewReaderSize(r, 64*1024)
-	lineNo, triples := 0, int64(0)
-	start := time.Now()
-	defer func() { ntMeter.Observe(triples, time.Since(start)) }()
-	sink := errorSink{opts: &opts, counter: ntSkipped}
+	sc := NewNTriplesScanner(r, opts)
 	for {
-		if lineNo%ctxCheckInterval == 0 {
+		if sc.Line()%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		raw, rerr := br.ReadString('\n')
-		if rerr != nil && rerr != io.EOF {
-			return rerr
+		t, ok, err := sc.Scan()
+		if err != nil {
+			return err
 		}
-		atEOF := rerr == io.EOF
-		if raw == "" && atEOF {
+		if !ok {
 			return nil
 		}
-		lineNo++
-		line := strings.TrimSpace(raw)
-		if line == "" || strings.HasPrefix(line, "#") {
-			if atEOF {
-				return nil
-			}
-			continue
-		}
-		t, perr := parseNTriplesLine(line)
-		if perr != nil {
-			perr.Line = lineNo
-			if !opts.Lenient {
-				return fmt.Errorf("rio: %w", perr)
-			}
-			if err := sink.record(*perr); err != nil {
-				return err
-			}
-		} else {
-			triples++
-			if err := fn(t); err != nil {
-				return err
-			}
-		}
-		if atEOF {
-			return nil
+		if err := fn(t); err != nil {
+			return err
 		}
 	}
 }
