@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench verify fuzz experiments
+.PHONY: build test bench bench-json verify fuzz experiments
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,13 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json measures the -workers parallel pipeline against the sequential
+# baseline, verifies byte-identical outputs, and writes BENCH_parallel.json.
+# MIN_SPEEDUP > 0 turns it into a gate (auto-skipped on <4-CPU machines).
+MIN_SPEEDUP ?= 0
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_parallel.json -min-speedup $(MIN_SPEEDUP)
 
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)

@@ -5,12 +5,16 @@
 //	go test -bench=. -benchmem
 //
 // The benches use small dataset scales so the whole suite stays fast;
-// cmd/experiments runs the same measurements at arbitrary scales.
+// cmd/experiments runs the same measurements at arbitrary scales, and
+// cmd/benchjson runs the BenchmarkParallel* set as a speedup gate.
 package s3pg_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/s3pg/s3pg/internal/baseline/neosem"
@@ -22,6 +26,7 @@ import (
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pg"
 	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/shapeex"
 	"github.com/s3pg/s3pg/internal/sparql"
@@ -48,6 +53,7 @@ func BenchmarkTable2_DatasetStats(b *testing.B) {
 		e := benchEnv()
 		g := e.Graph(name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				d := stats.ComputeDataset(g)
 				if d.Triples == 0 {
@@ -65,6 +71,7 @@ func BenchmarkTable3_ShapeStats(b *testing.B) {
 		e := benchEnv()
 		g := e.Graph(name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sg := shapeex.Extract(g, shapeex.Options{MinSupport: 0.02})
 				if stats.ComputeShapes(sg).PropertyShapes == 0 {
@@ -83,6 +90,7 @@ func BenchmarkTable4_Transform(b *testing.B) {
 		g := e.Graph(name)
 		sg := e.Shapes(name)
 		b.Run(name+"/S3PG", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Transform(g, sg, core.Parsimonious); err != nil {
 					b.Fatal(err)
@@ -90,11 +98,13 @@ func BenchmarkTable4_Transform(b *testing.B) {
 			}
 		})
 		b.Run(name+"/rdf2pg", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rdf2pgx.Transform(g)
 			}
 		})
 		b.Run(name+"/NeoSem", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				neosem.Transform(g)
 			}
@@ -112,6 +122,7 @@ func BenchmarkObsOverhead_Transform(b *testing.B) {
 	g := e.Graph("DBpedia2022")
 	sg := e.Shapes("DBpedia2022")
 	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.TransformTraced(g, sg, core.Parsimonious, nil); err != nil {
 				b.Fatal(err)
@@ -119,6 +130,7 @@ func BenchmarkObsOverhead_Transform(b *testing.B) {
 		}
 	})
 	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			root := obs.NewSpan("bench")
 			if _, _, err := core.TransformTraced(g, sg, core.Parsimonious, root); err != nil {
@@ -136,6 +148,7 @@ func BenchmarkObsOverhead_Transform(b *testing.B) {
 func BenchmarkTable4_Loading(b *testing.B) {
 	e := benchEnv()
 	store, _ := e.S3PG("DBpedia2022")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var nodes, edges discardCounter
@@ -155,6 +168,7 @@ func BenchmarkTable5_PGStats(b *testing.B) {
 	e := benchEnv()
 	s3store, _ := e.S3PG("DBpedia2022")
 	neoStore := e.NeoSem("DBpedia2022")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := stats.ComputePG(s3store)
@@ -173,6 +187,7 @@ func BenchmarkTable6_AccuracyDBpedia(b *testing.B) {
 	e.NeoSem("DBpedia2022")
 	e.RDF2PG("DBpedia2022")
 	queries := exp.DBpediaQueries()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.MeasureAccuracy(e, "DBpedia2022", queries)
@@ -193,6 +208,7 @@ func BenchmarkTable7_AccuracyBio2RDF(b *testing.B) {
 	e.NeoSem("Bio2RDFCT")
 	e.RDF2PG("Bio2RDFCT")
 	queries := exp.Bio2RDFQueries()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.MeasureAccuracy(e, "Bio2RDFCT", queries)
@@ -227,6 +243,7 @@ func BenchmarkFig6_QueryRuntime(b *testing.B) {
 			for i, q := range queries {
 				parsed[i] = sparql.MustParse(q.SPARQL)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range parsed {
@@ -246,6 +263,7 @@ func BenchmarkFig6_QueryRuntime(b *testing.B) {
 				for i, q := range queries {
 					parsed[i] = cypher.MustParse(q.Cypher)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					for _, q := range parsed {
@@ -269,6 +287,7 @@ func BenchmarkMonotonicity_FullRetransform(b *testing.B) {
 	sg := e.Shapes("DBpedia2022")
 	s2 := s1.Clone()
 	s2.AddAll(delta)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.Transform(s2, sg, core.NonParsimonious); err != nil {
@@ -283,6 +302,7 @@ func BenchmarkMonotonicity_IncrementalDelta(b *testing.B) {
 	s1 := e.Graph("DBpedia2022")
 	delta := datagen.Evolve(s1, p, 0.0521, benchSeed+1000)
 	sg := e.Shapes("DBpedia2022")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -297,6 +317,118 @@ func BenchmarkMonotonicity_IncrementalDelta(b *testing.B) {
 		if err := tr.Apply(delta); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel pipeline (-workers) ---
+
+// benchWorkerCounts picks the worker counts the BenchmarkParallel* set runs
+// at: always 1 (the sequential contract baseline), 2, and 4, plus GOMAXPROCS
+// when the machine has more cores. On boxes with fewer cores the higher
+// counts still run — they measure goroutine overhead, not speedup.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// benchNTDocument serializes the benchmark dataset to N-Triples once so the
+// ingest benches measure parsing, not generation.
+func benchNTDocument(b *testing.B) []byte {
+	b.Helper()
+	var nt bytes.Buffer
+	if err := rio.WriteNTriples(&nt, benchEnv().Graph("DBpedia2022")); err != nil {
+		b.Fatal(err)
+	}
+	return nt.Bytes()
+}
+
+// BenchmarkParallelIngest measures the range-split N-Triples loader (sharded
+// dictionary staging + deterministic dense-remap merge) against the
+// sequential scanner it is byte-equivalent to.
+func BenchmarkParallelIngest(b *testing.B) {
+	data := benchNTDocument(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				g, err := rio.LoadNTriplesParallel(context.Background(), bytes.NewReader(data), int64(len(data)), rio.Options{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Len() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTransform measures F_dt under ApplyParallel's
+// precompute-then-commit split at increasing worker counts.
+func BenchmarkParallelTransform(b *testing.B) {
+	e := benchEnv()
+	g := e.Graph("DBpedia2022")
+	sg := e.Shapes("DBpedia2022")
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TransformWith(context.Background(), g, sg, core.Parsimonious, nil,
+					core.TransformOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExport measures the chunked CSV writer.
+func BenchmarkParallelExport(b *testing.B) {
+	e := benchEnv()
+	store, _ := e.S3PG("DBpedia2022")
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var nodes, edges discardCounter
+				if err := store.WriteCSVParallel(&nodes, &edges, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPipeline measures ingest + transform + export end to end —
+// the composition cmd/s3pg's -workers flag drives, and the measurement
+// cmd/benchjson gates CI on.
+func BenchmarkParallelPipeline(b *testing.B) {
+	data := benchNTDocument(b)
+	sg := benchEnv().Shapes("DBpedia2022")
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				g, err := rio.LoadNTriplesParallel(context.Background(), bytes.NewReader(data), int64(len(data)), rio.Options{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := core.TransformWith(context.Background(), g, sg, core.Parsimonious, nil,
+					core.TransformOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var nodes, edges discardCounter
+				if err := tr.Store().WriteCSVParallel(&nodes, &edges, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -320,6 +452,7 @@ func BenchmarkAblation_DictVsString(b *testing.B) {
 		}
 	}
 	b.Run("dict", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g := rdf.NewGraph()
 			for _, t := range triples {
@@ -335,6 +468,7 @@ func BenchmarkAblation_DictVsString(b *testing.B) {
 		}
 	})
 	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			set := make(map[string]struct{}, len(triples))
 			bySubj := make(map[string][]int, len(subjects))
@@ -370,6 +504,7 @@ func BenchmarkAblation_TwoPassVsNaive(b *testing.B) {
 	g := e.Graph("DBpedia2022")
 	sg := e.Shapes("DBpedia2022")
 	b.Run("two-pass", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.Transform(g, sg, core.Parsimonious); err != nil {
 				b.Fatal(err)
@@ -377,6 +512,7 @@ func BenchmarkAblation_TwoPassVsNaive(b *testing.B) {
 		}
 	})
 	b.Run("naive-single-pass", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			naiveSinglePass(g)
 		}
@@ -420,6 +556,7 @@ func BenchmarkAblation_ParsimoniousVsNonParsimonious(b *testing.B) {
 	sg := e.Shapes("DBpedia2022")
 	for _, mode := range []core.Mode{core.Parsimonious, core.NonParsimonious} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Transform(g, sg, mode); err != nil {
 					b.Fatal(err)
@@ -439,6 +576,7 @@ func BenchmarkAblation_Optimize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var opt *pg.Store
 	for i := 0; i < b.N; i++ {
@@ -457,11 +595,13 @@ func BenchmarkAblation_MatchIndexVsScan(b *testing.B) {
 	g := e.Graph("DBpedia2022")
 	subj := rdf.NewIRI(e.Profile("DBpedia2022").NS + "Person_1")
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g.MatchCount(&subj, nil, nil)
 		}
 	})
 	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			n := 0
 			g.ForEach(func(t rdf.Triple) bool {
@@ -479,6 +619,7 @@ func BenchmarkAblation_MatchIndexVsScan(b *testing.B) {
 func BenchmarkInverseData(b *testing.B) {
 	e := benchEnv()
 	store, spg := e.S3PG("DBpedia2020")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.InverseData(store, spg); err != nil {
@@ -491,6 +632,7 @@ func BenchmarkSHACLValidation(b *testing.B) {
 	e := benchEnv()
 	g := e.Graph("Bio2RDFCT")
 	sg := e.Shapes("Bio2RDFCT")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		shacl.Validate(g, sg)

@@ -1,0 +1,222 @@
+// Command benchjson measures the parallel pipeline's speedup over the
+// sequential path and emits the result as machine-readable JSON
+// (BENCH_parallel.json), for CI trend tracking and the speedup gate.
+//
+// It generates a seeded synthetic dataset, serializes it to N-Triples, and
+// runs the full pipeline — parallel ingest, parallel F_dt transform, parallel
+// CSV export — at each worker count, taking the best of -reps runs. Every
+// parallel run's outputs are checked byte-for-byte against the sequential
+// run before any timing is reported: a fast-but-wrong pipeline fails here,
+// not in CI archaeology.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_parallel.json] [-scale 0.002] [-reps 3]
+//	          [-min-speedup 0] [-workers 1,2,4]
+//
+// With -min-speedup s > 0 the command exits nonzero when the highest
+// configured worker count's speedup falls below s — unless the machine has
+// fewer than four CPUs, where no parallel speedup is physically available
+// and the gate is skipped (the JSON is still written, with "gate": "skipped").
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/shapeex"
+)
+
+// Run is one worker count's best-of-reps measurement.
+type Run struct {
+	Workers   int     `json:"workers"`
+	BestNs    int64   `json:"best_ns"`
+	Speedup   float64 `json:"speedup"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	Identical bool    `json:"identical_to_sequential"`
+}
+
+// Report is the BENCH_parallel.json document.
+type Report struct {
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	Triples    int     `json:"triples"`
+	InputBytes int     `json:"input_bytes"`
+	Reps       int     `json:"reps"`
+	Runs       []Run   `json:"runs"`
+	Gate       string  `json:"gate"` // "passed", "failed", "skipped", or "off"
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+}
+
+type outputs struct {
+	ddl          string
+	nodes, edges []byte
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output JSON `file`")
+	scale := flag.Float64("scale", 0.002, "dataset scale relative to the paper's full-size DBpedia2022")
+	reps := flag.Int("reps", 3, "repetitions per worker count (best run wins)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless the top worker count reaches this speedup (0 = report only; skipped on <4-CPU machines)")
+	workersSpec := flag.String("workers", "1,2,4", "comma-separated worker `counts` to measure (must include 1)")
+	flag.Parse()
+
+	counts, err := parseWorkers(*workersSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(*out, *scale, *reps, *minSpeedup, counts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+func parseWorkers(spec string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 || counts[0] != 1 {
+		return nil, fmt.Errorf("-workers must start with 1 (the sequential baseline)")
+	}
+	return counts, nil
+}
+
+func run(out string, scale float64, reps int, minSpeedup float64, counts []int) error {
+	const dataset = "DBpedia2022"
+	g := datagen.Generate(datagen.Profiles()[dataset], scale, 1)
+	var nt bytes.Buffer
+	if err := rio.WriteNTriples(&nt, g); err != nil {
+		return err
+	}
+	data := nt.Bytes()
+	shapes := shapeex.Extract(g, shapeex.Options{MinSupport: 0.02})
+
+	rep := Report{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    dataset,
+		Scale:      scale,
+		Triples:    g.Len(),
+		InputBytes: len(data),
+		Reps:       reps,
+		Gate:       "off",
+		MinSpeedup: minSpeedup,
+	}
+
+	var baseline outputs
+	var baseNs int64
+	for _, workers := range counts {
+		best := int64(-1)
+		var got outputs
+		for r := 0; r < reps; r++ {
+			o, ns, err := pipeline(data, shapes, workers)
+			if err != nil {
+				return fmt.Errorf("workers=%d: %w", workers, err)
+			}
+			got = o
+			if best < 0 || ns < best {
+				best = ns
+			}
+		}
+		identical := true
+		if workers == 1 {
+			baseline, baseNs = got, best
+		} else {
+			identical = got.ddl == baseline.ddl &&
+				bytes.Equal(got.nodes, baseline.nodes) &&
+				bytes.Equal(got.edges, baseline.edges)
+			if !identical {
+				return fmt.Errorf("workers=%d: outputs differ from the sequential pipeline", workers)
+			}
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Workers:   workers,
+			BestNs:    best,
+			Speedup:   float64(baseNs) / float64(best),
+			MBPerSec:  float64(len(data)) / (float64(best) / 1e9) / (1 << 20),
+			Identical: identical,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: workers=%d best %.1fms speedup %.2fx\n",
+			workers, float64(best)/1e6, float64(baseNs)/float64(best))
+	}
+
+	if minSpeedup > 0 {
+		top := rep.Runs[len(rep.Runs)-1]
+		switch {
+		case rep.CPUs < 4:
+			rep.Gate = "skipped"
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %d CPU(s) < 4, no parallel speedup available\n", rep.CPUs)
+		case top.Speedup >= minSpeedup:
+			rep.Gate = "passed"
+		default:
+			rep.Gate = "failed"
+		}
+	}
+
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	if rep.Gate == "failed" {
+		return fmt.Errorf("speedup gate failed: workers=%d reached %.2fx < required %.2fx",
+			rep.Runs[len(rep.Runs)-1].Workers, rep.Runs[len(rep.Runs)-1].Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// pipeline runs ingest → transform → export at the given worker count and
+// returns the outputs plus wall time.
+func pipeline(data []byte, shapes *shacl.Schema, workers int) (outputs, int64, error) {
+	ctx := context.Background()
+	start := time.Now()
+	g, err := rio.LoadNTriplesParallel(ctx, bytes.NewReader(data), int64(len(data)), rio.Options{}, workers)
+	if err != nil {
+		return outputs{}, 0, err
+	}
+	tr, err := core.TransformWith(ctx, g, shapes, core.Parsimonious, nil, core.TransformOptions{Workers: workers})
+	if err != nil {
+		return outputs{}, 0, err
+	}
+	var nodes, edges bytes.Buffer
+	if err := tr.Store().WriteCSVParallel(&nodes, &edges, workers); err != nil {
+		return outputs{}, 0, err
+	}
+	ns := time.Since(start).Nanoseconds()
+	return outputs{pgschema.WriteDDL(tr.Schema()), nodes.Bytes(), edges.Bytes()}, ns, nil
+}
+
+func writeJSON(path string, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

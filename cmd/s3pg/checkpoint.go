@@ -108,10 +108,10 @@ func commitAtomic(path string, fn func(io.Writer) error) error {
 // between the two renames leaves a stale-nodes/new-edges pair at worst —
 // re-running the command repairs it, and the checkpoint (if any) is only
 // removed after both commits succeed.
-func writeStoreAtomic(store *pg.Store, nodesPath, edgesPath string) error {
+func writeStoreAtomic(store *pg.Store, nodesPath, edgesPath string, workers int) error {
 	return commitAtomic(nodesPath, func(nw io.Writer) error {
 		return commitAtomic(edgesPath, func(ew io.Writer) error {
-			return store.WriteCSV(nw, ew)
+			return store.WriteCSVParallel(nw, ew, workers)
 		})
 	})
 }
@@ -174,6 +174,12 @@ type dataArgs struct {
 // chunking is observable to RDF-star annotations that precede the statement
 // they annotate across a chunk boundary — which is why equivalence is stated
 // against same-chunking runs.
+//
+// -workers parallelizes each chunk's transform and the final CSV export (the
+// offset-tracking scan itself stays sequential — resumability needs a single
+// byte cursor). The parallel paths are deterministic, so -workers is not part
+// of the resume contract: a run may crash at one worker count and resume at
+// another without perturbing the outputs.
 func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf *resFlags, m core.Mode, paths dataArgs, stdout, stderr io.Writer) error {
 	f, err := os.Open(paths.data)
 	if err != nil {
@@ -286,7 +292,7 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 		}
 		atEOF := chunk.Len() < ck.every
 		if chunk.Len() > 0 {
-			if err := tr.ApplyContext(ctx, chunk, sp); err != nil {
+			if err := tr.ApplyParallel(ctx, chunk, rf.workers, sp); err != nil {
 				// A mid-Apply abort leaves the in-memory state dirty; the last
 				// on-disk checkpoint remains the recovery point.
 				sp.End()
@@ -329,7 +335,7 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 	if n := tr.DegradedCount(); n > 0 {
 		fmt.Fprintf(stderr, "s3pg: lenient: %d statement(s) transformed via degradation fallbacks\n", n)
 	}
-	if err := writeStoreAtomic(store, paths.nodes, paths.edges); err != nil {
+	if err := writeStoreAtomic(store, paths.nodes, paths.edges, rf.workers); err != nil {
 		return err
 	}
 	if err := writeOut(paths.schema, pgschema.WriteDDL(schema), stdout); err != nil {
@@ -349,7 +355,9 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 // checkResumeMatches rejects resumes whose flags or input no longer match
 // the checkpoint: continuing under a different configuration would violate
 // the equivalence guarantee, and a truncated input cannot contain the
-// recorded offset.
+// recorded offset. -workers is deliberately not checked: the parallel
+// transform is byte-deterministic, so worker counts may differ across a
+// crash/resume boundary.
 func checkResumeMatches(cp *ckpt.Checkpoint, paths dataArgs, m core.Mode, lenient bool, inputSize int64) error {
 	if cp.InputPath != paths.data {
 		return fmt.Errorf("checkpoint is for input %s, not %s", cp.InputPath, paths.data)

@@ -419,6 +419,89 @@ func TestFaultInjectedCommitNeverTearsOutputs(t *testing.T) {
 	}
 }
 
+// TestCrashResumeAcrossWorkerCounts: the parallel pipeline is
+// byte-deterministic, so -workers is deliberately outside the resume
+// contract — a run may crash at one worker count and resume at another, and
+// the outputs must still be byte-identical to an uninterrupted sequential
+// run with the same chunking.
+func TestCrashResumeAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess matrix")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.5, true)
+
+	bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+	code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp, "-lenient", "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+	wantNodes, wantEdges, wantSchema := readFile(t, bn), readFile(t, be), readFile(t, bs)
+
+	for _, wk := range [][2]string{{"4", "1"}, {"1", "4"}} {
+		t.Run("crash_w"+wk[0]+"_resume_w"+wk[1], func(t *testing.T) {
+			rd := filepath.Join(dir, "w"+wk[0]+"to"+wk[1])
+			n, e, s, cp := outPaths(t, rd)
+			args := dataArgsFor(shapes, data, n, e, s, cp, "-lenient", "-workers", wk[0])
+			code, _, _ := execCLI(t, []string{crashAfterEnv + "=2"}, args...)
+			if code != crashExitCode {
+				t.Fatalf("crash run at workers=%s: exit %d, want %d", wk[0], code, crashExitCode)
+			}
+			if _, err := ckpt.Load(cp); err != nil {
+				t.Fatalf("checkpoint unreadable after crash: %v", err)
+			}
+			resume := append(dataArgsFor(shapes, data, n, e, s, cp, "-lenient", "-workers", wk[1]), "-resume")
+			code, _, errOut := execCLI(t, nil, resume...)
+			if code != 0 {
+				t.Fatalf("resume at workers=%s: exit %d: %s", wk[1], code, errOut)
+			}
+			if !bytes.Equal(readFile(t, n), wantNodes) {
+				t.Fatalf("workers %s→%s: nodes differ from sequential run", wk[0], wk[1])
+			}
+			if !bytes.Equal(readFile(t, e), wantEdges) {
+				t.Fatalf("workers %s→%s: edges differ from sequential run", wk[0], wk[1])
+			}
+			if !bytes.Equal(readFile(t, s), wantSchema) {
+				t.Fatalf("workers %s→%s: schema differs from sequential run", wk[0], wk[1])
+			}
+		})
+	}
+}
+
+// TestDataWorkersByteIdenticalCLI drives the whole-graph (non-checkpointed)
+// CLI path at several worker counts over a dirty corpus and requires every
+// output file and the stderr skip summary to match the sequential run.
+func TestDataWorkersByteIdenticalCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.3, true)
+
+	runAt := func(workers string) (nodes, edges, schema []byte, stderr string) {
+		rd := filepath.Join(dir, "w"+workers)
+		n, e, s, _ := outPaths(t, rd)
+		args := []string{"data", "-shapes", shapes, "-data", data,
+			"-nodes", n, "-edges", e, "-schema", s, "-lenient", "-workers", workers}
+		code, _, errOut := execCLI(t, nil, args...)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d: %s", workers, code, errOut)
+		}
+		return readFile(t, n), readFile(t, e), readFile(t, s), errOut
+	}
+
+	wantN, wantE, wantS, wantErr := runAt("1")
+	for _, workers := range []string{"2", "8"} {
+		gotN, gotE, gotS, gotErr := runAt(workers)
+		if !bytes.Equal(gotN, wantN) || !bytes.Equal(gotE, wantE) || !bytes.Equal(gotS, wantS) {
+			t.Fatalf("workers=%s: outputs differ from sequential run", workers)
+		}
+		if gotErr != wantErr {
+			t.Fatalf("workers=%s: stderr differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", workers, wantErr, gotErr)
+		}
+	}
+}
+
 // TestResumeRejectsMismatchedRun: a checkpoint from one configuration must
 // not silently continue under another.
 func TestResumeRejectsMismatchedRun(t *testing.T) {

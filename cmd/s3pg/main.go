@@ -22,6 +22,9 @@
 // and the resilience flags
 //
 //	-timeout d      abort the run after the duration d (exit status 3)
+//	-workers n      data/validate/extract: run ingest, transform, and CSV
+//	                export on n parallel workers (default: GOMAXPROCS); the
+//	                outputs are byte-identical to -workers 1
 //	-lenient        skip malformed RDF statements and transform non-
 //	                conforming nodes through documented fallbacks instead of
 //	                aborting; a summary of skipped statements, SHACL
@@ -63,6 +66,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
 	"sync/atomic"
 	"syscall"
@@ -278,6 +282,7 @@ type resFlags struct {
 	lenient   bool
 	maxErrors int
 	timeout   time.Duration
+	workers   int
 	log       parseLog
 }
 
@@ -291,7 +296,16 @@ func addResFlags(fs *flag.FlagSet, withLenient bool) *resFlags {
 		fs.BoolVar(&rf.lenient, "lenient", false, "skip malformed statements and degrade non-conforming nodes instead of aborting")
 		fs.IntVar(&rf.maxErrors, "max-errors", 0, "lenient: hard-stop after more than `n` malformed statements (0 = 1000, negative = unlimited)")
 	}
+	rf.workers = 1
 	return rf
+}
+
+// addWorkersFlag registers -workers on the subcommands with a parallel
+// pipeline (data, validate, extract). The parallel paths are deterministic:
+// every output is byte-identical to a -workers 1 run over the same input.
+func addWorkersFlag(fs *flag.FlagSet, rf *resFlags) {
+	fs.IntVar(&rf.workers, "workers", runtime.GOMAXPROCS(0),
+		"run ingest, transform, and CSV export on `n` parallel workers (1 = sequential)")
 }
 
 // context returns the run context, bounded by -timeout when one was given.
@@ -377,7 +391,15 @@ func loadData(ctx context.Context, path string, rf *resFlags, span *obs.Span) (*
 	if span != nil {
 		sp = span.StartSpan("ingest")
 	}
-	g, err := rio.LoadNTriplesWith(ctx, f, rf.rioOptions())
+	var g *s3pg.Graph
+	if rf.workers > 1 {
+		var size int64
+		if size, err = fileSize(f); err == nil {
+			g, err = rio.LoadNTriplesParallelTraced(ctx, f, size, rf.rioOptions(), rf.workers, sp)
+		}
+	} else {
+		g, err = rio.LoadNTriplesWith(ctx, f, rf.rioOptions())
+	}
 	if err == nil {
 		sp.Count("triples", int64(g.Len()))
 	}
@@ -446,6 +468,7 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	schemaOut := fs.String("schema", "schema.ddl", "output PG-Schema DDL `file`")
 	ob := addObsFlags(fs)
 	rf := addResFlags(fs, true)
+	addWorkersFlag(fs, rf)
 	ck := addCkptFlags(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
@@ -502,7 +525,7 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "s3pg: lenient: %s\n", shacl.NewViolationReport(violations))
 		}
 	}
-	tr, err := core.TransformWith(ctx, g, shapes, m, span, core.TransformOptions{Lenient: rf.lenient})
+	tr, err := core.TransformWith(ctx, g, shapes, m, span, core.TransformOptions{Lenient: rf.lenient, Workers: rf.workers})
 	if err != nil {
 		return err
 	}
@@ -510,7 +533,7 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	if n := tr.DegradedCount(); n > 0 {
 		fmt.Fprintf(stderr, "s3pg: lenient: %d statement(s) transformed via degradation fallbacks\n", n)
 	}
-	if err := writeStoreAtomic(store, *nodesOut, *edgesOut); err != nil {
+	if err := writeStoreAtomic(store, *nodesOut, *edgesOut, rf.workers); err != nil {
 		return err
 	}
 	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema), stdout); err != nil {
@@ -585,6 +608,7 @@ func cmdValidate(args []string, stdout, stderr io.Writer) error {
 	dataPath := fs.String("data", "", "RDF data `file` (N-Triples)")
 	ob := addObsFlags(fs)
 	rf := addResFlags(fs, true)
+	addWorkersFlag(fs, rf)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -683,6 +707,7 @@ func cmdExtract(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "output shapes `file` (default stdout)")
 	ob := addObsFlags(fs)
 	rf := addResFlags(fs, true)
+	addWorkersFlag(fs, rf)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}

@@ -551,10 +551,15 @@ func TransformTraced(g *rdf.Graph, sg *shacl.Schema, mode Mode, span *obs.Span) 
 	return t.Store(), t.Schema(), nil
 }
 
-// TransformOptions configures the resilience aspects of a full pipeline run.
+// TransformOptions configures the resilience and performance aspects of a
+// full pipeline run.
 type TransformOptions struct {
 	// Lenient activates the degradation policy (see Transformer.SetLenient).
 	Lenient bool
+	// Workers sets the data-transform parallelism. Values <= 1 run the exact
+	// sequential path; higher values run ApplyParallel, whose output is
+	// byte-identical to the sequential transform.
+	Workers int
 }
 
 // TransformWith runs the traced pipeline with cancellation and the chosen
@@ -575,7 +580,11 @@ func TransformWith(ctx context.Context, g *rdf.Graph, sg *shacl.Schema, mode Mod
 	}
 	t.SetLenient(opts.Lenient)
 	fdt := span.StartSpan("F_dt")
-	err = t.ApplyContext(ctx, g, fdt)
+	if opts.Workers > 1 {
+		err = t.ApplyParallel(ctx, g, opts.Workers, fdt)
+	} else {
+		err = t.ApplyContext(ctx, g, fdt)
+	}
 	fdt.Count("triples", int64(g.Len()))
 	fdt.End()
 	if err != nil {

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// snapshotOf runs the full pipeline at the given worker count and returns the
+// transformer's serialized state: schema DDL, nodes/edges CSV, fallback
+// routes, and tallies. Byte-equality of two snapshots is the determinism
+// contract of the parallel transform.
+func snapshotOf(t *testing.T, g *rdf.Graph, mode core.Mode, lenient bool, workers int) *core.PipelineState {
+	t.Helper()
+	tr, err := core.TransformWith(context.Background(), g, fixtures.UniversityShapes(), mode, nil,
+		core.TransformOptions{Lenient: lenient, Workers: workers})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	st, err := tr.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func requireSameState(t *testing.T, want, got *core.PipelineState, label string) {
+	t.Helper()
+	if want.SchemaDDL != got.SchemaDDL {
+		t.Fatalf("%s: DDL differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", label, want.SchemaDDL, got.SchemaDDL)
+	}
+	if !bytes.Equal(want.NodesCSV, got.NodesCSV) {
+		t.Fatalf("%s: nodes.csv differs (%d vs %d bytes)", label, len(want.NodesCSV), len(got.NodesCSV))
+	}
+	if !bytes.Equal(want.EdgesCSV, got.EdgesCSV) {
+		t.Fatalf("%s: edges.csv differs (%d vs %d bytes)", label, len(want.EdgesCSV), len(got.EdgesCSV))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: pipeline states differ beyond serialized outputs:\nsequential %+v\nparallel   %+v", label, want, got)
+	}
+}
+
+// dirtyUniversityGraph is the university graph plus one instance of every
+// degradation class the lenient policy handles, plus RDF-star annotations and
+// assorted literal shapes, so the parallel commit is exercised on every
+// branch of Algorithm 1.
+func dirtyUniversityGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g := fixtures.UniversityGraph()
+	name := rdf.NewIRI(fixtures.ExNS + "name")
+	// Untyped subject → generic rdfs:Resource label.
+	g.Add(rdf.NewTriple(fixtures.Ex("mystery"), name, rdf.NewLiteral("Mystery")))
+	// Literal rdf:type object → coerced to a property statement.
+	g.Add(rdf.NewTriple(fixtures.Ex("bob"), rdf.A, rdf.NewLiteral("Person")))
+	// Typed quoted triple → skipped.
+	qt, err := rdf.NewTripleTerm(rdf.NewTriple(fixtures.Ex("bob"), name, rdf.NewLiteral("Bob")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Add(rdf.NewTriple(qt, rdf.A, fixtures.Ex("Statement")))
+	// Resource object never declared as an entity → resource value node.
+	g.Add(rdf.NewTriple(fixtures.Ex("bob"), rdf.NewIRI(fixtures.ExNS+"homepage"), rdf.NewIRI("http://bob.example.org/")))
+	// Duplicate value literals across subjects → value-node dedup.
+	seen := rdf.NewIRI(fixtures.ExNS + "motto")
+	for i := 0; i < 8; i++ {
+		g.Add(rdf.NewTriple(fixtures.Ex(fmt.Sprintf("extra%d", i)), rdf.A, fixtures.Ex("Person")))
+		g.Add(rdf.NewTriple(fixtures.Ex(fmt.Sprintf("extra%d", i)), seen, rdf.NewLangLiteral("per aspera", "la")))
+		g.Add(rdf.NewTriple(fixtures.Ex(fmt.Sprintf("extra%d", i)), rdf.NewIRI(fixtures.ExNS+"age"),
+			rdf.NewTypedLiteral("041", rdf.XSDInteger))) // non-canonical lexical
+	}
+	// RDF-star annotation on an existing statement.
+	if base := g.Triples(); true {
+		for _, tr := range base {
+			if tr.P == name && !tr.S.IsTripleTerm() {
+				key, kerr := rdf.NewTripleTerm(tr)
+				if kerr != nil {
+					continue
+				}
+				g.Add(rdf.NewTriple(key, rdf.NewIRI(fixtures.ExNS+"certainty"),
+					rdf.NewTypedLiteral("0.9", rdf.XSDDecimal)))
+				break
+			}
+		}
+	}
+	return g
+}
+
+func TestApplyParallelDeterministicCleanGraph(t *testing.T) {
+	g := fixtures.UniversityGraph()
+	for _, mode := range []core.Mode{core.Parsimonious, core.NonParsimonious} {
+		want := snapshotOf(t, g, mode, false, 1)
+		for _, workers := range []int{2, 8} {
+			got := snapshotOf(t, g, mode, false, workers)
+			requireSameState(t, want, got, fmt.Sprintf("mode=%v workers=%d", mode, workers))
+		}
+	}
+}
+
+func TestApplyParallelDeterministicDirtyGraph(t *testing.T) {
+	g := dirtyUniversityGraph(t)
+	for _, mode := range []core.Mode{core.Parsimonious, core.NonParsimonious} {
+		want := snapshotOf(t, g, mode, true, 1)
+		for _, workers := range []int{2, 8} {
+			got := snapshotOf(t, g, mode, true, workers)
+			requireSameState(t, want, got, fmt.Sprintf("dirty mode=%v workers=%d", mode, workers))
+		}
+	}
+}
+
+// TestApplyParallelIncrementalMixedWorkers applies the graph in two chunks
+// with different worker counts per chunk and checks the final state matches a
+// fully sequential two-chunk run — the monotone incremental transformation
+// must be oblivious to how each increment was parallelized.
+func TestApplyParallelIncrementalMixedWorkers(t *testing.T) {
+	full := dirtyUniversityGraph(t)
+	all := full.Triples()
+	half := len(all) / 2
+
+	build := func(w1, w2 int) *core.PipelineState {
+		t.Helper()
+		tr, err := core.NewTransformer(fixtures.UniversityShapes(), core.Parsimonious)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetLenient(true)
+		dict := rdf.NewDict()
+		g1 := rdf.NewGraphWithDict(dict)
+		for _, x := range all[:half] {
+			g1.Add(x)
+		}
+		g2 := rdf.NewGraphWithDict(dict)
+		for _, x := range all[half:] {
+			g2.Add(x)
+		}
+		if err := tr.ApplyParallel(context.Background(), g1, w1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ApplyParallel(context.Background(), g2, w2, nil); err != nil {
+			t.Fatal(err)
+		}
+		st, err := tr.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	want := build(1, 1)
+	for _, wk := range [][2]int{{8, 1}, {1, 8}, {4, 4}} {
+		got := build(wk[0], wk[1])
+		requireSameState(t, want, got, fmt.Sprintf("chunks at workers %d then %d", wk[0], wk[1]))
+	}
+}
+
+// TestApplyParallelStrictErrorsMatch checks the parallel path fails on the
+// same statement with the same error text as the sequential path.
+func TestApplyParallelStrictErrorsMatch(t *testing.T) {
+	cases := map[string]func(*rdf.Graph){
+		"literal_type": func(g *rdf.Graph) {
+			g.Add(rdf.NewTriple(fixtures.Ex("bob"), rdf.A, rdf.NewLiteral("Person")))
+		},
+		"typed_quoted_triple": func(g *rdf.Graph) {
+			qt, _ := rdf.NewTripleTerm(rdf.NewTriple(fixtures.Ex("bob"), rdf.NewIRI(fixtures.ExNS+"name"), rdf.NewLiteral("Bob")))
+			g.Add(rdf.NewTriple(qt, rdf.A, fixtures.Ex("Statement")))
+		},
+	}
+	for name, poison := range cases {
+		g := fixtures.UniversityGraph()
+		poison(g)
+		_, err1 := core.TransformWith(context.Background(), g, fixtures.UniversityShapes(), core.Parsimonious, nil,
+			core.TransformOptions{Workers: 1})
+		_, err8 := core.TransformWith(context.Background(), g, fixtures.UniversityShapes(), core.Parsimonious, nil,
+			core.TransformOptions{Workers: 8})
+		if err1 == nil || err8 == nil {
+			t.Fatalf("%s: expected both to fail, got %v / %v", name, err1, err8)
+		}
+		if err1.Error() != err8.Error() {
+			t.Fatalf("%s: error texts differ:\nsequential: %v\nparallel:   %v", name, err1, err8)
+		}
+	}
+}
+
+func TestApplyParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, err := core.NewTransformer(fixtures.UniversityShapes(), core.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ApplyParallel(ctx, fixtures.UniversityGraph(), 4, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -28,12 +29,17 @@ type Config struct {
 	W io.Writer
 	// MinSupport is the QSE-style shape-extraction pruning threshold.
 	MinSupport float64
+	// Workers sets the S3PG transform's parallelism; values <= 1 run the
+	// sequential path. The transform is byte-deterministic in Workers, so
+	// the rendered tables are identical at any setting — only the timing
+	// columns move.
+	Workers int
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md was
 // produced with.
 func DefaultConfig(w io.Writer) Config {
-	return Config{Scale: 0.001, Seed: 1, W: w, MinSupport: 0.02}
+	return Config{Scale: 0.001, Seed: 1, W: w, MinSupport: 0.02, Workers: 1}
 }
 
 // DatasetNames lists the Table 2 datasets in presentation order.
@@ -104,12 +110,13 @@ func (e *Env) S3PG(name string) (*pg.Store, *pgschema.Schema) {
 	if t, ok := e.s3pg[name]; ok {
 		return t.store, t.schema
 	}
-	store, spg, err := core.Transform(e.Graph(name), e.Shapes(name), core.Parsimonious)
+	tr, err := core.TransformWith(context.Background(), e.Graph(name), e.Shapes(name), core.Parsimonious, nil,
+		core.TransformOptions{Workers: e.Cfg.Workers})
 	if err != nil {
 		panic(fmt.Sprintf("exp: S3PG transform of %s: %v", name, err))
 	}
-	e.s3pg[name] = &transformed{store, spg}
-	return store, spg
+	e.s3pg[name] = &transformed{tr.Store(), tr.Schema()}
+	return tr.Store(), tr.Schema()
 }
 
 // NeoSem returns the NeoSemantics-transformed property graph.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"text/tabwriter"
 	"time"
@@ -119,11 +120,12 @@ func RunTable4(e *Env) ([]Table4Row, error) {
 
 		var s3store *pg.Store
 		s3span := measure("S3PG/"+name, func(sp *obs.Span) {
-			st, _, err := core.TransformTraced(g, sg, core.Parsimonious, sp)
+			tr, err := core.TransformWith(context.Background(), g, sg, core.Parsimonious, sp,
+				core.TransformOptions{Workers: e.Cfg.Workers})
 			if err != nil {
 				panic(err)
 			}
-			s3store = st
+			s3store = tr.Store()
 		})
 		lS3 := loadTime(s3store)
 		rec := s3span.Record()

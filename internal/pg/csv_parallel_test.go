@@ -1,0 +1,80 @@
+package pg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// messyStore builds a store with every value shape the codec supports,
+// including separator characters that need escaping.
+func messyStore() *Store {
+	s := NewStore()
+	for i := 0; i < 500; i++ {
+		props := map[string]Value{
+			"iri":  fmt.Sprintf("http://ex.org/n%d", i),
+			"num":  int64(i),
+			"frac": float64(i) / 7,
+			"flag": i%2 == 0,
+			"arr":  []Value{"a", int64(i), false},
+		}
+		if i%7 == 0 {
+			props["tricky\x1fkey"] = "value\x1ewith\x1dseps\\and backslash"
+		}
+		s.AddNode([]string{fmt.Sprintf("L%d", i%5), "Common"}, props)
+	}
+	for i := 0; i < 1200; i++ {
+		var props map[string]Value
+		if i%3 == 0 {
+			props = map[string]Value{"weight": float64(i), "note": "n\x1e"}
+		}
+		s.AddEdge(NodeID(i%500), NodeID((i*13)%500), fmt.Sprintf("e%d", i%11), props)
+	}
+	return s
+}
+
+func TestWriteCSVParallelByteIdentical(t *testing.T) {
+	s := messyStore()
+	var wantN, wantE bytes.Buffer
+	if err := s.WriteCSV(&wantN, &wantE); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		var gotN, gotE bytes.Buffer
+		if err := s.WriteCSVParallel(&gotN, &gotE, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(wantN.Bytes(), gotN.Bytes()) {
+			t.Fatalf("workers=%d: nodes.csv differs (%d vs %d bytes)", workers, wantN.Len(), gotN.Len())
+		}
+		if !bytes.Equal(wantE.Bytes(), gotE.Bytes()) {
+			t.Fatalf("workers=%d: edges.csv differs (%d vs %d bytes)", workers, wantE.Len(), gotE.Len())
+		}
+	}
+}
+
+func TestWriteCSVParallelEmptyStore(t *testing.T) {
+	s := NewStore()
+	var n, e bytes.Buffer
+	if err := s.WriteCSVParallel(&n, &e, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 0 || e.Len() != 0 {
+		t.Fatalf("empty store wrote %d/%d bytes", n.Len(), e.Len())
+	}
+}
+
+func TestWriteCSVParallelErrorMatchesSequential(t *testing.T) {
+	s := NewStore()
+	s.AddNode(nil, map[string]Value{"ok": "fine"})
+	s.AddNode(nil, map[string]Value{"bad": struct{}{}}) // unsupported type
+	var n1, e1, n2, e2 bytes.Buffer
+	err1 := s.WriteCSV(&n1, &e1)
+	err2 := s.WriteCSVParallel(&n2, &e2, 4)
+	if err1 == nil || err2 == nil {
+		t.Fatalf("expected both to fail, got %v / %v", err1, err2)
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("error texts differ:\nsequential: %v\nparallel:   %v", err1, err2)
+	}
+}

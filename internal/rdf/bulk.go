@@ -1,0 +1,125 @@
+package rdf
+
+import "sync"
+
+// EncodedTriple is a dictionary-encoded triple for bulk graph construction.
+// Components must be ids of the dictionary the graph is built over; the bulk
+// constructor trusts them (ids are only produced by Intern/Dense).
+type EncodedTriple struct {
+	S, P, O TermID
+}
+
+// minParallelIndex is the triple count below which parallel index
+// construction cannot pay for its goroutines.
+const minParallelIndex = 1 << 14
+
+// NewGraphFromEncoded bulk-builds a graph over d from encoded triples,
+// preserving stream order: duplicate admission, slot assignment, and every
+// iteration order are identical to NewGraphWithDict(d) followed by Add of
+// the decoded triples in the same order. Posting-list construction fans out
+// across workers (admission itself is order-defining and stays sequential);
+// workers <= 1, or inputs too small to amortize goroutines, build everything
+// on the calling goroutine.
+func NewGraphFromEncoded(d *Dict, enc []EncodedTriple, workers int) *Graph {
+	g := NewGraphWithDict(d)
+	g.triples = make([]encTriple, 0, len(enc))
+	for _, e := range enc {
+		et := encTriple{e.S, e.P, e.O}
+		if _, ok := g.present[et]; ok {
+			continue
+		}
+		g.present[et] = int32(len(g.triples))
+		g.triples = append(g.triples, et)
+	}
+	g.dead = make([]bool, len(g.triples))
+	cGraphTriples.Add(int64(len(g.triples)))
+	cIndexEntries.Add(3 * int64(len(g.triples)))
+	if workers <= 1 || len(g.triples) < minParallelIndex {
+		for i, e := range g.triples {
+			idx := int32(i)
+			g.bySubj[e.s] = append(g.bySubj[e.s], idx)
+			g.byPred[e.p] = append(g.byPred[e.p], idx)
+			g.byObj[e.o] = append(g.byObj[e.o], idx)
+		}
+		return g
+	}
+	g.buildIndexesParallel(workers)
+	return g
+}
+
+// buildIndexesParallel builds the three posting-list indexes over contiguous
+// slot ranges, one range per worker, then merges per-range lists by
+// concatenating them in range order. Each range's lists are ascending and the
+// ranges are contiguous and disjoint, so in-order concatenation is a k-way
+// sorted merge whose runs never interleave — the result is exactly the
+// insertion-order lists sequential Add produces.
+func (g *Graph) buildIndexesParallel(workers int) {
+	n := len(g.triples)
+	if workers > n {
+		workers = n
+	}
+	type partial struct {
+		bySubj, byPred, byObj map[TermID][]int32
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := partial{
+				bySubj: make(map[TermID][]int32),
+				byPred: make(map[TermID][]int32),
+				byObj:  make(map[TermID][]int32),
+			}
+			for i := lo; i < hi; i++ {
+				e := g.triples[i]
+				idx := int32(i)
+				p.bySubj[e.s] = append(p.bySubj[e.s], idx)
+				p.byPred[e.p] = append(p.byPred[e.p], idx)
+				p.byObj[e.o] = append(p.byObj[e.o], idx)
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var mg sync.WaitGroup
+	merge := func(dst map[TermID][]int32, pick func(*partial) map[TermID][]int32) {
+		defer mg.Done()
+		for i := range parts {
+			for k, l := range pick(&parts[i]) {
+				dst[k] = append(dst[k], l...)
+			}
+		}
+	}
+	mg.Add(3)
+	go merge(g.bySubj, func(p *partial) map[TermID][]int32 { return p.bySubj })
+	go merge(g.byPred, func(p *partial) map[TermID][]int32 { return p.byPred })
+	go merge(g.byObj, func(p *partial) map[TermID][]int32 { return p.byObj })
+	mg.Wait()
+}
+
+// NumSlots returns the number of triple slots, live and tombstoned. Slot
+// indexes are stable for the life of the graph and usable with EncodedAt.
+func (g *Graph) NumSlots() int { return len(g.triples) }
+
+// EncodedAt returns the encoded triple in slot i and whether it is live.
+func (g *Graph) EncodedAt(i int) (s, p, o TermID, live bool) {
+	e := g.triples[i]
+	return e.s, e.p, e.o, !g.dead[i]
+}
+
+// ForEachEncoded calls fn for every live triple slot in admission order (the
+// same order ForEach observes) until fn returns false, passing the slot
+// index and the encoded components.
+func (g *Graph) ForEachEncoded(fn func(slot int, s, p, o TermID) bool) {
+	for i, e := range g.triples {
+		if g.dead[i] {
+			continue
+		}
+		if !fn(i, e.s, e.p, e.o) {
+			return
+		}
+	}
+}

@@ -177,6 +177,13 @@ func (g *Graph) decode(e encTriple) Triple {
 }
 
 // ForEach calls fn for every live triple until fn returns false.
+//
+// Iteration order is the graph's admission order: the order of the Add calls
+// that first inserted each currently-live triple. Remove tombstones a triple
+// without shifting the survivors, and re-adding a removed triple admits it
+// anew at the end of the order (its old slot stays dead). Triples, Match's
+// scan paths, ForEachEncoded, and the posting-list indexes all observe this
+// same order; the parallel ingest and transform merges depend on it.
 func (g *Graph) ForEach(fn func(Triple) bool) {
 	for i, e := range g.triples {
 		if g.dead[i] {
@@ -188,7 +195,8 @@ func (g *Graph) ForEach(fn func(Triple) bool) {
 	}
 }
 
-// Triples returns all live triples in insertion order.
+// Triples returns all live triples in admission order (see ForEach for the
+// exact order guarantee under interleaved Add/Remove).
 func (g *Graph) Triples() []Triple {
 	out := make([]Triple, 0, g.Len())
 	g.ForEach(func(t Triple) bool {

@@ -1,0 +1,235 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// genTerms returns a term stream with plenty of duplicates across all kinds.
+func genTerms(n int) []Term {
+	out := make([]Term, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			out = append(out, NewIRI(fmt.Sprintf("http://ex.org/e%d", i%97)))
+		case 1:
+			out = append(out, NewBlank(fmt.Sprintf("b%d", i%53)))
+		case 2:
+			out = append(out, NewLiteral(fmt.Sprintf("plain %d", i%71)))
+		case 3:
+			out = append(out, NewTypedLiteral(fmt.Sprintf("%d", i%89), XSDInteger))
+		default:
+			out = append(out, NewLangLiteral(fmt.Sprintf("hello %d", i%61), "en"))
+		}
+	}
+	return out
+}
+
+// TestShardedDictDenseRemapMatchesSequential interns a term stream
+// concurrently through a ShardedDict and checks that the Denser remap, walked
+// in stream order, reproduces exactly the ids (and dictionary contents) of
+// sequential interning.
+func TestShardedDictDenseRemapMatchesSequential(t *testing.T) {
+	stream := genTerms(20000)
+
+	seq := NewDict()
+	want := make([]TermID, len(stream))
+	for i, tm := range stream {
+		want[i] = seq.Intern(tm)
+	}
+
+	sd := NewShardedDict()
+	prov := make([]ProvID, len(stream))
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := len(stream)*w/workers, len(stream)*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				prov[i] = sd.Intern(stream[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if sd.Len() != seq.Len() {
+		t.Fatalf("sharded dict has %d terms, sequential %d", sd.Len(), seq.Len())
+	}
+
+	dn := NewDenser(sd)
+	for i := range stream {
+		if got := dn.Dense(prov[i]); got != want[i] {
+			t.Fatalf("stream[%d]=%v: dense id %d, sequential id %d", i, stream[i], got, want[i])
+		}
+	}
+	d := dn.Dict()
+	if d.Len() != seq.Len() {
+		t.Fatalf("densed dict has %d terms, sequential %d", d.Len(), seq.Len())
+	}
+	for id := 0; id < d.Len(); id++ {
+		if d.Term(TermID(id)) != seq.Term(TermID(id)) {
+			t.Fatalf("term %d: densed %v, sequential %v", id, d.Term(TermID(id)), seq.Term(TermID(id)))
+		}
+	}
+}
+
+// TestDenserIntoSharedDict checks the incremental form: remapping into a
+// dictionary that already holds terms keeps existing ids and extends densely.
+func TestDenserIntoSharedDict(t *testing.T) {
+	base := NewDict()
+	a := base.Intern(NewIRI("http://ex.org/a"))
+	sd := NewShardedDict()
+	pa := sd.Intern(NewIRI("http://ex.org/a"))
+	pb := sd.Intern(NewIRI("http://ex.org/b"))
+	dn := NewDenserInto(sd, base)
+	if got := dn.Dense(pa); got != a {
+		t.Fatalf("existing term remapped to %d, want %d", got, a)
+	}
+	if got := dn.Dense(pb); got != TermID(1) {
+		t.Fatalf("new term remapped to %d, want 1", got)
+	}
+}
+
+func encodeAll(d *Dict, ts []Triple) []EncodedTriple {
+	enc := make([]EncodedTriple, len(ts))
+	for i, tr := range ts {
+		enc[i] = EncodedTriple{d.Intern(tr.S), d.Intern(tr.P), d.Intern(tr.O)}
+	}
+	return enc
+}
+
+func genTriples(n int) []Triple {
+	out := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, NewTriple(
+			NewIRI(fmt.Sprintf("http://ex.org/s%d", i%211)),
+			NewIRI(fmt.Sprintf("http://ex.org/p%d", i%13)),
+			NewTypedLiteral(fmt.Sprintf("%d", i%307), XSDInteger),
+		))
+	}
+	return out
+}
+
+// TestNewGraphFromEncodedMatchesAdd checks that the bulk constructor with
+// parallel index build is observationally identical to sequential Add calls:
+// same admission (dedup), same iteration order, same posting lists.
+func TestNewGraphFromEncodedMatchesAdd(t *testing.T) {
+	ts := genTriples(20000) // above minParallelIndex after dedup? ensure volume below is also covered
+	seq := NewGraph()
+	for _, tr := range ts {
+		seq.Add(tr)
+	}
+
+	d := NewDict()
+	g := NewGraphFromEncoded(d, encodeAll(d, ts), 4)
+
+	if g.Len() != seq.Len() {
+		t.Fatalf("bulk graph has %d triples, sequential %d", g.Len(), seq.Len())
+	}
+	a, b := g.Triples(), seq.Triples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d: bulk %v, sequential %v", i, a[i], b[i])
+		}
+	}
+	// Posting lists: every single-component pattern must enumerate matches in
+	// the same order.
+	for _, probe := range []Triple{ts[0], ts[len(ts)/2], ts[len(ts)-1]} {
+		for _, pat := range [][3]*Term{
+			{&probe.S, nil, nil},
+			{nil, &probe.P, nil},
+			{nil, nil, &probe.O},
+		} {
+			var got, want []Triple
+			g.Match(pat[0], pat[1], pat[2], func(tr Triple) bool { got = append(got, tr); return true })
+			seq.Match(pat[0], pat[1], pat[2], func(tr Triple) bool { want = append(want, tr); return true })
+			if len(got) != len(want) {
+				t.Fatalf("pattern %v: bulk %d matches, sequential %d", pat, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("pattern %v match %d: bulk %v, sequential %v", pat, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGraphIterationOrderInterleavedAddRemove is the regression test for the
+// documented iteration-order guarantee: interleaved Add/Remove never reorders
+// survivors, and a re-added triple moves to the end of the order.
+func TestGraphIterationOrderInterleavedAddRemove(t *testing.T) {
+	mk := func(i int) Triple {
+		return NewTriple(NewIRI(fmt.Sprintf("http://ex.org/s%d", i)), NewIRI("http://ex.org/p"), NewLiteral(fmt.Sprintf("v%d", i)))
+	}
+	g := NewGraph()
+	for i := 1; i <= 5; i++ {
+		g.Add(mk(i))
+	}
+	if !g.Remove(mk(2)) {
+		t.Fatal("Remove(t2) = false, want true")
+	}
+	g.Add(mk(6))
+	g.Add(mk(2)) // re-admit: must land at the end
+	g.Remove(mk(4))
+
+	want := []Triple{mk(1), mk(3), mk(5), mk(6), mk(2)}
+	check := func(name string, got []Triple) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d triples, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("Triples", g.Triples())
+
+	var fe []Triple
+	g.ForEach(func(tr Triple) bool { fe = append(fe, tr); return true })
+	check("ForEach", fe)
+
+	// The posting-list path (predicate index) must skip tombstones and agree.
+	p := NewIRI("http://ex.org/p")
+	var m []Triple
+	g.Match(nil, &p, nil, func(tr Triple) bool { m = append(m, tr); return true })
+	check("Match(byPred)", m)
+
+	// The full-scan path (no bound component) as well.
+	var fs []Triple
+	g.Match(nil, nil, nil, func(tr Triple) bool { fs = append(fs, tr); return true })
+	check("Match(scan)", fs)
+
+	var fenc []Triple
+	g.ForEachEncoded(func(_ int, s, pp, o TermID) bool {
+		fenc = append(fenc, Triple{S: g.dict.Term(s), P: g.dict.Term(pp), O: g.dict.Term(o)})
+		return true
+	})
+	check("ForEachEncoded", fenc)
+
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+}
+
+// TestDictInternNoAllocsOnHit guards the interning hot path: re-interning an
+// already-interned term must not allocate.
+func TestDictInternNoAllocsOnHit(t *testing.T) {
+	d := NewDict()
+	terms := genTerms(64)
+	for _, tm := range terms {
+		d.Intern(tm)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, tm := range terms {
+			d.Intern(tm)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Dict.Intern of interned terms allocates %.1f times per run, want 0", allocs)
+	}
+}

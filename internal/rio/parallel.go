@@ -1,0 +1,247 @@
+package rio
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// cParRanges counts byte ranges scanned by the parallel N-Triples loader.
+var cParRanges = obs.Default.Counter("rio.ntriples.parallel_ranges")
+
+// rangesPerWorker over-partitions the input so a range that happens to be
+// dense (long lines parse slower than short ones) does not stall the tail.
+const rangesPerWorker = 4
+
+// ntRange is a half-open byte range [start, end) of the input. A range owns
+// exactly the lines whose first byte falls inside it; a line that merely
+// crosses into the range from the left is skipped (its owner is the range
+// containing its first byte).
+type ntRange struct {
+	start, end int64
+}
+
+// provTriple is a triple encoded with provisional sharded-dictionary ids.
+type provTriple struct {
+	s, p, o rdf.ProvID
+}
+
+// ntRangeResult is one range's scan outcome. Line numbers in errs/parseErr
+// are 1-based *within the range*; the merge step prefix-sums range line
+// counts to recover global line numbers.
+type ntRangeResult struct {
+	triples  []provTriple
+	errs     []ParseError
+	lines    int
+	ioErr    error
+	parseErr *ParseError // strict mode: the range's first malformed line
+}
+
+// LoadNTriplesParallel parses an N-Triples document of the given size from r
+// on the given number of workers and returns the loaded graph.
+//
+// The input is split into newline-aligned byte ranges; each worker parses its
+// ranges independently, interning terms through a sharded dictionary, and a
+// deterministic merge replays the per-range results in input order: term ids
+// are dense-remapped in first-occurrence order, duplicate triples are dropped
+// first-wins, and lenient-mode parse errors are re-delivered to opts.OnError
+// in line order against the same MaxErrors budget. The resulting graph —
+// dictionary ids, triple admission order, posting lists — and every error
+// outcome (strict *ParseError, ErrTooManyErrors, I/O failure, cancellation)
+// are identical to LoadNTriplesWith over the same bytes. workers <= 1 runs
+// the sequential loader unchanged.
+func LoadNTriplesParallel(ctx context.Context, r io.ReaderAt, size int64, opts Options, workers int) (*rdf.Graph, error) {
+	return LoadNTriplesParallelTraced(ctx, r, size, opts, workers, nil)
+}
+
+// LoadNTriplesParallelTraced is LoadNTriplesParallel recording the scan and
+// merge steps as child spans of span (nil disables tracing).
+func LoadNTriplesParallelTraced(ctx context.Context, r io.ReaderAt, size int64, opts Options, workers int, span *obs.Span) (*rdf.Graph, error) {
+	if workers <= 1 {
+		return LoadNTriplesWith(ctx, io.NewSectionReader(r, 0, size), opts)
+	}
+	start := time.Now()
+	ranges := splitByteRanges(size, workers*rangesPerWorker)
+	cParRanges.Add(int64(len(ranges)))
+
+	// Lenient ranges buffer at most budget+1 errors each: replaying budget+1
+	// errors from any single range already exhausts the global budget, so
+	// deeper buffering could never be observed.
+	capErrs := -1
+	if m := opts.maxErrors(); m < int(^uint(0)>>1) {
+		capErrs = m + 1
+	}
+
+	sc := span.StartSpan("scan")
+	sd := rdf.NewShardedDict()
+	results := make([]ntRangeResult, len(ranges))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) {
+					return
+				}
+				scanNTRange(ctx, r, size, ranges[i], opts.Lenient, capErrs, sd, &results[i])
+			}
+		}()
+	}
+	wg.Wait()
+	sc.Count("ranges", int64(len(ranges)))
+	sc.Count("terms_staged", int64(sd.Len()))
+	sc.End()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Merge step 1: fault replay in input order. Whichever failure occupies
+	// the earliest range is the one an uninterrupted sequential scan would
+	// have hit first, so it wins; lenient parse errors are replayed through
+	// the same errorSink as the sequential reader, preserving OnError
+	// delivery order, skip counting, and the ErrTooManyErrors cutoff.
+	mg := span.StartSpan("merge")
+	defer mg.End()
+	sink := errorSink{opts: &opts, counter: ntSkipped}
+	line := 0
+	skipped := int64(0)
+	for i := range ranges {
+		res := &results[i]
+		if res.parseErr != nil {
+			res.parseErr.Line += line
+			return nil, fmt.Errorf("rio: %w", res.parseErr)
+		}
+		for j := range res.errs {
+			pe := res.errs[j]
+			pe.Line += line
+			skipped++
+			if err := sink.record(pe); err != nil {
+				return nil, err
+			}
+		}
+		if res.ioErr != nil {
+			return nil, res.ioErr
+		}
+		line += res.lines
+	}
+
+	// Merge step 2: dense-remap provisional ids in input order and bulk-build
+	// the graph. The Denser walk assigns TermIDs in exactly the order
+	// sequential interning would, and NewGraphFromEncoded preserves admission
+	// order, so the result is byte-for-byte the sequential graph.
+	total := 0
+	for i := range results {
+		total += len(results[i].triples)
+	}
+	dn := rdf.NewDenser(sd)
+	enc := make([]rdf.EncodedTriple, 0, total)
+	for i := range results {
+		for _, pt := range results[i].triples {
+			enc = append(enc, rdf.EncodedTriple{S: dn.Dense(pt.s), P: dn.Dense(pt.p), O: dn.Dense(pt.o)})
+		}
+	}
+	g := rdf.NewGraphFromEncoded(dn.Dict(), enc, workers)
+	mg.Count("triples", int64(total))
+	mg.Count("skipped", skipped)
+	ntMeter.Observe(int64(total), time.Since(start))
+	return g, nil
+}
+
+// splitByteRanges cuts [0, size) into at most n contiguous ranges.
+func splitByteRanges(size int64, n int) []ntRange {
+	if int64(n) > size {
+		n = int(size)
+	}
+	rs := make([]ntRange, 0, n)
+	for i := 0; i < n; i++ {
+		rs = append(rs, ntRange{size * int64(i) / int64(n), size * int64(i+1) / int64(n)})
+	}
+	return rs
+}
+
+// scanNTRange parses the lines owned by one byte range, staging triples with
+// provisional ids. It mirrors NTriplesScanner.Scan line for line: blank and
+// comment lines are skipped (but counted), malformed lines abort in strict
+// mode and are buffered in lenient mode, and I/O errors abort the range.
+func scanNTRange(ctx context.Context, r io.ReaderAt, size int64, rg ntRange, lenient bool, capErrs int, sd *rdf.ShardedDict, res *ntRangeResult) {
+	br := newByteCountReader(io.NewSectionReader(r, rg.start, size-rg.start), 128*1024)
+	br.base = rg.start
+	if rg.start > 0 {
+		// Ownership probe: if the byte before the range is not a newline, the
+		// range starts mid-line and that line belongs to the previous range —
+		// consume and discard it. (A line spanning several whole ranges makes
+		// the skip run past rg.end, leaving those ranges empty, which is
+		// exactly right.)
+		var prev [1]byte
+		if _, err := r.ReadAt(prev[:], rg.start-1); err != nil {
+			res.ioErr = err
+			return
+		}
+		if prev[0] != '\n' {
+			if _, err := br.readLine(); err != nil {
+				if err != io.EOF {
+					res.ioErr = err
+				}
+				return // the partial line ran to end of input; nothing owned
+			}
+		}
+	}
+	for {
+		if br.consumed() >= rg.end {
+			return
+		}
+		if res.lines%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				res.ioErr = err
+				return
+			}
+		}
+		raw, rerr := br.readLine()
+		if rerr != nil && rerr != io.EOF {
+			res.ioErr = rerr
+			return
+		}
+		atEOF := rerr == io.EOF
+		if raw == "" && atEOF {
+			return
+		}
+		res.lines++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return
+			}
+			continue
+		}
+		tr, perr := parseNTriplesLine(line)
+		if perr != nil {
+			perr.Line = res.lines
+			if !lenient {
+				res.parseErr = perr
+				return
+			}
+			if capErrs < 0 || len(res.errs) < capErrs {
+				res.errs = append(res.errs, *perr)
+			}
+			if atEOF {
+				return
+			}
+			continue
+		}
+		res.triples = append(res.triples, provTriple{sd.Intern(tr.S), sd.Intern(tr.P), sd.Intern(tr.O)})
+		if atEOF {
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package rio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// loadBoth parses src sequentially and in parallel with the given worker
+// count, returning both results.
+func loadBoth(t *testing.T, src string, opts Options, workers int) (seq, par *rdf.Graph, seqErr, parErr error) {
+	t.Helper()
+	seq, seqErr = LoadNTriplesWith(context.Background(), strings.NewReader(src), opts)
+	par, parErr = LoadNTriplesParallel(context.Background(), strings.NewReader(src), int64(len(src)), opts, workers)
+	return seq, par, seqErr, parErr
+}
+
+// requireIdentical asserts the two graphs are byte-identical in every way the
+// pipeline can observe: serialization (triple order and term rendering) and
+// dictionary id assignment.
+func requireIdentical(t *testing.T, seq, par *rdf.Graph) {
+	t.Helper()
+	var sb, pb bytes.Buffer
+	if err := WriteNTriples(&sb, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNTriples(&pb, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("serializations differ:\nsequential %d bytes, parallel %d bytes", sb.Len(), pb.Len())
+	}
+	sd, pd := seq.Dict(), par.Dict()
+	if sd.Len() != pd.Len() {
+		t.Fatalf("dict sizes differ: sequential %d, parallel %d", sd.Len(), pd.Len())
+	}
+	for i := 0; i < sd.Len(); i++ {
+		if sd.Term(rdf.TermID(i)) != pd.Term(rdf.TermID(i)) {
+			t.Fatalf("dict id %d: sequential %v, parallel %v", i, sd.Term(rdf.TermID(i)), pd.Term(rdf.TermID(i)))
+		}
+	}
+}
+
+// syntheticNT builds a document with duplicates, blank lines, comments, all
+// term kinds, and a quoted-triple statement.
+func syntheticNT(n int) string {
+	var b strings.Builder
+	b.WriteString("# header comment\n\n")
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&b, "<http://ex.org/s%d> <http://ex.org/p> \"v%d\" .\n", i%97, i%211)
+		case 1:
+			fmt.Fprintf(&b, "_:b%d <http://ex.org/q> <http://ex.org/s%d> .\n", i%53, i%97)
+		case 2:
+			fmt.Fprintf(&b, "<http://ex.org/s%d> <http://ex.org/r> \"%d\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", i%97, i%89)
+		default:
+			fmt.Fprintf(&b, "<< <http://ex.org/s%d> <http://ex.org/p> \"v%d\" >> <http://ex.org/w> \"0.%d\"^^<http://www.w3.org/2001/XMLSchema#decimal> .\n", i%97, i%211, i%7)
+		}
+		if i%50 == 0 {
+			b.WriteString("\n# interleaved comment\n")
+		}
+	}
+	return b.String()
+}
+
+func TestLoadNTriplesParallelMatchesSequential(t *testing.T) {
+	src := syntheticNT(5000)
+	for _, workers := range []int{2, 3, 8} {
+		seq, par, serr, perr := loadBoth(t, src, Options{}, workers)
+		if serr != nil || perr != nil {
+			t.Fatalf("workers=%d: sequential err %v, parallel err %v", workers, serr, perr)
+		}
+		requireIdentical(t, seq, par)
+	}
+}
+
+func TestLoadNTriplesParallelEdgeInputs(t *testing.T) {
+	long := "<http://ex.org/long> <http://ex.org/p> \"" + strings.Repeat("x", 64*1024) + "\" ."
+	cases := map[string]string{
+		"empty":                      "",
+		"only_comment":               "# nothing here\n",
+		"no_trailing_newline":        "<http://ex.org/a> <http://ex.org/p> \"v\" .",
+		"tiny":                       "<http://ex.org/a> <http://ex.org/p> \"v\" .\n",
+		"long_line_spans_all_ranges": long + "\n<http://ex.org/b> <http://ex.org/p> \"w\" .\n",
+		"crlf_absent_blank_heavy":    "\n\n\n<http://ex.org/a> <http://ex.org/p> \"v\" .\n\n",
+	}
+	for name, src := range cases {
+		for _, workers := range []int{2, 8} {
+			seq, par, serr, perr := loadBoth(t, src, Options{}, workers)
+			if serr != nil || perr != nil {
+				t.Fatalf("%s workers=%d: sequential err %v, parallel err %v", name, workers, serr, perr)
+			}
+			requireIdentical(t, seq, par)
+		}
+	}
+}
+
+// dirtyNT interleaves malformed lines into a synthetic document.
+func dirtyNT(n, everyN int) string {
+	clean := strings.Split(strings.TrimRight(syntheticNT(n), "\n"), "\n")
+	var b strings.Builder
+	for i, line := range clean {
+		b.WriteString(line)
+		b.WriteByte('\n')
+		if i%everyN == 0 {
+			b.WriteString("this line is garbage\n")
+		}
+	}
+	return b.String()
+}
+
+func TestLoadNTriplesParallelLenientErrorReplay(t *testing.T) {
+	src := dirtyNT(2000, 40)
+	collect := func(errs *[]ParseError) Options {
+		return Options{Lenient: true, MaxErrors: -1, OnError: func(pe ParseError) { *errs = append(*errs, pe) }}
+	}
+	var seqErrs []ParseError
+	seq, serr := LoadNTriplesWith(context.Background(), strings.NewReader(src), collect(&seqErrs))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	for _, workers := range []int{2, 8} {
+		var parErrs []ParseError
+		par, perr := LoadNTriplesParallel(context.Background(), strings.NewReader(src), int64(len(src)), collect(&parErrs), workers)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		requireIdentical(t, seq, par)
+		if len(parErrs) != len(seqErrs) {
+			t.Fatalf("workers=%d: %d errors delivered, sequential %d", workers, len(parErrs), len(seqErrs))
+		}
+		for i := range parErrs {
+			if parErrs[i] != seqErrs[i] {
+				t.Fatalf("workers=%d error %d: parallel %+v, sequential %+v", workers, i, parErrs[i], seqErrs[i])
+			}
+		}
+	}
+}
+
+func TestLoadNTriplesParallelStrictErrorMatches(t *testing.T) {
+	src := dirtyNT(500, 90)
+	_, _, serr, perr := loadBoth(t, src, Options{}, 4)
+	if serr == nil || perr == nil {
+		t.Fatalf("expected both to fail: sequential %v, parallel %v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("error texts differ:\nsequential: %v\nparallel:   %v", serr, perr)
+	}
+	var spe, ppe *ParseError
+	if !errors.As(serr, &spe) || !errors.As(perr, &ppe) {
+		t.Fatalf("expected *ParseError from both, got %T / %T", serr, perr)
+	}
+	if *spe != *ppe {
+		t.Fatalf("parse errors differ: sequential %+v, parallel %+v", *spe, *ppe)
+	}
+}
+
+func TestLoadNTriplesParallelErrorBudgetMatches(t *testing.T) {
+	src := dirtyNT(2000, 20)
+	opts := Options{Lenient: true, MaxErrors: 5}
+	_, _, serr, perr := loadBoth(t, src, opts, 8)
+	if !errors.Is(serr, ErrTooManyErrors) || !errors.Is(perr, ErrTooManyErrors) {
+		t.Fatalf("expected ErrTooManyErrors from both, got %v / %v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("error texts differ:\nsequential: %v\nparallel:   %v", serr, perr)
+	}
+}
+
+func TestLoadNTriplesParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := syntheticNT(100)
+	_, err := LoadNTriplesParallel(ctx, strings.NewReader(src), int64(len(src)), Options{}, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
