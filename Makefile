@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json verify fuzz experiments
+.PHONY: build test bench bench-json verify fuzz chaos experiments
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,15 @@ fuzz:
 		echo "fuzzing $$name in $$pkg for $(FUZZTIME)"; \
 		$(GO) test -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
 	done
+
+# chaos runs the s3pgd chaos matrix (real binary × fixed-seed fault
+# regimes × SIGTERM/SIGKILL) plus the job manager and HTTP layer tests
+# under the race detector. Daemon logs are kept in CHAOS_LOG_DIR so a CI
+# failure ships them as an artifact.
+CHAOS_LOG_DIR ?= $(CURDIR)/chaos-logs
+chaos:
+	S3PGD_CHAOS_LOG_DIR=$(CHAOS_LOG_DIR) \
+		$(GO) test -race -count=1 ./internal/jobs ./internal/server ./cmd/s3pgd
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+)
+
+// waitForStderr polls a concurrently-filled buffer until the marker appears.
+func waitForStderr(t *testing.T, mu *sync.Mutex, buf *bytes.Buffer, marker string, timeout time.Duration) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		found := strings.Contains(buf.String(), marker)
+		mu.Unlock()
+		if found {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// lockedWriter serializes subprocess stderr writes with test-side reads.
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// TestSecondSignalAbortsImmediately: the first SIGINT asks for a graceful
+// stop (checkpoint at the next boundary, exit 4); a second SIGINT before the
+// stop completes must abort at once with a non-zero exit — and the last
+// committed checkpoint must remain valid and loadable, so -resume still
+// converges to byte-identical outputs.
+func TestSecondSignalAbortsImmediately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess timing test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 3, false)
+
+	// Uninterrupted baseline for the byte-identity check.
+	bn, be, bs, bcp := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, dataArgsFor(shapes, data, bn, be, bs, bcp, "-checkpoint-every", "100")...); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transient FS faults stretch every checkpoint save across retry
+	// backoffs, widening the window between the first signal (which starts
+	// the graceful flush) and process exit — room for the second signal.
+	faultEnv := faultFSEnv + "=seed=11,fstransientevery=2"
+
+	aborted := false
+	for attempt := 0; attempt < 5 && !aborted; attempt++ {
+		rd := filepath.Join(dir, fmt.Sprintf("abort%d", attempt))
+		n, e, s, cp := outPaths(t, rd)
+		cmd := exec.Command(exe, dataArgsFor(shapes, data, n, e, s, cp, "-checkpoint-every", "100")...)
+		cmd.Env = append(os.Environ(), runMainEnv+"=1", faultEnv)
+		var mu sync.Mutex
+		var eb bytes.Buffer
+		cmd.Stderr = &lockedWriter{mu: &mu, buf: &eb}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(40 * time.Millisecond)
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		if !waitForStderr(t, &mu, &eb, "stopping at the next safe point", 5*time.Second) {
+			_ = cmd.Wait() // finished before the signal landed; try again
+			continue
+		}
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			_ = cmd.Wait()
+			continue // exited between the two signals; try again
+		}
+		err := cmd.Wait()
+		code := 0
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		errOut := eb.String()
+		mu.Unlock()
+		switch {
+		case strings.Contains(errOut, "aborted"):
+			if code != exitError {
+				t.Fatalf("two-signal abort: exit %d, want %d (stderr: %s)", code, exitError, errOut)
+			}
+			aborted = true
+		case code == exitInterrupt:
+			continue // graceful stop won the race; try again
+		case code == 0:
+			continue // run finished under both signals; try again
+		default:
+			t.Fatalf("unexpected exit %d (stderr: %s)", code, errOut)
+		}
+
+		// The abort is a hard os.Exit: temp litter is permitted, a torn or
+		// unloadable checkpoint is not — every save commits atomically, so
+		// whatever checkpoint exists must load.
+		if _, err := os.Stat(cp); err == nil {
+			if _, err := ckpt.Load(cp); err != nil {
+				t.Fatalf("checkpoint invalid after abort: %v", err)
+			}
+			// And the run converges: resume (faults still injected) finishes
+			// with outputs byte-identical to the uninterrupted baseline.
+			code, _, errOut := execCLI(t, []string{faultEnv},
+				dataArgsFor(shapes, data, n, e, s, cp, "-checkpoint-every", "100", "-resume")...)
+			if code != 0 {
+				t.Fatalf("resume after abort: exit %d: %s", code, errOut)
+			}
+			if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+				!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+				!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+				t.Fatal("resume after abort: outputs differ from uninterrupted baseline")
+			}
+		}
+	}
+	if !aborted {
+		t.Skip("second signal never landed before the graceful stop completed")
+	}
+}

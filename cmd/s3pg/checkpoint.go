@@ -10,7 +10,6 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -26,9 +25,10 @@ import (
 
 // Checkpoint-pipeline observability counters (obs.Default registry).
 var (
-	cResumes  = obs.Default.Counter("cli.ckpt.resumes")
-	cChunks   = obs.Default.Counter("cli.ckpt.chunks")
-	cMemStops = obs.Default.Counter("cli.ckpt.mem_stops")
+	cResumes       = obs.Default.Counter("cli.ckpt.resumes")
+	cChunks        = obs.Default.Counter("cli.ckpt.chunks")
+	cMemStops      = obs.Default.Counter("cli.ckpt.mem_stops")
+	cCommitRetries = obs.Default.Counter("cli.commit.retries")
 )
 
 // Test hooks, both environment-gated so the robustness tests can exercise
@@ -53,52 +53,28 @@ var commitFS = sync.OnceValue(func() ckpt.FS {
 	if spec == "" {
 		return ckpt.OSFS
 	}
-	fsys, err := parseFaultFS(spec)
+	fsys, err := faultio.ParseFS(spec)
 	if err != nil {
 		panic(fmt.Sprintf("%s: %v", faultFSEnv, err))
 	}
 	return fsys
 })
 
-// parseFaultFS builds a fault-injecting FS from a "k=v,k=v" spec.
-func parseFaultFS(spec string) (*faultio.FS, error) {
-	fsys := &faultio.FS{}
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return nil, fmt.Errorf("malformed entry %q", kv)
-		}
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("entry %q: %v", kv, err)
-		}
-		switch k {
-		case "seed":
-			fsys.Plan.Seed = n
-		case "shortevery":
-			fsys.Plan.ShortEvery = int(n)
-		case "transientevery":
-			fsys.Plan.TransientEvery = int(n)
-		case "failat":
-			fsys.Plan.FailAtByte = n
-		case "failcreate":
-			fsys.FailCreate = int(n)
-		case "failsync":
-			fsys.FailSync = int(n)
-		case "failrename":
-			fsys.FailRename = int(n)
-		default:
-			return nil, fmt.Errorf("unknown key %q", k)
-		}
-	}
-	return fsys, nil
+// commitRetryPolicy is the default backoff with per-retry accounting: each
+// scheduled retry bumps the cli.commit.retries counter, so a -metrics
+// snapshot distinguishes this process's commit retry storms from the global
+// faultio.retry.attempts tally.
+func commitRetryPolicy() faultio.RetryPolicy {
+	p := faultio.DefaultRetryPolicy
+	p.OnRetry = func(attempt int, err error) { cCommitRetries.Inc() }
+	return p
 }
 
 // commitAtomic writes one output file atomically through the (possibly
 // fault-injecting) commit filesystem, retrying transient faults with capped
 // exponential backoff. Hard failures abort with the output path untouched.
 func commitAtomic(path string, fn func(io.Writer) error) error {
-	return faultio.Retry(context.Background(), faultio.DefaultRetryPolicy, func() error {
+	return faultio.Retry(context.Background(), commitRetryPolicy(), func() error {
 		return ckpt.WriteFileAtomicFS(commitFS(), path, 0o644, fn)
 	})
 }
@@ -245,13 +221,13 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 	bound := base
 	saves := 0
 	lastSave := time.Now()
-	saveCkpt := func() error {
+	saveCkpt := func(ctx context.Context) error {
 		st, err := tr.SnapshotState()
 		if err != nil {
 			return err
 		}
 		cp := checkpointOf(st, paths, inputSize, bound.off, bound.lines, bound.stmts, bound.skipped)
-		if err := faultio.Retry(ctx, faultio.DefaultRetryPolicy, func() error {
+		if err := faultio.Retry(ctx, commitRetryPolicy(), func() error {
 			return ckpt.SaveFS(commitFS(), ck.path, cp)
 		}); err != nil {
 			return fmt.Errorf("checkpoint save: %w", err)
@@ -271,8 +247,10 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 	for {
 		if err := ctx.Err(); err != nil {
 			// Cancelled (signal or timeout) at a clean boundary: flush a
-			// checkpoint so the run is resumable, then report the cause.
-			if serr := saveCkpt(); serr != nil {
+			// checkpoint so the run is resumable, then report the cause. The
+			// flush runs on a fresh context — faultio.Retry fails fast on a
+			// canceled one, which would drop exactly the save that matters.
+			if serr := saveCkpt(context.Background()); serr != nil {
 				return errors.Join(err, serr)
 			}
 			sp.End()
@@ -306,8 +284,25 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 		if atEOF {
 			break
 		}
+		// A cancellation can land while a boundary save is in flight, making
+		// it fail fast on the dead context. The boundary is still clean, so
+		// flush on a fresh context — same contract as the top-of-loop path —
+		// instead of dropping this chunk's progress.
+		saveAtBoundary := func() error {
+			err := saveCkpt(ctx)
+			if err == nil {
+				return nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				if serr := saveCkpt(context.Background()); serr != nil {
+					return errors.Join(cerr, serr)
+				}
+				return cerr
+			}
+			return err
+		}
 		if ck.interval == 0 || time.Since(lastSave) >= ck.interval {
-			if err := saveCkpt(); err != nil {
+			if err := saveAtBoundary(); err != nil {
 				sp.End()
 				return err
 			}
@@ -316,7 +311,7 @@ func cmdDataCheckpointed(ctx context.Context, span *obs.Span, ck *ckptFlags, rf 
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			if ms.HeapAlloc > uint64(ck.maxMemMB)<<20 {
-				if err := saveCkpt(); err != nil {
+				if err := saveAtBoundary(); err != nil {
 					sp.End()
 					return err
 				}

@@ -1,0 +1,202 @@
+// Command s3pgd serves the RDF→PG transformation as a long-running job
+// service: POST /jobs accepts N-Triples data plus SHACL shapes into a
+// bounded, spool-backed queue; a worker pool runs each job through the same
+// chunked checkpoint/resume pipeline as the CLI; GET /jobs/{id} reports
+// progress and serves results. SIGTERM triggers a graceful drain — stop
+// admitting, checkpoint in-flight jobs, flush atomic outputs, exit — after
+// which a restart on the same -spool resumes every accepted job to
+// byte-identical outputs. A second signal aborts immediately; the spool's
+// last committed checkpoints stay valid.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/jobs"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/server"
+)
+
+// Exit codes, aligned with cmd/s3pg where they overlap.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+// Test hooks (environment-gated so the chaos tests can exercise the real
+// daemon binary):
+//
+//   - S3PG_FAULT_FS routes every atomic commit through a fault-injecting
+//     filesystem (same spec syntax as cmd/s3pg).
+//   - S3PGD_EXIT_FILE, when set, receives the daemon's exit reason just
+//     before it terminates — the chaos harness reads it to distinguish a
+//     clean drain from a forced abort.
+const (
+	faultFSEnv  = "S3PG_FAULT_FS"
+	exitFileEnv = "S3PGD_EXIT_FILE"
+)
+
+var cCommitRetries = obs.Default.Counter("daemon.commit.retries")
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("s3pgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8787", "listen `address` (host:port; port 0 picks a free one)")
+		addrFile     = fs.String("addr-file", "", "write the resolved listen address to this `file` once serving")
+		spool        = fs.String("spool", "", "job spool `directory` (required; holds inputs, checkpoints, outputs)")
+		queueDepth   = fs.Int("queue-depth", 64, "maximum queued jobs before submissions get 429")
+		workers      = fs.Int("workers", 2, "concurrent transform jobs")
+		jobWorkers   = fs.Int("job-workers", runtime.GOMAXPROCS(0), "per-job transform parallelism")
+		chunkSize    = fs.Int("checkpoint-every", 50000, "statements per chunk (checkpoints at chunk boundaries)")
+		maxMemMB     = fs.Int("max-mem", 0, "soft heap watermark in `MiB`: reject submissions with 503 while exceeded (0 = off)")
+		maxAttempts  = fs.Int("max-attempts", 5, "worker pickups per job before a failing commit becomes permanent")
+		lameduck     = fs.Duration("lameduck", 0, "`duration` to keep serving (with /readyz failing) before the drain starts")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "`duration` to wait for in-flight jobs to checkpoint on shutdown")
+		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body `bytes`")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *spool == "" {
+		fmt.Fprintln(stderr, "s3pgd: error: -spool is required")
+		fs.Usage()
+		return exitUsage
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "s3pgd: %s %s\n", time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, a...))
+	}
+
+	commitFS := ckpt.FS(ckpt.OSFS)
+	if spec := os.Getenv(faultFSEnv); spec != "" {
+		injected, err := faultio.ParseFS(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "s3pgd: error: %s: %v\n", faultFSEnv, err)
+			return exitUsage
+		}
+		commitFS = injected
+		logf("fault injection active: %s=%s", faultFSEnv, spec)
+	}
+	retry := faultio.DefaultRetryPolicy
+	retry.OnRetry = func(attempt int, err error) { cCommitRetries.Inc() }
+
+	mgr, err := jobs.Open(jobs.Config{
+		Dir:         *spool,
+		QueueDepth:  *queueDepth,
+		Workers:     *workers,
+		JobWorkers:  *jobWorkers,
+		ChunkSize:   *chunkSize,
+		MaxMemMB:    *maxMemMB,
+		MaxAttempts: *maxAttempts,
+		FS:          commitFS,
+		Retry:       retry,
+		Logf:        logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		return exitError
+	}
+
+	srv := server.New(server.Config{Manager: mgr, MaxBodyBytes: *maxBody, Logf: logf})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		return exitError
+	}
+	if *addrFile != "" {
+		// Committed atomically so a watching test never reads a torn address.
+		if err := ckpt.WriteFileAtomic(*addrFile, 0o644, func(w io.Writer) error {
+			_, werr := fmt.Fprintln(w, ln.Addr().String())
+			return werr
+		}); err != nil {
+			fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+			return exitError
+		}
+	}
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logf("serving on %s (spool %s, %d workers, queue depth %d)", ln.Addr(), *spool, *workers, *queueDepth)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		return exitError
+	case s := <-sigs:
+		logf("received %v: draining (send again to abort)", s)
+	}
+
+	// Second signal anywhere in the drain: abort immediately. The spool's
+	// committed checkpoints and manifests stay valid — only in-flight
+	// progress since the last chunk boundary is lost.
+	abort := make(chan struct{})
+	go func() {
+		<-sigs
+		close(abort)
+	}()
+	done := make(chan int, 1)
+	go func() { done <- shutdown(srv, httpSrv, mgr, *lameduck, *drainTimeout, logf) }()
+	select {
+	case code := <-done:
+		if code == exitOK {
+			writeExitReason("drained")
+		} else {
+			writeExitReason("drain-failed")
+		}
+		return code
+	case <-abort:
+		logf("aborted")
+		writeExitReason("aborted")
+		return exitError
+	}
+}
+
+// shutdown is the graceful-drain sequence: fail readiness first (lame-duck
+// window for load balancers), stop the listener, then drain the job manager
+// so every in-flight job checkpoints and requeues durably.
+func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lameduck, drainTimeout time.Duration, logf func(string, ...any)) int {
+	srv.EnterLameDuck()
+	if lameduck > 0 {
+		time.Sleep(lameduck)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logf("listener shutdown: %v", err)
+	}
+	if err := mgr.Drain(ctx); err != nil {
+		logf("drain: %v", err)
+		return exitError
+	}
+	logf("drained cleanly")
+	return exitOK
+}
+
+// writeExitReason records why the process exited for the chaos harness.
+func writeExitReason(reason string) {
+	path := os.Getenv(exitFileEnv)
+	if path == "" {
+		return
+	}
+	_ = os.WriteFile(path, []byte(reason+"\n"), 0o644)
+}

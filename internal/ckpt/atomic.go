@@ -42,6 +42,11 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	Chmod(name string, mode os.FileMode) error
+	// SyncDir fsyncs the directory itself, making a preceding rename in it
+	// durable: without it, a power loss after the rename can roll the
+	// directory entry back to the old file even though the data blocks of
+	// the new one are on disk.
+	SyncDir(dir string) error
 }
 
 // osFS is the passthrough FS over the real filesystem.
@@ -51,16 +56,32 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
 func (osFS) Chmod(name string, mode os.FileMode) error    { return os.Chmod(name, mode) }
+func (osFS) SyncDir(dir string) error                     { return SyncDir(dir) }
+
+// SyncDir opens dir and fsyncs it, flushing directory entries (renames,
+// creates) to stable storage.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // OSFS is the real filesystem.
 var OSFS FS = osFS{}
 
 // WriteFileAtomic writes the output produced by fn to path atomically: the
 // bytes go to a temporary file in path's directory, are flushed and fsynced,
-// and the file is renamed over path only after everything succeeded. On any
-// failure the temporary file is removed and path is left untouched — a
-// reader of path therefore observes either the previous complete file (or
-// its absence) or the new complete file, never a prefix.
+// the file is renamed over path only after everything succeeded, and the
+// parent directory is fsynced so the rename itself survives power loss. On
+// any failure before the rename the temporary file is removed and path is
+// left untouched — a reader of path therefore observes either the previous
+// complete file (or its absence) or the new complete file, never a prefix.
 func WriteFileAtomic(path string, perm os.FileMode, fn func(io.Writer) error) error {
 	return WriteFileAtomicFS(OSFS, path, perm, fn)
 }
@@ -107,7 +128,13 @@ func WriteFileAtomicFS(fsys FS, path string, perm os.FileMode, fn func(io.Writer
 	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("ckpt: atomic %s: rename: %w", path, err)
 	}
+	// The rename happened, so the temp file no longer exists under its old
+	// name: the abort cleanup must not run even if the directory sync below
+	// fails (the new content is visible, just not yet durable).
 	committed = true
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("ckpt: atomic %s: sync dir: %w", path, err)
+	}
 	cCommits.Inc()
 	cCommitBytes.Add(written)
 	return nil

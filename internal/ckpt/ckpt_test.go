@@ -172,6 +172,45 @@ func TestWriteFileAtomicFaults(t *testing.T) {
 	}
 }
 
+// TestWriteFileAtomicSyncsParentDir: the rename alone is not durable across
+// power loss — the committer must fsync the parent directory afterwards. An
+// injected dir-sync fault must surface as a commit error (the content is
+// visible but its durability is unknown), and the abort cleanup must not
+// remove the already-renamed destination.
+func TestWriteFileAtomicSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	fs := &faultio.FS{FailSyncDir: 1}
+	err := ckpt.WriteFileAtomicFS(fs, path, 0o644, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "renamed but not durable")
+		return werr
+	})
+	if err == nil {
+		t.Fatal("injected dir-sync fault did not surface")
+	}
+	if !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("error does not identify the dir sync: %v", err)
+	}
+	// The rename preceded the fault: the destination exists and is complete.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "renamed but not durable" {
+		t.Fatalf("destination after dir-sync fault: %q, %v", got, rerr)
+	}
+	assertNoTemp(t, dir)
+
+	// A second commit through the same FS (the fault was one-shot) succeeds,
+	// proving the dir sync runs on the success path too.
+	if err := ckpt.WriteFileAtomicFS(fs, path, 0o644, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "durable now")
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "durable now" {
+		t.Fatalf("content after retried commit: %q", got)
+	}
+}
+
 // TestWriteFileAtomicShortWritesSucceed: short writes are a normal kernel
 // behaviour, not a failure; bufio + the io.Writer contract must absorb them
 // so the commit still lands bit-exact.

@@ -209,3 +209,83 @@ func TestRetryContextCancel(t *testing.T) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
+
+// TestRetryOnRetryHook: the per-operation hook observes every scheduled
+// retry with its 1-based attempt number and the triggering error, and is not
+// invoked on the final give-up or on hard errors.
+func TestRetryOnRetryHook(t *testing.T) {
+	var attempts []int
+	var lastErr error
+	p := RetryPolicy{
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) {},
+		OnRetry: func(attempt int, err error) {
+			attempts = append(attempts, attempt)
+			lastErr = err
+		},
+	}
+	err := Retry(context.Background(), p, func() error { return ErrTransient })
+	if err == nil {
+		t.Fatal("permanent transient failure must exhaust the budget")
+	}
+	// 4 attempts: retries scheduled after attempts 1, 2, 3; attempt 4 gives up.
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
+		t.Fatalf("hook saw attempts %v, want [1 2 3]", attempts)
+	}
+	if !errors.Is(lastErr, ErrTransient) {
+		t.Fatalf("hook error: %v", lastErr)
+	}
+
+	// Success on the first try never invokes the hook.
+	attempts = nil
+	if err := Retry(context.Background(), p, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(attempts) != 0 {
+		t.Fatalf("hook invoked on immediate success: %v", attempts)
+	}
+
+	// Hard errors fail immediately without a scheduled retry.
+	attempts = nil
+	Retry(context.Background(), p, func() error { return ErrInjected })
+	if len(attempts) != 0 {
+		t.Fatalf("hook invoked for a non-transient error: %v", attempts)
+	}
+}
+
+// TestParseFS: the S3PG_FAULT_FS spec round-trips into the FS knobs, and
+// malformed specs are rejected.
+func TestParseFS(t *testing.T) {
+	fs, err := ParseFS("seed=7,shortevery=3,failsync=2,failsyncdir=1,fstransientevery=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Plan.Seed != 7 || fs.Plan.ShortEvery != 3 || fs.FailSync != 2 ||
+		fs.FailSyncDir != 1 || fs.TransientEvery != 5 {
+		t.Fatalf("parsed FS: %+v", fs)
+	}
+	for _, bad := range []string{"nonsense", "seed=x", "unknown=1"} {
+		if _, err := ParseFS(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestFSTransientEvery: the shared-counter FS fault is transient (retryable)
+// and recurring, so a retried atomic commit eventually succeeds — the
+// property the server chaos matrix depends on.
+func TestFSTransientEvery(t *testing.T) {
+	fs := &FS{TransientEvery: 2}
+	fails, oks := 0, 0
+	for i := 0; i < 8; i++ {
+		err := fs.Rename("/nonexistent/a", "/nonexistent/b")
+		if Transient(err) {
+			fails++
+		} else if err != nil {
+			oks++ // real rename error from the bogus path: the fault did not fire
+		}
+	}
+	if fails != 4 || oks != 4 {
+		t.Fatalf("every-2nd schedule fired %d/8 times (%d passed through)", fails, oks)
+	}
+}

@@ -37,6 +37,12 @@ type RetryPolicy struct {
 	// Sleep replaces time.Sleep, letting tests run the schedule against a
 	// deterministic clock. Nil means time.Sleep (interruptible via ctx).
 	Sleep func(time.Duration)
+	// OnRetry, when non-nil, is invoked each time a transient failure is
+	// scheduled for another attempt, before the backoff sleep: attempt is
+	// the 1-based number of the try that just failed and err its error.
+	// Callers use it to log or count per-operation retry storms instead of
+	// relying on the global faultio.retry.attempts counter alone.
+	OnRetry func(attempt int, err error)
 }
 
 // DefaultRetryPolicy is the policy used when fields are left zero: five
@@ -87,6 +93,9 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 			return fmt.Errorf("faultio: giving up after %d attempts: %w", attempt, err)
 		}
 		cRetryAttempts.Inc()
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
 		d := delay
 		if rng != nil {
 			d = time.Duration(float64(d) * (1 - p.Jitter/2 + p.Jitter*rng.Float64()))

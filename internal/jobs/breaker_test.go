@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests step through the cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+var errStorage = errors.New("disk on fire")
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused commit %d: %v", i, err)
+		}
+		b.Record(errStorage)
+		if got := b.State(); got != "closed" {
+			t.Fatalf("opened after %d failures (threshold 3): %s", i+1, got)
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errStorage) // third consecutive failure
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after threshold failures: %s", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a commit: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		// Alternating failure/success never reaches 3 consecutive failures.
+		if i%2 == 0 {
+			b.Record(errStorage)
+		} else {
+			b.Record(nil)
+		}
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("non-consecutive failures tripped the breaker: %s", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errStorage)
+	if got := b.State(); got != "open" {
+		t.Fatalf("threshold-1 breaker not open after a failure: %s", got)
+	}
+
+	// Before the cooldown: shed.
+	clk.advance(30 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("pre-cooldown Allow: %v", err)
+	}
+
+	// After the cooldown: exactly one trial slot.
+	clk.advance(31 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("post-cooldown trial refused: %v", err)
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state during trial: %s", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent trial admitted: %v", err)
+	}
+
+	// Trial success closes the breaker.
+	b.Record(nil)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful trial: %s", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused commit: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	_ = b.Allow()
+	b.Record(errStorage)
+	clk.advance(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errStorage) // trial fails → re-open for a fresh cooldown
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after failed trial: %s", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted a commit: %v", err)
+	}
+	// The cooldown restarted at the failed trial.
+	clk.advance(61 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second trial after fresh cooldown refused: %v", err)
+	}
+}
+
+func TestBreakerIgnoresContextErrors(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	// A canceled commit is not a storage failure: must not trip.
+	b.Record(context.Canceled)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("context.Canceled tripped the breaker: %s", got)
+	}
+	_ = b.Allow()
+	b.Record(context.DeadlineExceeded)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("DeadlineExceeded tripped the breaker: %s", got)
+	}
+
+	// And a canceled half-open trial releases the slot without closing.
+	_ = b.Allow()
+	b.Record(errStorage)
+	clk.advance(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(context.Canceled)
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("canceled trial changed state: %s", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("trial slot not released after canceled trial: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package jobs turns the one-shot RDF→PG transformation pipeline into a
+// long-running job service: transformation requests are accepted into a
+// bounded queue with admission control, persisted to a spool directory
+// before they are acknowledged, and executed by a worker pool that reuses
+// the chunked checkpoint/resume machinery of the CLI (core.SnapshotState +
+// internal/ckpt). Every accepted job therefore either completes or survives
+// a crash, a graceful drain, or a restart, and resumes to the byte-identical
+// outputs an uninterrupted run would have produced (Prop. 4.3 monotonicity;
+// see DESIGN.md §4d and §6).
+//
+// Failure model:
+//
+//   - Per-job panic isolation: a panic inside one transformation marks that
+//     job failed (with the stack) and leaves the worker pool serving.
+//   - Deadline propagation: a per-job timeout bounds each run via context;
+//     drain cancellation is distinguished from deadline expiry by cause.
+//   - Commit circuit breaker: all spool writes go through atomic commits
+//     with faultio.Retry backoff; when commits keep failing, the Breaker
+//     opens, new work is shed, and readiness reports not-ready.
+//   - Durable spool: a job's acknowledgment (manifest commit) happens before
+//     Submit returns, so an accepted job is never lost; the manifest and
+//     checkpoint are the recovery record a restart resumes from.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted and durable, waiting for a worker (also the
+	// state a drained or requeued job returns to).
+	StateQueued State = "queued"
+	// StateRunning: a worker is transforming it.
+	StateRunning State = "running"
+	// StateDone: outputs are committed in the job's spool directory.
+	StateDone State = "done"
+	// StateFailed: the run ended with an error (recorded on the job).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Spec is the client-provided description of one transformation request.
+type Spec struct {
+	// Mode is "parsimonious" (default when empty) or "nonparsimonious".
+	Mode string `json:"mode,omitempty"`
+	// Lenient enables skip-and-degrade handling of dirty input.
+	Lenient bool `json:"lenient,omitempty"`
+	// Timeout bounds the job's total running time (0 = no limit). Time
+	// spent queued does not count; the clock restarts on resume.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// Job is the durable record of one accepted request — the manifest persisted
+// at <spool>/<id>/job.json. Progress fields are updated at chunk boundaries.
+type Job struct {
+	ID string `json:"id"`
+	Spec
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	Accepted time.Time `json:"accepted"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+
+	// Statements/Skipped are input-side progress tallies; Nodes/Edges and
+	// Degraded describe the emitted property graph once done.
+	Statements int64 `json:"statements,omitempty"`
+	Skipped    int64 `json:"skipped,omitempty"`
+	Nodes      int64 `json:"nodes,omitempty"`
+	Edges      int64 `json:"edges,omitempty"`
+	Degraded   int64 `json:"degraded,omitempty"`
+
+	// Attempts counts worker pickups; Resumes counts checkpoint resumes
+	// (after a drain, crash, or requeued commit failure).
+	Attempts int `json:"attempts,omitempty"`
+	Resumes  int `json:"resumes,omitempty"`
+
+	// Outputs lists the committed result files (relative to the job's spool
+	// directory) once the job is done.
+	Outputs []string `json:"outputs,omitempty"`
+}
+
+// Spool-relative file names of a job directory.
+const (
+	manifestFile = "job.json"
+	dataFile     = "data.nt"
+	shapesFile   = "shapes.ttl"
+	ckptFile     = "run.ckpt"
+	nodesFile    = "nodes.csv"
+	edgesFile    = "edges.csv"
+	schemaFile   = "schema.ddl"
+)
+
+// OutputFiles is the fixed set of result files a finished job exposes.
+var OutputFiles = []string{nodesFile, edgesFile, schemaFile}
+
+// newJobID returns a queue-ordered, collision-resistant job id: a sequence
+// prefix for human-readable ordering plus random bytes so ids stay unique
+// across daemon restarts sharing one spool.
+func newJobID(seq int64) (string, error) {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: id entropy: %w", err)
+	}
+	return fmt.Sprintf("j%06d-%s", seq, hex.EncodeToString(b[:])), nil
+}
+
+// loadManifest reads a job manifest from dir. A missing or torn manifest
+// means the job was never acknowledged: Submit commits the manifest before
+// returning, so such a directory is garbage, not a lost job.
+func loadManifest(dir string) (*Job, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{}
+	if err := json.Unmarshal(raw, j); err != nil {
+		return nil, fmt.Errorf("jobs: manifest %s: %w", dir, err)
+	}
+	return j, nil
+}

@@ -1,0 +1,851 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+)
+
+// Admission-control and lifecycle errors. The HTTP layer maps these to
+// status codes (429 for a full queue, 503 for the rest).
+var (
+	ErrQueueFull   = errors.New("jobs: queue full")
+	ErrMemPressure = errors.New("jobs: memory watermark exceeded")
+	ErrDraining    = errors.New("jobs: draining, not accepting work")
+	ErrUnknownJob  = errors.New("jobs: unknown job")
+	ErrInvalid     = errors.New("jobs: invalid request")
+)
+
+// errRequeue is the internal signal that a run ended by putting the job back
+// on the queue (drain or retryable commit failure), not by finishing it.
+var errRequeue = errors.New("jobs: requeued")
+
+// Observability instruments (obs.Default registry).
+var (
+	cAccepted     = obs.Default.Counter("jobs.accepted")
+	cRejectedFull = obs.Default.Counter("jobs.rejected.queue_full")
+	cRejectedMem  = obs.Default.Counter("jobs.rejected.mem")
+	cRejectedDrn  = obs.Default.Counter("jobs.rejected.draining")
+	cCompleted    = obs.Default.Counter("jobs.completed")
+	cFailed       = obs.Default.Counter("jobs.failed")
+	cPanics       = obs.Default.Counter("jobs.panics")
+	cRequeued     = obs.Default.Counter("jobs.requeued")
+	cResumedCkpt  = obs.Default.Counter("jobs.resumed_from_checkpoint")
+	cRecovered    = obs.Default.Counter("jobs.recovered_on_open")
+	cCommitRetry  = obs.Default.Counter("jobs.commit.retries")
+	gQueued       = obs.Default.Gauge("jobs.queued")
+	gRunning      = obs.Default.Gauge("jobs.running")
+)
+
+// Config parameterizes a Manager. The zero value of every field resolves to
+// a usable default except Dir, which is required.
+type Config struct {
+	// Dir is the spool directory: one subdirectory per job holding its
+	// manifest, inputs, checkpoint, and outputs.
+	Dir string
+	// QueueDepth bounds the number of queued (accepted, not yet running)
+	// jobs; further submissions are rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+	// Workers is the worker-pool size. Default 2.
+	Workers int
+	// JobWorkers is the per-job transform parallelism handed to
+	// core.ApplyParallel. Default 1.
+	JobWorkers int
+	// ChunkSize is the statements-per-chunk granularity of checkpointing.
+	// Resume byte-identity is guaranteed against runs with the same chunk
+	// size (see DESIGN.md §4d), so restarts must reuse it. Default 50000.
+	ChunkSize int
+	// MaxMemMB is the soft heap watermark: while exceeded, submissions are
+	// rejected with ErrMemPressure and readiness reports not-ready. 0 = off.
+	MaxMemMB int
+	// MaxAttempts bounds worker pickups per job before a retryable commit
+	// failure becomes permanent (drain requeues do not consume attempts).
+	// Default 5.
+	MaxAttempts int
+	// FS is the commit filesystem (fault-injection seam). Default ckpt.OSFS.
+	FS ckpt.FS
+	// Retry is the backoff policy around every atomic commit.
+	Retry faultio.RetryPolicy
+	// BreakerThreshold/BreakerCooldown parameterize the commit circuit
+	// breaker (see Breaker). Defaults 5 and 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+	// BeforeChunk, when non-nil, runs before each chunk of each job — a
+	// test seam for panic isolation and scheduling tests.
+	BeforeChunk func(jobID string, chunk int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 50000
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.FS == nil {
+		c.FS = ckpt.OSFS
+	}
+	return c
+}
+
+// Manager owns the spool, the queue, and the worker pool.
+type Manager struct {
+	cfg     Config
+	breaker *Breaker
+
+	// ctx is the root of every job context; Drain cancels it with cause
+	// ErrDraining so workers can tell a drain from a deadline.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	pending   []string
+	admitting int // submissions past admission control, not yet enqueued
+	running   int
+	draining  bool
+	seq       int64
+
+	wg sync.WaitGroup
+}
+
+// Open initializes the spool directory, recovers every incomplete job left
+// by a previous process (queued jobs re-enter the queue; jobs that were
+// running when the process died are requeued and resume from their last
+// checkpoint), and starts the worker pool.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		jobs:    make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.cancel = context.WithCancelCause(context.Background())
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var recovered []*Job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(cfg.Dir, e.Name())
+		m.sweepTempFiles(dir)
+		j, err := loadManifest(dir)
+		if err != nil {
+			// Never-acknowledged (or foreign) directory: not a lost job.
+			m.logf("jobs: spool entry %s skipped: %v", e.Name(), err)
+			continue
+		}
+		if j.ID != e.Name() {
+			m.logf("jobs: spool entry %s has mismatched manifest id %q, skipped", e.Name(), j.ID)
+			continue
+		}
+		m.jobs[j.ID] = j
+		if j.State == StateRunning {
+			// The previous process died mid-run; the checkpoint (if any) is
+			// the resume point.
+			j.State = StateQueued
+		}
+		if j.State == StateQueued {
+			recovered = append(recovered, j)
+		}
+	}
+	// Oldest first, so recovery preserves admission order.
+	sort.Slice(recovered, func(i, k int) bool { return recovered[i].Accepted.Before(recovered[k].Accepted) })
+	for _, j := range recovered {
+		m.pending = append(m.pending, j.ID)
+		m.persistManifest(j) // records the running→queued transition
+		cRecovered.Inc()
+	}
+	m.seq = int64(len(m.jobs))
+	m.updateGauges()
+	if n := len(recovered); n > 0 {
+		m.logf("jobs: recovered %d pending job(s) from spool %s", n, cfg.Dir)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// sweepTempFiles removes abandoned atomic-commit temp files from a job
+// directory. At Open time no commit is in flight, so every *.tmp-* entry is
+// litter from a process that died mid-commit (the committed files themselves
+// are rename-complete and untouched).
+func (m *Manager) sweepTempFiles(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, p := range matches {
+		if err := os.Remove(p); err != nil {
+			m.logf("jobs: temp sweep %s: %v", p, err)
+		} else {
+			m.logf("jobs: removed abandoned temp file %s", p)
+		}
+	}
+}
+
+// jobDir returns the spool directory of a job.
+func (m *Manager) jobDir(id string) string { return filepath.Join(m.cfg.Dir, id) }
+
+// updateGauges refreshes the queue-depth and running gauges. Callers hold mu.
+func (m *Manager) updateGauges() {
+	gQueued.Set(int64(len(m.pending)))
+	gRunning.Set(int64(m.running))
+}
+
+// memPressure reports whether the heap exceeds the configured watermark.
+func (m *Manager) memPressure() bool {
+	if m.cfg.MaxMemMB <= 0 {
+		return false
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc > uint64(m.cfg.MaxMemMB)<<20
+}
+
+// Ready reports whether the manager should be advertised as ready for new
+// work: nil, or the admission-control error a submission would hit.
+func (m *Manager) Ready() error {
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if m.breaker.State() != "closed" {
+		return ErrBreakerOpen
+	}
+	if m.memPressure() {
+		return ErrMemPressure
+	}
+	return nil
+}
+
+// Stats is a point-in-time queue summary (served alongside /metrics).
+type Stats struct {
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Draining bool   `json:"draining"`
+	Breaker  string `json:"breaker"`
+}
+
+// Stats returns the current queue summary.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Queued: len(m.pending), Running: m.running, Draining: m.draining, Breaker: m.breaker.State()}
+	for _, j := range m.jobs {
+		switch j.State {
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		}
+	}
+	return s
+}
+
+// Submit runs admission control, persists the request durably in the spool,
+// and enqueues it. When Submit returns nil, the job is accepted: it will
+// either complete or remain resumable across restarts. The returned Job is a
+// snapshot.
+func (m *Manager) Submit(spec Spec, shapes, data string) (Job, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cRejectedDrn.Inc()
+		return Job{}, ErrDraining
+	}
+	if len(m.pending)+m.admitting >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		cRejectedFull.Inc()
+		return Job{}, ErrQueueFull
+	}
+	m.admitting++
+	m.seq++
+	seq := m.seq
+	m.mu.Unlock()
+	admitted := false
+	defer func() {
+		if !admitted {
+			m.mu.Lock()
+			m.admitting--
+			m.mu.Unlock()
+		}
+	}()
+
+	if m.memPressure() {
+		cRejectedMem.Inc()
+		return Job{}, ErrMemPressure
+	}
+
+	// Reject obviously bad requests at the door: unknown mode, unparsable
+	// shapes. (Data errors surface at run time, per the lenient policy.)
+	if spec.Mode == "" {
+		spec.Mode = core.Parsimonious.String()
+	}
+	if _, err := core.ParseMode(spec.Mode); err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if spec.Timeout < 0 {
+		return Job{}, fmt.Errorf("%w: negative timeout", ErrInvalid)
+	}
+	if g, err := rio.ParseTurtleWith(m.ctx, shapes, rio.Options{}); err != nil {
+		return Job{}, fmt.Errorf("%w: shapes: %v", ErrInvalid, err)
+	} else if _, err := shacl.FromGraph(g); err != nil {
+		return Job{}, fmt.Errorf("%w: shapes: %v", ErrInvalid, err)
+	}
+
+	id, err := newJobID(seq)
+	if err != nil {
+		return Job{}, err
+	}
+	dir := m.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Job{}, err
+	}
+	writeString := func(name, content string) error {
+		return m.commit(m.ctx, filepath.Join(dir, name), func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+	}
+	if err := writeString(shapesFile, shapes); err != nil {
+		return Job{}, err
+	}
+	if err := writeString(dataFile, data); err != nil {
+		return Job{}, err
+	}
+	j := &Job{ID: id, Spec: spec, State: StateQueued, Accepted: time.Now().UTC()}
+	// The manifest commit is the acknowledgment point: after it, the job is
+	// recoverable from the spool alone.
+	if err := m.commitManifest(m.ctx, j); err != nil {
+		return Job{}, err
+	}
+
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.pending = append(m.pending, id)
+	m.admitting--
+	admitted = true
+	m.updateGauges()
+	snap := *j
+	m.mu.Unlock()
+	m.cond.Signal()
+	cAccepted.Inc()
+	m.logf("jobs: accepted %s (mode=%s lenient=%v, %d bytes data)", id, spec.Mode, spec.Lenient, len(data))
+	return snap, nil
+}
+
+// Get returns a snapshot of a job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return *j, nil
+}
+
+// List returns snapshots of every known job, oldest first.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Accepted.Equal(out[k].Accepted) {
+			return out[i].Accepted.Before(out[k].Accepted)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// OutputPath resolves one of a finished job's result files, guarding against
+// path escapes and unfinished jobs.
+func (m *Manager) OutputPath(id, name string) (string, error) {
+	ok := false
+	for _, f := range OutputFiles {
+		if name == f {
+			ok = true
+		}
+	}
+	if !ok {
+		return "", fmt.Errorf("%w: no such output %q", ErrInvalid, name)
+	}
+	j, err := m.Get(id)
+	if err != nil {
+		return "", err
+	}
+	if j.State != StateDone {
+		return "", fmt.Errorf("%w: job %s is %s", ErrInvalid, id, j.State)
+	}
+	return filepath.Join(m.jobDir(id), name), nil
+}
+
+// Drain stops accepting work, wakes idle workers, cancels running jobs with
+// cause ErrDraining (they checkpoint at their next chunk boundary and
+// requeue), and waits for the pool to quiesce or ctx to expire. After a
+// clean drain every non-terminal job is back in StateQueued with a durable
+// manifest, ready for the next process to resume.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		m.logf("jobs: draining")
+	}
+	m.cond.Broadcast()
+	m.cancel(ErrDraining)
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain: %w", context.Cause(ctx))
+	}
+}
+
+// Close is Drain without a deadline, for tests and defers.
+func (m *Manager) Close() error { return m.Drain(context.Background()) }
+
+// commit writes one file atomically through the breaker, the retry policy,
+// and the (possibly fault-injecting) commit filesystem.
+func (m *Manager) commit(ctx context.Context, path string, fn func(io.Writer) error) error {
+	if err := m.breaker.Allow(); err != nil {
+		return err
+	}
+	p := m.cfg.Retry
+	inner := p.OnRetry
+	p.OnRetry = func(attempt int, err error) {
+		cCommitRetry.Inc()
+		m.logf("jobs: commit %s: attempt %d failed, retrying: %v", filepath.Base(path), attempt, err)
+		if inner != nil {
+			inner(attempt, err)
+		}
+	}
+	err := faultio.Retry(ctx, p, func() error {
+		return ckpt.WriteFileAtomicFS(m.cfg.FS, path, 0o644, fn)
+	})
+	m.breaker.Record(err)
+	return err
+}
+
+// commitManifest persists a job snapshot as its manifest.
+func (m *Manager) commitManifest(ctx context.Context, j *Job) error {
+	m.mu.Lock()
+	snap := *j
+	m.mu.Unlock()
+	return m.commit(ctx, filepath.Join(m.jobDir(snap.ID), manifestFile), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	})
+}
+
+// persistManifest is commitManifest with failures logged instead of
+// returned: manifest updates along the run are advisory (the checkpoint is
+// the recovery record); only the Submit-time commit is load-bearing.
+func (m *Manager) persistManifest(j *Job) {
+	if err := m.commitManifest(context.Background(), j); err != nil {
+		m.logf("jobs: manifest update for %s failed: %v", j.ID, err)
+	}
+}
+
+// worker pops jobs until drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		id := m.pending[0]
+		m.pending = m.pending[1:]
+		j := m.jobs[id]
+		j.State = StateRunning
+		j.Started = time.Now().UTC()
+		j.Attempts++
+		m.running++
+		m.updateGauges()
+		m.mu.Unlock()
+		m.persistManifest(j)
+		m.runJob(id)
+		m.mu.Lock()
+		m.running--
+		m.updateGauges()
+		m.mu.Unlock()
+	}
+}
+
+// runJob executes one job behind a panic barrier so a transformation bug
+// cannot take down the pool.
+func (m *Manager) runJob(id string) {
+	defer func() {
+		if r := recover(); r != nil {
+			cPanics.Inc()
+			m.logf("jobs: %s panicked: %v", id, r)
+			m.fail(id, fmt.Errorf("internal panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	m.mu.Lock()
+	spec := m.jobs[id].Spec
+	m.mu.Unlock()
+	jctx := m.ctx
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(jctx, spec.Timeout)
+		defer cancel()
+	}
+	err := m.transform(jctx, id, spec)
+	switch {
+	case err == nil, errors.Is(err, errRequeue):
+	case errors.Is(err, context.DeadlineExceeded):
+		m.fail(id, fmt.Errorf("deadline exceeded after %v", spec.Timeout))
+	case draining(jctx) && errors.Is(err, context.Canceled):
+		// The drain canceled the job in a phase with no boundary-requeue
+		// path of its own (e.g. mid shapes parse, or a commit retry that
+		// burned its budget on the canceled context). The spool still
+		// holds the last checkpoint — or nothing, for a fresh job — so
+		// putting it back on the queue is always sound.
+		m.requeue(id, true)
+	default:
+		m.fail(id, err)
+	}
+}
+
+// draining reports whether ctx was canceled by Drain rather than a deadline.
+func draining(ctx context.Context) bool {
+	return errors.Is(context.Cause(ctx), ErrDraining)
+}
+
+// transform is the chunked pipeline of one job: restore-or-build the
+// transformer, stream the spooled input in ChunkSize-statement chunks,
+// checkpoint at each boundary, and commit the outputs at EOF. It mirrors the
+// CLI's cmdDataCheckpointed, so the same Prop. 4.3 argument applies: a drain
+// or crash at any point resumes to byte-identical outputs.
+func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
+	dir := m.jobDir(id)
+	f, err := os.Open(filepath.Join(dir, dataFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	inputSize := st.Size()
+	ckptPath := filepath.Join(dir, ckptFile)
+
+	var tr *core.Transformer
+	var base struct{ off, lines, stmts, skipped int64 }
+	cp, lerr := ckpt.Load(ckptPath)
+	switch {
+	case errors.Is(lerr, fs.ErrNotExist):
+		// Fresh run.
+	case lerr != nil:
+		return lerr // checkpoints commit atomically; corruption is a real fault
+	default:
+		if cp.InputSize != inputSize {
+			return fmt.Errorf("jobs: %s: spooled input is %d bytes, checkpoint recorded %d", id, inputSize, cp.InputSize)
+		}
+		tr, err = core.RestoreTransformer(&core.PipelineState{
+			Mode: cp.Mode, Lenient: cp.Lenient, SchemaDDL: cp.SchemaDDL,
+			NodesCSV: cp.NodesCSV, EdgesCSV: cp.EdgesCSV,
+			FallbackRoutes: cp.FallbackRoutes, KVProps: cp.KVProps, Degraded: cp.Degraded,
+			Nodes: int(cp.Nodes), Edges: int(cp.Edges),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := f.Seek(cp.ByteOffset, io.SeekStart); err != nil {
+			return err
+		}
+		base.off, base.lines = cp.ByteOffset, cp.Lines
+		base.stmts, base.skipped = cp.Statements, cp.Skipped
+		cResumedCkpt.Inc()
+		m.mu.Lock()
+		m.jobs[id].Resumes++
+		m.mu.Unlock()
+		m.logf("jobs: %s resuming at byte %d (%d statements done)", id, cp.ByteOffset, cp.Statements)
+	}
+	if tr == nil {
+		shapesSrc, err := os.ReadFile(filepath.Join(dir, shapesFile))
+		if err != nil {
+			return err
+		}
+		g, err := rio.ParseTurtleWith(ctx, string(shapesSrc), rio.Options{})
+		if err != nil {
+			return err
+		}
+		sg, err := shacl.FromGraph(g)
+		if err != nil {
+			return err
+		}
+		mode, err := core.ParseMode(spec.Mode)
+		if err != nil {
+			return err
+		}
+		tr, err = core.NewTransformer(sg, mode)
+		if err != nil {
+			return err
+		}
+		tr.SetLenient(spec.Lenient)
+	}
+
+	sc := rio.NewNTriplesScanner(f, rio.Options{Lenient: spec.Lenient, MaxErrors: -1})
+	sc.SetPos(base.off, int(base.lines))
+	bound := base
+	saveCkpt := func(ctx context.Context) error {
+		pst, err := tr.SnapshotState()
+		if err != nil {
+			return err
+		}
+		c := &ckpt.Checkpoint{
+			InputPath: dataFile, InputSize: inputSize,
+			ByteOffset: bound.off, Lines: bound.lines,
+			Statements: bound.stmts, Skipped: bound.skipped,
+			Mode: pst.Mode, Lenient: pst.Lenient, ShapesPath: shapesFile,
+			Nodes: int64(pst.Nodes), Edges: int64(pst.Edges),
+			KVProps: pst.KVProps, Degraded: pst.Degraded,
+			SchemaDDL: pst.SchemaDDL, NodesCSV: pst.NodesCSV, EdgesCSV: pst.EdgesCSV,
+			FallbackRoutes: pst.FallbackRoutes,
+		}
+		return m.commit(ctx, ckptPath, c.Encode)
+	}
+	// requeueFromBoundary: the in-memory state at the last clean boundary is
+	// checkpointable; save it (using a fresh context — the job context is
+	// already canceled during a drain) and put the job back on the queue. A
+	// failed save is demoted to the previous on-disk checkpoint: resume just
+	// replays more of the input, with identical results.
+	requeueFromBoundary := func(clean bool) error {
+		if clean {
+			if err := saveCkpt(context.Background()); err != nil {
+				m.logf("jobs: %s drain checkpoint failed (resuming from previous): %v", id, err)
+			}
+		}
+		m.requeue(id, true)
+		return errRequeue
+	}
+
+	chunkN := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			if draining(ctx) {
+				return requeueFromBoundary(true)
+			}
+			return context.Cause(ctx)
+		}
+		if hook := m.cfg.BeforeChunk; hook != nil {
+			hook(id, chunkN)
+		}
+		chunk := rdf.NewGraph()
+		for chunk.Len() < m.cfg.ChunkSize {
+			t, ok, err := sc.Scan()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			chunk.Add(t)
+		}
+		atEOF := chunk.Len() < m.cfg.ChunkSize
+		if chunk.Len() > 0 {
+			if err := tr.ApplyParallel(ctx, chunk, m.cfg.JobWorkers, nil); err != nil {
+				if draining(ctx) {
+					// Mid-Apply state is dirty: resume from the last on-disk
+					// checkpoint instead of snapshotting.
+					return requeueFromBoundary(false)
+				}
+				return err
+			}
+			bound.off, bound.lines = sc.Offset(), int64(sc.Line())
+			bound.stmts = base.stmts + sc.Triples()
+			bound.skipped = base.skipped + sc.Skipped()
+			chunkN++
+			m.mu.Lock()
+			j := m.jobs[id]
+			j.Statements, j.Skipped = bound.stmts, bound.skipped
+			m.mu.Unlock()
+		}
+		if atEOF {
+			break
+		}
+		if err := saveCkpt(ctx); err != nil {
+			if draining(ctx) {
+				// The drain landed while the save was in flight; the boundary
+				// is clean, so take the drain path (fresh-context flush,
+				// attempt budget untouched) instead of burning an attempt.
+				return requeueFromBoundary(true)
+			}
+			return m.requeueOrFail(id, err)
+		}
+	}
+
+	// Commit the outputs. Each file is complete-or-absent; the manifest
+	// flips to done only after all three are committed.
+	store, schema := tr.Store(), tr.Schema()
+	outputs := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{nodesFile, func(w io.Writer) error { return store.WriteCSV(w, io.Discard) }},
+		{edgesFile, func(w io.Writer) error { return store.WriteCSV(io.Discard, w) }},
+		{schemaFile, func(w io.Writer) error {
+			_, err := io.WriteString(w, pgschema.WriteDDL(schema))
+			return err
+		}},
+	}
+	for _, out := range outputs {
+		if err := m.commit(ctx, filepath.Join(dir, out.name), out.write); err != nil {
+			if draining(ctx) {
+				return requeueFromBoundary(true)
+			}
+			return m.requeueOrFail(id, err)
+		}
+	}
+
+	// The checkpoint is consumed; removing it keeps a restart from resuming
+	// a finished job. Removal happens before the done-transition: a crash in
+	// between just reruns the job from scratch, deterministically.
+	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		m.logf("jobs: %s: checkpoint cleanup: %v", id, err)
+	}
+	m.mu.Lock()
+	j := m.jobs[id]
+	j.Finished = time.Now().UTC()
+	j.Statements, j.Skipped = bound.stmts, bound.skipped
+	j.Nodes, j.Edges = int64(store.NumNodes()), int64(store.NumEdges())
+	j.Degraded = tr.DegradedCount()
+	j.Outputs = append([]string(nil), OutputFiles...)
+	done := *j
+	done.State = StateDone
+	m.mu.Unlock()
+	if err := m.commit(ctx, filepath.Join(m.jobDir(id), manifestFile), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(done)
+	}); err != nil {
+		// Outputs are committed but the done-marker is not: requeue; the
+		// rerun reproduces the same bytes and re-commits the manifest.
+		return m.requeueOrFail(id, err)
+	}
+	m.mu.Lock()
+	j.State = StateDone
+	m.mu.Unlock()
+	cCompleted.Inc()
+	m.logf("jobs: %s done (%d statements → %d nodes, %d edges)", id, bound.stmts, store.NumNodes(), store.NumEdges())
+	return nil
+}
+
+// requeue puts a job back on the queue in StateQueued. free drains do not
+// consume the attempt budget.
+func (m *Manager) requeue(id string, free bool) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	j.State = StateQueued
+	if free && j.Attempts > 0 {
+		j.Attempts--
+	}
+	m.pending = append(m.pending, id)
+	m.updateGauges()
+	m.mu.Unlock()
+	cRequeued.Inc()
+	m.persistManifest(j)
+	m.cond.Signal()
+}
+
+// requeueOrFail handles a commit failure: requeue while the attempt budget
+// lasts (the breaker cooldown or a cleared fault may let the retry
+// succeed), fail permanently after that.
+func (m *Manager) requeueOrFail(id string, err error) error {
+	m.mu.Lock()
+	attempts := m.jobs[id].Attempts
+	m.mu.Unlock()
+	if attempts >= m.cfg.MaxAttempts {
+		return fmt.Errorf("giving up after %d attempts: %w", attempts, err)
+	}
+	m.logf("jobs: %s requeued after commit failure (attempt %d/%d): %v", id, attempts, m.cfg.MaxAttempts, err)
+	m.requeue(id, false)
+	return errRequeue
+}
+
+// fail marks a job failed.
+func (m *Manager) fail(id string, err error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	j.State = StateFailed
+	j.Error = err.Error()
+	j.Finished = time.Now().UTC()
+	m.mu.Unlock()
+	cFailed.Inc()
+	m.logf("jobs: %s failed: %v", id, err)
+	m.persistManifest(j)
+}

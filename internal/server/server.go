@@ -1,0 +1,263 @@
+// Package server is the HTTP face of the s3pgd transform service: a thin,
+// stdlib-only layer that translates requests into internal/jobs calls and
+// jobs errors into status codes. All admission-control policy (queue bounds,
+// memory watermark, circuit breaker, drain) lives in the jobs manager; the
+// server's own state is a single lame-duck flag flipped at the start of a
+// graceful shutdown so load balancers see /readyz fail before the listener
+// closes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/jobs"
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// DefaultMaxBodyBytes caps request bodies (shapes + data are inlined in the
+// submit payload) unless Config overrides it.
+const DefaultMaxBodyBytes = 256 << 20
+
+var (
+	cReqSubmit  = obs.Default.Counter("server.req.submit")
+	cReqStatus  = obs.Default.Counter("server.req.status")
+	cReqRejects = obs.Default.Counter("server.req.rejected")
+	gLameDuck   = obs.Default.Gauge("server.lameduck")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Manager is the job service the server fronts. Required.
+	Manager *jobs.Manager
+	// MaxBodyBytes caps the submit payload. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Logf receives request-level log lines. Nil discards them.
+	Logf func(format string, args ...any)
+	// RetryAfter is the hint returned with 429/503 responses. 0 means 1s.
+	RetryAfter time.Duration
+}
+
+// Server is an http.Handler serving the job API.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	lameduck atomic.Bool
+}
+
+// New builds the handler. Routes:
+//
+//	POST /jobs              accept a transform job (202, or 400/413/429/503)
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/output/{name}  result file of a done job
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 while draining/shedding)
+//	GET  /metrics           obs counters + queue stats, JSON
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/output/{name}", s.handleOutput)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// EnterLameDuck flips /readyz to 503 ahead of the listener shutdown, giving
+// load balancers a window to stop routing here before connections drop.
+func (s *Server) EnterLameDuck() {
+	if !s.lameduck.Swap(true) {
+		gLameDuck.Set(1)
+		s.logf("server: entering lame-duck mode")
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// SubmitRequest is the POST /jobs payload. Shapes and data are inline
+// documents (SHACL Turtle and N-Triples respectively), mirroring the CLI's
+// two input files.
+type SubmitRequest struct {
+	Mode    string `json:"mode,omitempty"`
+	Lenient bool   `json:"lenient,omitempty"`
+	// Timeout bounds the job's running time, as a Go duration string
+	// ("90s", "5m"). Empty means no limit.
+	Timeout string `json:"timeout,omitempty"`
+	Shapes  string `json:"shapes"`
+	Data    string `json:"data"`
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("server: response encode: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+		cReqRejects.Inc()
+	}
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// submitStatus maps a jobs admission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrMemPressure),
+		errors.Is(err, jobs.ErrDraining),
+		errors.Is(err, jobs.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case faultio.Transient(err):
+		// A spool commit that exhausted its retry budget on transient
+		// faults: the storage layer is struggling, not the request.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	cReqSubmit.Inc()
+	if s.lameduck.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+		return
+	}
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request: %w", err))
+		return
+	}
+	spec := jobs.Spec{Mode: req.Mode, Lenient: req.Lenient}
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("timeout: %w", err))
+			return
+		}
+		spec.Timeout = d
+	}
+	j, err := s.cfg.Manager.Submit(spec, req.Shapes, req.Data)
+	if err != nil {
+		s.writeError(w, submitStatus(err), err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	s.writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	cReqStatus.Inc()
+	s.writeJSON(w, http.StatusOK, s.cfg.Manager.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cReqStatus.Inc()
+	j, err := s.cfg.Manager.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	cReqStatus.Inc()
+	path, err := s.cfg.Manager.OutputPath(r.PathValue("id"), r.PathValue("name"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, jobs.ErrInvalid):
+		s.writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := io.Copy(w, f); err != nil {
+		s.logf("server: streaming %s: %v", path, err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.lameduck.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining: lame duck\n")
+		return
+	}
+	if err := s.cfg.Manager.Ready(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "not ready: %v\n", err)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// metricsBody combines the obs registry snapshot with queue stats.
+type metricsBody struct {
+	Jobs    jobs.Stats   `json:"jobs"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, metricsBody{
+		Jobs:    s.cfg.Manager.Stats(),
+		Metrics: obs.Default.Snapshot(),
+	})
+}
