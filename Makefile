@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json verify fuzz chaos experiments
+.PHONY: build test bench bench-json bench-obs verify fuzz chaos experiments
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ bench:
 MIN_SPEEDUP ?= 0
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_parallel.json -min-speedup $(MIN_SPEEDUP)
+
+# bench-obs measures the telemetry layer's overhead: the pipeline run bare
+# versus run with the daemon's per-job instrumentation (span tree, lifecycle
+# logs, histograms, JSONL trace) live, writing BENCH_obs.json.
+# MAX_OBS_OVERHEAD > 0 turns it into a gate (auto-skipped on <4-CPU machines).
+MAX_OBS_OVERHEAD ?= 0
+bench-obs:
+	$(GO) run ./cmd/benchjson -mode obs -out BENCH_obs.json -reps 5 -max-overhead-pct $(MAX_OBS_OVERHEAD)
 
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)

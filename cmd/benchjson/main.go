@@ -1,23 +1,32 @@
-// Command benchjson measures the parallel pipeline's speedup over the
-// sequential path and emits the result as machine-readable JSON
-// (BENCH_parallel.json), for CI trend tracking and the speedup gate.
+// Command benchjson measures the pipeline and emits machine-readable JSON
+// for CI trend tracking and regression gates. It has two modes.
 //
-// It generates a seeded synthetic dataset, serializes it to N-Triples, and
-// runs the full pipeline — parallel ingest, parallel F_dt transform, parallel
-// CSV export — at each worker count, taking the best of -reps runs. Every
-// parallel run's outputs are checked byte-for-byte against the sequential
-// run before any timing is reported: a fast-but-wrong pipeline fails here,
-// not in CI archaeology.
+// -mode parallel (the default, BENCH_parallel.json) measures the parallel
+// pipeline's speedup over the sequential path. It generates a seeded
+// synthetic dataset, serializes it to N-Triples, and runs the full pipeline —
+// parallel ingest, parallel F_dt transform, parallel CSV export — at each
+// worker count, taking the best of -reps runs. Every parallel run's outputs
+// are checked byte-for-byte against the sequential run before any timing is
+// reported: a fast-but-wrong pipeline fails here, not in CI archaeology.
+//
+// -mode obs (BENCH_obs.json) measures the cost of the telemetry layer: the
+// same pipeline run bare versus run with the daemon's per-job
+// instrumentation live — span tree, lifecycle log records, latency
+// histogram observations, and the JSONL trace flush. Instrumented and bare
+// runs alternate within each rep so thermal drift cancels, the best run of
+// each wins, and -max-overhead-pct turns the delta into a gate.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_parallel.json] [-scale 0.002] [-reps 3]
-//	          [-min-speedup 0] [-workers 1,2,4]
+//	benchjson [-mode parallel|obs] [-out FILE] [-scale 0.002] [-reps 3]
+//	          [-min-speedup 0] [-workers 1,2,4] [-max-overhead-pct 0]
 //
-// With -min-speedup s > 0 the command exits nonzero when the highest
-// configured worker count's speedup falls below s — unless the machine has
-// fewer than four CPUs, where no parallel speedup is physically available
-// and the gate is skipped (the JSON is still written, with "gate": "skipped").
+// With -min-speedup s > 0 (parallel mode) the command exits nonzero when the
+// highest configured worker count's speedup falls below s; with
+// -max-overhead-pct p > 0 (obs mode) it exits nonzero when instrumentation
+// costs more than p percent — unless the machine has fewer than four CPUs,
+// where timing is too noisy to gate on and the gate is skipped (the JSON is
+// still written, with "gate": "skipped").
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -34,6 +44,7 @@ import (
 
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
@@ -69,18 +80,34 @@ type outputs struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_parallel.json", "output JSON `file`")
+	mode := flag.String("mode", "parallel", "benchmark `mode`: parallel (speedup over sequential) or obs (telemetry overhead)")
+	out := flag.String("out", "", "output JSON `file` (defaults to BENCH_parallel.json or BENCH_obs.json by mode; - for stdout)")
 	scale := flag.Float64("scale", 0.002, "dataset scale relative to the paper's full-size DBpedia2022")
 	reps := flag.Int("reps", 3, "repetitions per worker count (best run wins)")
-	minSpeedup := flag.Float64("min-speedup", 0, "fail unless the top worker count reaches this speedup (0 = report only; skipped on <4-CPU machines)")
-	workersSpec := flag.String("workers", "1,2,4", "comma-separated worker `counts` to measure (must include 1)")
+	minSpeedup := flag.Float64("min-speedup", 0, "parallel mode: fail unless the top worker count reaches this speedup (0 = report only; skipped on <4-CPU machines)")
+	workersSpec := flag.String("workers", "1,2,4", "comma-separated worker `counts` to measure (must include 1; obs mode uses the last)")
+	maxOverhead := flag.Float64("max-overhead-pct", 0, "obs mode: fail when instrumentation costs more than this percent (0 = report only; skipped on <4-CPU machines)")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersSpec)
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(*out, *scale, *reps, *minSpeedup, counts); err != nil {
+	switch *mode {
+	case "parallel":
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		err = run(*out, *scale, *reps, *minSpeedup, counts)
+	case "obs":
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		err = runObs(*out, *scale, *reps, *maxOverhead, counts[len(counts)-1])
+	default:
+		err = fmt.Errorf("unknown -mode %q (want parallel or obs)", *mode)
+	}
+	if err != nil {
 		fatal(err)
 	}
 }
@@ -187,6 +214,161 @@ func run(out string, scale float64, reps int, minSpeedup float64, counts []int) 
 	return nil
 }
 
+// ObsReport is the BENCH_obs.json document: the telemetry layer's measured
+// cost over the bare pipeline.
+type ObsReport struct {
+	CPUs                 int     `json:"cpus"`
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+	Dataset              string  `json:"dataset"`
+	Scale                float64 `json:"scale"`
+	Triples              int     `json:"triples"`
+	InputBytes           int     `json:"input_bytes"`
+	Reps                 int     `json:"reps"`
+	Workers              int     `json:"workers"`
+	UninstrumentedBestNs int64   `json:"uninstrumented_best_ns"`
+	InstrumentedBestNs   int64   `json:"instrumented_best_ns"`
+	OverheadPct          float64 `json:"overhead_pct"`
+	Gate                 string  `json:"gate"` // "passed", "failed", "skipped", or "off"
+	MaxOverheadPct       float64 `json:"max_overhead_pct,omitempty"`
+}
+
+// runObs times the bare pipeline against the instrumented one. The two
+// variants alternate within every rep (order flipping each rep) so cache and
+// frequency drift hit both sides equally; each side keeps its best run.
+func runObs(out string, scale float64, reps int, maxOverhead float64, workers int) error {
+	const dataset = "DBpedia2022"
+	g := datagen.Generate(datagen.Profiles()[dataset], scale, 1)
+	var nt bytes.Buffer
+	if err := rio.WriteNTriples(&nt, g); err != nil {
+		return err
+	}
+	data := nt.Bytes()
+	shapes := shapeex.Extract(g, shapeex.Options{MinSupport: 0.02})
+
+	rep := ObsReport{
+		CPUs:           runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Dataset:        dataset,
+		Scale:          scale,
+		Triples:        g.Len(),
+		InputBytes:     len(data),
+		Reps:           reps,
+		Workers:        workers,
+		Gate:           "off",
+		MaxOverheadPct: maxOverhead,
+	}
+
+	// Untimed warmup so neither side pays first-run page faults and heap
+	// growth; a forced GC before every timed run gives each one the same
+	// starting heap, which matters far more than the telemetry being timed.
+	if _, _, err := pipeline(data, shapes, workers); err != nil {
+		return err
+	}
+	bareBest, instBest := int64(-1), int64(-1)
+	var bare, inst outputs
+	for r := 0; r < reps; r++ {
+		variants := []bool{false, true} // false = bare
+		if r%2 == 1 {
+			variants[0], variants[1] = true, false
+		}
+		for _, instrumented := range variants {
+			runtime.GC()
+			var o outputs
+			var ns int64
+			var err error
+			if instrumented {
+				o, ns, err = pipelineObs(data, shapes, workers)
+			} else {
+				o, ns, err = pipeline(data, shapes, workers)
+			}
+			if err != nil {
+				return fmt.Errorf("obs bench (instrumented=%v): %w", instrumented, err)
+			}
+			if instrumented {
+				inst = o
+				if instBest < 0 || ns < instBest {
+					instBest = ns
+				}
+			} else {
+				bare = o
+				if bareBest < 0 || ns < bareBest {
+					bareBest = ns
+				}
+			}
+		}
+	}
+	if bare.ddl != inst.ddl || !bytes.Equal(bare.nodes, inst.nodes) || !bytes.Equal(bare.edges, inst.edges) {
+		return fmt.Errorf("instrumented outputs differ from the bare pipeline")
+	}
+	rep.UninstrumentedBestNs = bareBest
+	rep.InstrumentedBestNs = instBest
+	rep.OverheadPct = (float64(instBest)/float64(bareBest) - 1) * 100
+	fmt.Fprintf(os.Stderr, "benchjson: obs overhead %.2f%% (bare %.1fms, instrumented %.1fms)\n",
+		rep.OverheadPct, float64(bareBest)/1e6, float64(instBest)/1e6)
+
+	if maxOverhead > 0 {
+		switch {
+		case rep.CPUs < 4:
+			rep.Gate = "skipped"
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %d CPU(s) < 4, timing too noisy to gate on\n", rep.CPUs)
+		case rep.OverheadPct <= maxOverhead:
+			rep.Gate = "passed"
+		default:
+			rep.Gate = "failed"
+		}
+	}
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	if rep.Gate == "failed" {
+		return fmt.Errorf("overhead gate failed: %.2f%% > allowed %.2f%%", rep.OverheadPct, maxOverhead)
+	}
+	return nil
+}
+
+// pipelineObs is pipeline with the daemon's per-job telemetry live: a span
+// tree threaded through the transform, lifecycle log records, histogram and
+// counter observations, and the span-tree JSONL flush — sinks discarded so
+// only the instrumentation itself is on the clock.
+func pipelineObs(data []byte, shapes *shacl.Schema, workers int) (outputs, int64, error) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger(io.Discard, "bench")
+	trace := obs.NewJSONL(io.Discard)
+	start := time.Now()
+	reg.Histogram("job.queue_wait.seconds").ObserveSince(start)
+	logger.Info("job_running", "job_id", "bench", "attempt", 1)
+	root := obs.NewSpan("job")
+
+	ing := root.StartSpan("ingest")
+	g, err := rio.LoadNTriplesParallel(ctx, bytes.NewReader(data), int64(len(data)), rio.Options{}, workers)
+	ing.End()
+	if err != nil {
+		return outputs{}, 0, err
+	}
+	tr, err := core.TransformWith(ctx, g, shapes, core.Parsimonious, root, core.TransformOptions{Workers: workers})
+	if err != nil {
+		return outputs{}, 0, err
+	}
+	exp := root.StartSpan("export")
+	var nodes, edges bytes.Buffer
+	err = tr.Store().WriteCSVParallel(&nodes, &edges, workers)
+	exp.End()
+	if err != nil {
+		return outputs{}, 0, err
+	}
+	root.End()
+
+	reg.Histogram("job.run.seconds").ObserveSince(start)
+	reg.Counter("jobs.done").Inc()
+	logger.Info("job_done", "job_id", "bench", "run_seconds", time.Since(start).Seconds())
+	if err := trace.WriteSpanTree(root.Record()); err != nil {
+		return outputs{}, 0, err
+	}
+	ns := time.Since(start).Nanoseconds()
+	return outputs{pgschema.WriteDDL(tr.Schema()), nodes.Bytes(), edges.Bytes()}, ns, nil
+}
+
 // pipeline runs ingest → transform → export at the given worker count and
 // returns the outputs plus wall time.
 func pipeline(data []byte, shapes *shacl.Schema, workers int) (outputs, int64, error) {
@@ -208,7 +390,7 @@ func pipeline(data []byte, shapes *shacl.Schema, workers int) (outputs, int64, e
 	return outputs{pgschema.WriteDDL(tr.Schema()), nodes.Bytes(), edges.Bytes()}, ns, nil
 }
 
-func writeJSON(path string, rep *Report) error {
+func writeJSON(path string, rep any) error {
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -15,13 +16,30 @@ import (
 	"github.com/s3pg/s3pg/internal/ckpt"
 )
 
-// waitForStderr polls a concurrently-filled buffer until the marker appears.
-func waitForStderr(t *testing.T, mu *sync.Mutex, buf *bytes.Buffer, marker string, timeout time.Duration) bool {
+// hasLogEvent reports whether a stderr capture contains a structured log
+// record with the given msg field. Plain-text lines (errors, usage) are
+// skipped, so assertions are pinned to the log schema, not to prose that a
+// wording change could silently decouple from the tests.
+func hasLogEvent(out, msg string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		var rec struct {
+			Msg string `json:"msg"`
+		}
+		if json.Unmarshal([]byte(line), &rec) == nil && rec.Msg == msg {
+			return true
+		}
+	}
+	return false
+}
+
+// waitForLogEvent polls a concurrently-filled stderr buffer until a
+// structured record with the given msg appears.
+func waitForLogEvent(t *testing.T, mu *sync.Mutex, buf *bytes.Buffer, msg string, timeout time.Duration) bool {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		mu.Lock()
-		found := strings.Contains(buf.String(), marker)
+		found := hasLogEvent(buf.String(), msg)
 		mu.Unlock()
 		if found {
 			return true
@@ -86,7 +104,7 @@ func TestSecondSignalAbortsImmediately(t *testing.T) {
 		if err := cmd.Process.Signal(os.Interrupt); err != nil {
 			t.Fatal(err)
 		}
-		if !waitForStderr(t, &mu, &eb, "stopping at the next safe point", 5*time.Second) {
+		if !waitForLogEvent(t, &mu, &eb, "interrupt", 5*time.Second) {
 			_ = cmd.Wait() // finished before the signal landed; try again
 			continue
 		}
@@ -106,7 +124,7 @@ func TestSecondSignalAbortsImmediately(t *testing.T) {
 		errOut := eb.String()
 		mu.Unlock()
 		switch {
-		case strings.Contains(errOut, "aborted"):
+		case hasLogEvent(errOut, "aborted"):
 			if code != exitError {
 				t.Fatalf("two-signal abort: exit %d, want %d (stderr: %s)", code, exitError, errOut)
 			}

@@ -316,8 +316,8 @@ func TestInterruptLeavesCompleteOrAbsentOutput(t *testing.T) {
 		if code != exitInterrupt {
 			t.Fatalf("interrupted run: exit %d, want %d (stderr: %s)", code, exitInterrupt, eb.String())
 		}
-		if !strings.Contains(eb.String(), "stopping at the next safe point") {
-			t.Fatalf("missing graceful-shutdown notice in stderr: %s", eb.String())
+		if !hasLogEvent(eb.String(), "interrupt") {
+			t.Fatalf("missing structured interrupt event in stderr: %s", eb.String())
 		}
 		// Complete-or-absent: the interrupt arrived before the final commit,
 		// so the outputs must be absent — and never torn.

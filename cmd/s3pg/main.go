@@ -110,12 +110,15 @@ func signalContext(stderr io.Writer) (context.Context, func()) {
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
+		// Signal notices are structured JSON events so the subprocess tests
+		// (and operators' log pipelines) match on fields, not prose.
+		logger := obs.NewLogger(stderr, "s3pg")
 		s := <-ch
 		interrupted.Store(true)
-		fmt.Fprintf(stderr, "s3pg: received %v: stopping at the next safe point (send again to abort)\n", s)
+		logger.Warn("interrupt", "signal", s.String(), "action", "stopping at next safe point")
 		cancel()
 		<-ch
-		fmt.Fprintln(stderr, "s3pg: aborted")
+		logger.Error("aborted", "signal", s.String())
 		os.Exit(exitError)
 	}()
 	return ctx, func() { signal.Stop(ch); cancel() }
@@ -218,15 +221,17 @@ func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
 
 // obsFlags carries the observability options shared by every subcommand.
 type obsFlags struct {
-	metrics string
-	trace   bool
-	pprof   string
+	metrics   string
+	trace     bool
+	traceFile string
+	pprof     string
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	o := &obsFlags{}
 	fs.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot as JSON to `file` (- for stdout)")
 	fs.BoolVar(&o.trace, "trace", false, "print the per-phase span tree to stderr")
+	fs.StringVar(&o.traceFile, "trace-file", "", "append the span tree as JSONL records to `file`")
 	fs.StringVar(&o.pprof, "pprof", "", "write cpu.pprof and heap.pprof profiles into `dir`")
 	return o
 }
@@ -247,7 +252,7 @@ func (o *obsFlags) begin(name string, stdout, stderr io.Writer) (*obs.Span, func
 		stop = obs.EnvProfiles()
 	}
 	var span *obs.Span
-	if o.trace || o.metrics != "" {
+	if o.trace || o.traceFile != "" || o.metrics != "" {
 		span = obs.NewSpan(name)
 	}
 	finish := func() error {
@@ -258,6 +263,19 @@ func (o *obsFlags) begin(name string, stdout, stderr io.Writer) (*obs.Span, func
 		if o.trace {
 			if err := span.WriteTree(stderr); err != nil {
 				return err
+			}
+		}
+		if o.traceFile != "" {
+			sink, err := obs.CreateJSONL(o.traceFile)
+			if err != nil {
+				return err
+			}
+			werr := sink.WriteSpanTree(span.Record())
+			if cerr := sink.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
 			}
 		}
 		if o.metrics == "" {

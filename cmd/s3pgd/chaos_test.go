@@ -18,6 +18,7 @@ import (
 
 	"github.com/s3pg/s3pg/internal/datagen"
 	"github.com/s3pg/s3pg/internal/jobs"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/shapeex"
@@ -326,6 +327,93 @@ func (d *daemon) assertOutputsMatchBaseline(t *testing.T, ids []string) {
 	}
 }
 
+// scrapePrometheus pulls /metrics in the text exposition format and gates it
+// through the conformance linter — an unparseable exposition is a test
+// failure, not something a production Prometheus gets to discover.
+func (d *daemon) scrapePrometheus(t *testing.T) string {
+	t.Helper()
+	req, err := http.NewRequest("GET", d.url("/metrics"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("metrics scrape: %v (log: %s)", err, d.logPath)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics scrape: %d %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("prometheus scrape content type %q", ct)
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(raw)); err != nil {
+		t.Errorf("%v\nexposition:\n%s", err, raw)
+	}
+	for _, name := range []string{"s3pgd_http_request_seconds", "s3pgd_job_queue_wait_seconds", "s3pgd_build_info"} {
+		if !strings.Contains(string(raw), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	return string(raw)
+}
+
+// assertCompleteTimeline checks a finished job's lifecycle trace: the
+// spool→queued→running→…→commit→done phases all present, in an order that
+// starts at spool and ends at done, with non-decreasing timestamps — across
+// restarts included, since the timeline rides in the manifest.
+func assertCompleteTimeline(t *testing.T, j jobs.Job) {
+	t.Helper()
+	if len(j.Timeline) == 0 {
+		t.Errorf("job %s: empty timeline", j.ID)
+		return
+	}
+	seen := map[string]bool{}
+	for i, ev := range j.Timeline {
+		seen[ev.Phase] = true
+		if i > 0 && ev.At.Before(j.Timeline[i-1].At) {
+			t.Errorf("job %s: timeline not monotone: %s@%s after %s@%s",
+				j.ID, ev.Phase, ev.At.Format(time.RFC3339Nano),
+				j.Timeline[i-1].Phase, j.Timeline[i-1].At.Format(time.RFC3339Nano))
+		}
+	}
+	for _, phase := range []string{jobs.PhaseSpool, jobs.PhaseQueued, jobs.PhaseRunning, jobs.PhaseCommit, jobs.PhaseDone} {
+		if !seen[phase] {
+			t.Errorf("job %s: timeline missing phase %s: %+v", j.ID, phase, j.Timeline)
+		}
+	}
+	if first := j.Timeline[0].Phase; first != jobs.PhaseSpool {
+		t.Errorf("job %s: timeline starts with %s, want %s", j.ID, first, jobs.PhaseSpool)
+	}
+	if last := j.Timeline[len(j.Timeline)-1].Phase; last != jobs.PhaseDone {
+		t.Errorf("job %s: timeline ends with %s, want %s", j.ID, last, jobs.PhaseDone)
+	}
+}
+
+// logHasEvent reports whether a daemon log (JSONL) contains a structured
+// record with the given msg field.
+func logHasEvent(t *testing.T, path, msg string) bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		var rec struct {
+			Msg string `json:"msg"`
+		}
+		if json.Unmarshal([]byte(line), &rec) == nil && rec.Msg == msg {
+			return true
+		}
+	}
+	return false
+}
+
 // assertNoTempLitter walks the spool for abandoned atomic-commit temp files.
 func assertNoTempLitter(t *testing.T, spool string) {
 	t.Helper()
@@ -399,6 +487,9 @@ func TestChaosMatrix(t *testing.T) {
 				for i := 0; i < jobsPerCell; i++ {
 					ids = append(ids, d.submit(t).ID)
 				}
+				// Scrape Prometheus mid-run, with jobs in flight and faults
+				// active: the exposition must stay parseable under chaos.
+				d.scrapePrometheus(t)
 				// The signal lands mid-flight: jobs checkpoint every 64
 				// statements across ~28 chunks, so work is in progress now.
 				if err := d.cmd.Process.Signal(sc.sig); err != nil {
@@ -429,6 +520,9 @@ func TestChaosMatrix(t *testing.T) {
 					if got := readExitReason(t, d); got != "drained" {
 						t.Fatalf("exit reason %q, want drained (log: %s)", got, d.logPath)
 					}
+					if !logHasEvent(t, d.logPath, "drained") {
+						t.Errorf("daemon log missing structured drained event (log: %s)", d.logPath)
+					}
 					// A clean drain aborts in-flight commits properly: no
 					// temp litter anywhere in the spool.
 					assertNoTempLitter(t, spool)
@@ -442,8 +536,14 @@ func TestChaosMatrix(t *testing.T) {
 				// chunking: every accepted job must be known and complete
 				// with byte-identical outputs.
 				d2 := startDaemon(t, spool, "phase2", fc.env)
-				d2.waitAllDone(t, ids)
+				finished := d2.waitAllDone(t, ids)
+				// Every accepted job — SIGKILL-resumed ones included — must
+				// carry a complete, monotone lifecycle timeline.
+				for _, j := range finished {
+					assertCompleteTimeline(t, j)
+				}
 				d2.assertOutputsMatchBaseline(t, ids)
+				d2.scrapePrometheus(t)
 
 				// The restarted daemon is healthy and drains cleanly too.
 				if code, raw, err := d2.get("/readyz"); err != nil || code != http.StatusOK {
@@ -494,6 +594,9 @@ func TestDaemonSecondSignalAborts(t *testing.T) {
 	if got := readExitReason(t, d); got != "aborted" {
 		t.Fatalf("exit reason %q, want aborted (log: %s)", got, d.logPath)
 	}
+	if !logHasEvent(t, d.logPath, "aborted") {
+		t.Errorf("daemon log missing structured aborted event (log: %s)", d.logPath)
+	}
 
 	// The accepted job survives the abort and completes on restart.
 	d2 := startDaemon(t, spool, "phase2", nil)
@@ -504,6 +607,84 @@ func TestDaemonSecondSignalAborts(t *testing.T) {
 	}
 	if code := d2.wait(); code != 0 {
 		t.Fatalf("final drain exit %d", code)
+	}
+}
+
+// TestPprofGate: /debug/pprof/ serves only when the daemon opted in with
+// -pprof-http; the default daemon keeps the profiling surface closed.
+func TestPprofGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	spool := filepath.Join(t.TempDir(), "spool")
+	d := startDaemon(t, spool, "nopprof", nil)
+	if code, _, err := d.get("/debug/pprof/"); err != nil || code != http.StatusNotFound {
+		t.Errorf("pprof index without -pprof-http: %d %v, want 404", code, err)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	d.wait()
+
+	d2 := startDaemon(t, filepath.Join(t.TempDir(), "spool2"), "pprof", nil, "-pprof-http")
+	code, raw, err := d2.get("/debug/pprof/")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("pprof index with -pprof-http: %d %v", code, err)
+	}
+	if !bytes.Contains(raw, []byte("profile")) {
+		t.Errorf("pprof index unexpected body: %.200s", raw)
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	d2.wait()
+}
+
+// TestTraceFileJSONL: with -trace-file the daemon appends one JSONL record
+// per lifecycle transition, and one completed job yields the full
+// spool→…→done phase sequence with the job's id on every record.
+func TestTraceFileJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	spool := filepath.Join(t.TempDir(), "spool")
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	d := startDaemon(t, spool, "trace", nil, "-trace-file", tracePath)
+	id := d.submit(t).ID
+	d.waitAllDone(t, []string{id})
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != 0 {
+		t.Fatalf("drain exit %d (log: %s)", code, d.logPath)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			JobID string `json:"job_id"`
+			Phase string `json:"phase"`
+			At    string `json:"at"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line not JSON: %q: %v", line, err)
+		}
+		if rec.JobID != id {
+			t.Errorf("trace record for unknown job %q", rec.JobID)
+		}
+		if rec.At == "" {
+			t.Errorf("trace record without timestamp: %s", line)
+		}
+		phases[rec.Phase] = true
+	}
+	for _, phase := range []string{jobs.PhaseSpool, jobs.PhaseQueued, jobs.PhaseRunning, jobs.PhaseCommit, jobs.PhaseDone} {
+		if !phases[phase] {
+			t.Errorf("trace file missing phase %s:\n%s", phase, raw)
+		}
 	}
 }
 

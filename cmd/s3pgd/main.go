@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,6 +29,10 @@ import (
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/server"
 )
+
+// version is stamped into s3pgd_build_info (override with
+// -ldflags "-X main.version=...").
+var version = "dev"
 
 // Exit codes, aligned with cmd/s3pg where they overlap.
 const (
@@ -71,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lameduck     = fs.Duration("lameduck", 0, "`duration` to keep serving (with /readyz failing) before the drain starts")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "`duration` to wait for in-flight jobs to checkpoint on shutdown")
 		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body `bytes`")
+		pprofHTTP    = fs.Bool("pprof-http", false, "mount /debug/pprof/* profiling handlers (off by default)")
+		traceFile    = fs.String("trace-file", "", "append job lifecycle phase events to this JSONL `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -80,9 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return exitUsage
 	}
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(stderr, "s3pgd: %s %s\n", time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, a...))
-	}
+	logger := obs.NewLogger(obs.NewLockedWriter(stderr), "s3pgd")
 
 	commitFS := ckpt.FS(ckpt.OSFS)
 	if spec := os.Getenv(faultFSEnv); spec != "" {
@@ -92,10 +97,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitUsage
 		}
 		commitFS = injected
-		logf("fault injection active: %s=%s", faultFSEnv, spec)
+		logger.Info("fault_injection_active", "env", faultFSEnv, "spec", spec)
 	}
 	retry := faultio.DefaultRetryPolicy
 	retry.OnRetry = func(attempt int, err error) { cCommitRetries.Inc() }
+
+	var trace *obs.JSONL
+	if *traceFile != "" {
+		var err error
+		if trace, err = obs.CreateJSONL(*traceFile); err != nil {
+			logger.Error("trace_file_failed", "path", *traceFile, "error", err)
+			return exitError
+		}
+		defer trace.Close()
+	}
 
 	mgr, err := jobs.Open(jobs.Config{
 		Dir:         *spool,
@@ -107,17 +122,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxAttempts: *maxAttempts,
 		FS:          commitFS,
 		Retry:       retry,
-		Logf:        logf,
+		Log:         logger.With("component", "jobs"),
+		Trace:       trace,
 	})
 	if err != nil {
-		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		logger.Error("open_spool_failed", "spool", *spool, "error", err)
 		return exitError
 	}
 
-	srv := server.New(server.Config{Manager: mgr, MaxBodyBytes: *maxBody, Logf: logf})
+	srv := server.New(server.Config{
+		Manager:      mgr,
+		MaxBodyBytes: *maxBody,
+		Log:          logger.With("component", "server"),
+		Version:      version,
+		EnablePprof:  *pprofHTTP,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		logger.Error("listen_failed", "addr", *addr, "error", err)
 		return exitError
 	}
 	if *addrFile != "" {
@@ -126,24 +148,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			_, werr := fmt.Fprintln(w, ln.Addr().String())
 			return werr
 		}); err != nil {
-			fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+			logger.Error("addr_file_failed", "path", *addrFile, "error", err)
 			return exitError
 		}
 	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := &http.Server{
+		Handler: srv,
+		// Route the net/http server's own complaints (TLS handshake noise,
+		// panics in handlers) onto the same structured stream.
+		ErrorLog: slog.NewLogLogger(logger.With("component", "http").Handler(), slog.LevelWarn),
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	logf("serving on %s (spool %s, %d workers, queue depth %d)", ln.Addr(), *spool, *workers, *queueDepth)
+	logger.Info("serving", "addr", ln.Addr().String(), "spool", *spool,
+		"workers", *workers, "queue_depth", *queueDepth, "pprof", *pprofHTTP, "version", version)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(stderr, "s3pgd: error: %v\n", err)
+		logger.Error("serve_failed", "error", err)
 		return exitError
 	case s := <-sigs:
-		logf("received %v: draining (send again to abort)", s)
+		logger.Info("draining_on_signal", "signal", s.String())
 	}
 
 	// Second signal anywhere in the drain: abort immediately. The spool's
@@ -155,7 +183,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		close(abort)
 	}()
 	done := make(chan int, 1)
-	go func() { done <- shutdown(srv, httpSrv, mgr, *lameduck, *drainTimeout, logf) }()
+	go func() { done <- shutdown(srv, httpSrv, mgr, *lameduck, *drainTimeout, logger) }()
 	select {
 	case code := <-done:
 		if code == exitOK {
@@ -165,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return code
 	case <-abort:
-		logf("aborted")
+		logger.Warn("aborted")
 		writeExitReason("aborted")
 		return exitError
 	}
@@ -174,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // shutdown is the graceful-drain sequence: fail readiness first (lame-duck
 // window for load balancers), stop the listener, then drain the job manager
 // so every in-flight job checkpoints and requeues durably.
-func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lameduck, drainTimeout time.Duration, logf func(string, ...any)) int {
+func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lameduck, drainTimeout time.Duration, logger *obs.Logger) int {
 	srv.EnterLameDuck()
 	if lameduck > 0 {
 		time.Sleep(lameduck)
@@ -182,13 +210,13 @@ func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lamed
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		logf("listener shutdown: %v", err)
+		logger.Warn("listener_shutdown_failed", "error", err)
 	}
 	if err := mgr.Drain(ctx); err != nil {
-		logf("drain: %v", err)
+		logger.Error("drain_failed", "error", err)
 		return exitError
 	}
-	logf("drained cleanly")
+	logger.Info("drained")
 	return exitOK
 }
 

@@ -50,6 +50,37 @@ const (
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
 
+// Lifecycle phases of a job timeline, in the order a clean run visits them.
+// They mirror the paper's Table 4 phase breakdown at per-job granularity:
+// spool (input persistence), queued (admission / every requeue), running
+// (worker pickup), checkpoint (chunk-boundary saves, coalesced), commit
+// (output files committed), then a terminal done or failed.
+const (
+	PhaseSpool      = "spool"
+	PhaseQueued     = "queued"
+	PhaseRunning    = "running"
+	PhaseCheckpoint = "checkpoint"
+	PhaseCommit     = "commit"
+	PhaseDone       = "done"
+	PhaseFailed     = "failed"
+)
+
+// PhaseEvent is one entry of a job's lifecycle timeline. Consecutive
+// checkpoint events are coalesced in place (At advances, Count accumulates)
+// so a million-chunk job keeps a bounded timeline. Timestamps are
+// non-decreasing along the timeline, across restarts included, because the
+// timeline is persisted in the manifest and only ever appended to.
+type PhaseEvent struct {
+	Phase string    `json:"phase"`
+	At    time.Time `json:"at"`
+	// Count is the number of coalesced occurrences (checkpoint events only;
+	// 0 means 1).
+	Count int `json:"count,omitempty"`
+	// Note qualifies a transition: "recovered" on a restart-requeue, "drain"
+	// or "retry" on a live requeue.
+	Note string `json:"note,omitempty"`
+}
+
 // Spec is the client-provided description of one transformation request.
 type Spec struct {
 	// Mode is "parsimonious" (default when empty) or "nonparsimonious".
@@ -89,6 +120,16 @@ type Job struct {
 	// Outputs lists the committed result files (relative to the job's spool
 	// directory) once the job is done.
 	Outputs []string `json:"outputs,omitempty"`
+
+	// Timeline is the job's lifecycle trace (see PhaseEvent). It is part of
+	// the manifest, so it survives restarts and GET /jobs/{id} can always
+	// show where a job spent its time.
+	Timeline []PhaseEvent `json:"timeline,omitempty"`
+
+	// enqueuedAt is the in-memory timestamp of the last enqueue, feeding the
+	// queue-wait histogram at pickup. Not persisted: after a restart the wait
+	// is measured from recovery, not from the original acceptance.
+	enqueuedAt time.Time
 }
 
 // Spool-relative file names of a job directory.

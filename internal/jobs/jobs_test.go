@@ -17,6 +17,7 @@ import (
 	"github.com/s3pg/s3pg/internal/ckpt"
 	"github.com/s3pg/s3pg/internal/datagen"
 	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/shapeex"
@@ -52,6 +53,16 @@ var quickRetry = faultio.RetryPolicy{
 	Seed:        1,
 }
 
+// tlogWriter routes structured log lines into the test log.
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *obs.Logger { return obs.NewLogger(tlogWriter{t}, "test") }
+
 func testConfig(t *testing.T) Config {
 	t.Helper()
 	return Config{
@@ -59,7 +70,7 @@ func testConfig(t *testing.T) Config {
 		ChunkSize: 64, // small chunks → every job crosses many checkpoints
 		Workers:   2,
 		Retry:     quickRetry,
-		Logf:      t.Logf,
+		Log:       testLogger(t),
 	}
 }
 
@@ -414,7 +425,7 @@ func TestRecoverRunningJobOnOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m2 := mustOpen(t, Config{Dir: cfg.Dir, ChunkSize: 64, Retry: quickRetry, Logf: t.Logf})
+	m2 := mustOpen(t, Config{Dir: cfg.Dir, ChunkSize: 64, Retry: quickRetry, Log: testLogger(t)})
 	if _, err := m2.Get("j999999-deadbeef"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatal("torn spool directory was recovered as a job")
 	}

@@ -54,6 +54,13 @@ var (
 	cCommitRetry  = obs.Default.Counter("jobs.commit.retries")
 	gQueued       = obs.Default.Gauge("jobs.queued")
 	gRunning      = obs.Default.Gauge("jobs.running")
+
+	// Latency distributions (seconds): time spent waiting in the queue
+	// before a worker pickup, whole-attempt run time, and per-checkpoint
+	// commit time. Exposed as s3pgd_job_*_seconds in Prometheus format.
+	hQueueWait = obs.Default.Histogram("job.queue_wait.seconds")
+	hRunTime   = obs.Default.Histogram("job.run.seconds")
+	hCkptTime  = obs.Default.Histogram("job.checkpoint.seconds")
 )
 
 // Config parameterizes a Manager. The zero value of every field resolves to
@@ -89,8 +96,11 @@ type Config struct {
 	// breaker (see Breaker). Defaults 5 and 5s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
-	// Logf receives operational log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records. Nil discards them.
+	Log *obs.Logger
+	// Trace, when non-nil, receives one JSONL record per job lifecycle
+	// phase transition (the -trace-file sink).
+	Trace *obs.JSONL
 	// BeforeChunk, when non-nil, runs before each chunk of each job — a
 	// test seam for panic isolation and scheduling tests.
 	BeforeChunk func(jobID string, chunk int)
@@ -174,11 +184,11 @@ func Open(cfg Config) (*Manager, error) {
 		j, err := loadManifest(dir)
 		if err != nil {
 			// Never-acknowledged (or foreign) directory: not a lost job.
-			m.logf("jobs: spool entry %s skipped: %v", e.Name(), err)
+			cfg.Log.Warn("spool_entry_skipped", "entry", e.Name(), "error", err)
 			continue
 		}
 		if j.ID != e.Name() {
-			m.logf("jobs: spool entry %s has mismatched manifest id %q, skipped", e.Name(), j.ID)
+			cfg.Log.Warn("spool_manifest_mismatch", "entry", e.Name(), "manifest_id", j.ID)
 			continue
 		}
 		m.jobs[j.ID] = j
@@ -194,14 +204,17 @@ func Open(cfg Config) (*Manager, error) {
 	// Oldest first, so recovery preserves admission order.
 	sort.Slice(recovered, func(i, k int) bool { return recovered[i].Accepted.Before(recovered[k].Accepted) })
 	for _, j := range recovered {
+		j.enqueuedAt = time.Now()
+		ev := m.recordPhase(j, PhaseQueued, "recovered")
 		m.pending = append(m.pending, j.ID)
 		m.persistManifest(j) // records the running→queued transition
+		m.trace(j.ID, ev)
 		cRecovered.Inc()
 	}
 	m.seq = int64(len(m.jobs))
 	m.updateGauges()
 	if n := len(recovered); n > 0 {
-		m.logf("jobs: recovered %d pending job(s) from spool %s", n, cfg.Dir)
+		cfg.Log.Info("jobs_recovered", "count", n, "spool", cfg.Dir)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -210,9 +223,56 @@ func Open(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-func (m *Manager) logf(format string, args ...any) {
-	if m.cfg.Logf != nil {
-		m.cfg.Logf(format, args...)
+// recordPhase appends a phase event to a job's timeline and returns it.
+// Callers must hold m.mu (or own the job exclusively, as Submit and Open
+// do). Consecutive checkpoint events coalesce in place so timelines stay
+// bounded on long runs.
+func (m *Manager) recordPhase(j *Job, phase, note string) PhaseEvent {
+	now := time.Now().UTC()
+	if phase == PhaseCheckpoint && len(j.Timeline) > 0 {
+		last := &j.Timeline[len(j.Timeline)-1]
+		if last.Phase == PhaseCheckpoint {
+			last.At = now
+			last.Count++
+			return *last
+		}
+	}
+	ev := PhaseEvent{Phase: phase, At: now, Note: note}
+	if phase == PhaseCheckpoint {
+		ev.Count = 1
+	}
+	j.Timeline = append(j.Timeline, ev)
+	return ev
+}
+
+// snapshotJob deep-copies a job record (timeline and outputs included) so
+// the copy can be read or encoded outside m.mu while workers keep mutating
+// the original — checkpoint coalescing edits timeline entries in place, so
+// a shared backing array would be a data race. Callers must hold m.mu.
+func snapshotJob(j *Job) Job {
+	c := *j
+	if len(j.Timeline) > 0 {
+		c.Timeline = append([]PhaseEvent(nil), j.Timeline...)
+	}
+	if len(j.Outputs) > 0 {
+		c.Outputs = append([]string(nil), j.Outputs...)
+	}
+	return c
+}
+
+// trace emits one timeline event to the configured JSONL sink.
+func (m *Manager) trace(id string, ev PhaseEvent) {
+	if m.cfg.Trace == nil {
+		return
+	}
+	if err := m.cfg.Trace.Write(struct {
+		JobID string    `json:"job_id"`
+		Phase string    `json:"phase"`
+		At    time.Time `json:"at"`
+		Count int       `json:"count,omitempty"`
+		Note  string    `json:"note,omitempty"`
+	}{JobID: id, Phase: ev.Phase, At: ev.At, Count: ev.Count, Note: ev.Note}); err != nil {
+		m.cfg.Log.Warn("trace_write_failed", "job_id", id, "error", err)
 	}
 }
 
@@ -227,9 +287,9 @@ func (m *Manager) sweepTempFiles(dir string) {
 	}
 	for _, p := range matches {
 		if err := os.Remove(p); err != nil {
-			m.logf("jobs: temp sweep %s: %v", p, err)
+			m.cfg.Log.Warn("temp_sweep_failed", "path", p, "error", err)
 		} else {
-			m.logf("jobs: removed abandoned temp file %s", p)
+			m.cfg.Log.Info("temp_file_removed", "path", p)
 		}
 	}
 }
@@ -368,9 +428,12 @@ func (m *Manager) Submit(spec Spec, shapes, data string) (Job, error) {
 	if err := writeString(dataFile, data); err != nil {
 		return Job{}, err
 	}
-	j := &Job{ID: id, Spec: spec, State: StateQueued, Accepted: time.Now().UTC()}
+	now := time.Now()
+	j := &Job{ID: id, Spec: spec, State: StateQueued, Accepted: now.UTC(), enqueuedAt: now}
+	spoolEv := m.recordPhase(j, PhaseSpool, "")
+	queueEv := m.recordPhase(j, PhaseQueued, "")
 	// The manifest commit is the acknowledgment point: after it, the job is
-	// recoverable from the spool alone.
+	// recoverable from the spool alone — timeline included.
 	if err := m.commitManifest(m.ctx, j); err != nil {
 		return Job{}, err
 	}
@@ -381,11 +444,13 @@ func (m *Manager) Submit(spec Spec, shapes, data string) (Job, error) {
 	m.admitting--
 	admitted = true
 	m.updateGauges()
-	snap := *j
+	snap := snapshotJob(j)
 	m.mu.Unlock()
 	m.cond.Signal()
 	cAccepted.Inc()
-	m.logf("jobs: accepted %s (mode=%s lenient=%v, %d bytes data)", id, spec.Mode, spec.Lenient, len(data))
+	m.trace(id, spoolEv)
+	m.trace(id, queueEv)
+	m.cfg.Log.Info("job_accepted", "job_id", id, "mode", spec.Mode, "lenient", spec.Lenient, "data_bytes", len(data))
 	return snap, nil
 }
 
@@ -397,7 +462,7 @@ func (m *Manager) Get(id string) (Job, error) {
 	if !ok {
 		return Job{}, ErrUnknownJob
 	}
-	return *j, nil
+	return snapshotJob(j), nil
 }
 
 // List returns snapshots of every known job, oldest first.
@@ -406,7 +471,7 @@ func (m *Manager) List() []Job {
 	defer m.mu.Unlock()
 	out := make([]Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
-		out = append(out, *j)
+		out = append(out, snapshotJob(j))
 	}
 	sort.Slice(out, func(i, k int) bool {
 		if !out[i].Accepted.Equal(out[k].Accepted) {
@@ -450,7 +515,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.draining = true
 	m.mu.Unlock()
 	if !already {
-		m.logf("jobs: draining")
+		m.cfg.Log.Info("draining")
 	}
 	m.cond.Broadcast()
 	m.cancel(ErrDraining)
@@ -480,7 +545,7 @@ func (m *Manager) commit(ctx context.Context, path string, fn func(io.Writer) er
 	inner := p.OnRetry
 	p.OnRetry = func(attempt int, err error) {
 		cCommitRetry.Inc()
-		m.logf("jobs: commit %s: attempt %d failed, retrying: %v", filepath.Base(path), attempt, err)
+		m.cfg.Log.Warn("commit_retry", "file", filepath.Base(path), "attempt", attempt, "error", err)
 		if inner != nil {
 			inner(attempt, err)
 		}
@@ -495,7 +560,7 @@ func (m *Manager) commit(ctx context.Context, path string, fn func(io.Writer) er
 // commitManifest persists a job snapshot as its manifest.
 func (m *Manager) commitManifest(ctx context.Context, j *Job) error {
 	m.mu.Lock()
-	snap := *j
+	snap := snapshotJob(j)
 	m.mu.Unlock()
 	return m.commit(ctx, filepath.Join(m.jobDir(snap.ID), manifestFile), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -509,7 +574,7 @@ func (m *Manager) commitManifest(ctx context.Context, j *Job) error {
 // the recovery record); only the Submit-time commit is load-bearing.
 func (m *Manager) persistManifest(j *Job) {
 	if err := m.commitManifest(context.Background(), j); err != nil {
-		m.logf("jobs: manifest update for %s failed: %v", j.ID, err)
+		m.cfg.Log.Warn("manifest_update_failed", "job_id", j.ID, "error", err)
 	}
 }
 
@@ -531,9 +596,16 @@ func (m *Manager) worker() {
 		j.State = StateRunning
 		j.Started = time.Now().UTC()
 		j.Attempts++
+		if !j.enqueuedAt.IsZero() {
+			hQueueWait.ObserveSince(j.enqueuedAt)
+		}
+		ev := m.recordPhase(j, PhaseRunning, "")
+		attempt := j.Attempts
 		m.running++
 		m.updateGauges()
 		m.mu.Unlock()
+		m.trace(id, ev)
+		m.cfg.Log.Info("job_running", "job_id", id, "attempt", attempt)
 		m.persistManifest(j)
 		m.runJob(id)
 		m.mu.Lock()
@@ -549,7 +621,7 @@ func (m *Manager) runJob(id string) {
 	defer func() {
 		if r := recover(); r != nil {
 			cPanics.Inc()
-			m.logf("jobs: %s panicked: %v", id, r)
+			m.cfg.Log.Error("job_panic", "job_id", id, "panic", fmt.Sprint(r))
 			m.fail(id, fmt.Errorf("internal panic: %v\n%s", r, debug.Stack()))
 		}
 	}()
@@ -633,7 +705,7 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 		m.mu.Lock()
 		m.jobs[id].Resumes++
 		m.mu.Unlock()
-		m.logf("jobs: %s resuming at byte %d (%d statements done)", id, cp.ByteOffset, cp.Statements)
+		m.cfg.Log.Info("job_resumed", "job_id", id, "byte_offset", cp.ByteOffset, "statements", cp.Statements)
 	}
 	if tr == nil {
 		shapesSrc, err := os.ReadFile(filepath.Join(dir, shapesFile))
@@ -677,7 +749,16 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 			SchemaDDL: pst.SchemaDDL, NodesCSV: pst.NodesCSV, EdgesCSV: pst.EdgesCSV,
 			FallbackRoutes: pst.FallbackRoutes,
 		}
-		return m.commit(ctx, ckptPath, c.Encode)
+		start := time.Now()
+		if err := m.commit(ctx, ckptPath, c.Encode); err != nil {
+			return err
+		}
+		hCkptTime.ObserveSince(start)
+		m.mu.Lock()
+		ev := m.recordPhase(m.jobs[id], PhaseCheckpoint, "")
+		m.mu.Unlock()
+		m.trace(id, ev)
+		return nil
 	}
 	// requeueFromBoundary: the in-memory state at the last clean boundary is
 	// checkpointable; save it (using a fresh context — the job context is
@@ -687,7 +768,7 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 	requeueFromBoundary := func(clean bool) error {
 		if clean {
 			if err := saveCkpt(context.Background()); err != nil {
-				m.logf("jobs: %s drain checkpoint failed (resuming from previous): %v", id, err)
+				m.cfg.Log.Warn("drain_checkpoint_failed", "job_id", id, "error", err)
 			}
 		}
 		m.requeue(id, true)
@@ -776,7 +857,7 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 	// a finished job. Removal happens before the done-transition: a crash in
 	// between just reruns the job from scratch, deterministically.
 	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		m.logf("jobs: %s: checkpoint cleanup: %v", id, err)
+		m.cfg.Log.Warn("checkpoint_cleanup_failed", "job_id", id, "error", err)
 	}
 	m.mu.Lock()
 	j := m.jobs[id]
@@ -785,9 +866,12 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 	j.Nodes, j.Edges = int64(store.NumNodes()), int64(store.NumEdges())
 	j.Degraded = tr.DegradedCount()
 	j.Outputs = append([]string(nil), OutputFiles...)
-	done := *j
+	commitEv := m.recordPhase(j, PhaseCommit, "")
+	runFor := j.Finished.Sub(j.Started)
+	done := snapshotJob(j)
 	done.State = StateDone
 	m.mu.Unlock()
+	m.trace(id, commitEv)
 	if err := m.commit(ctx, filepath.Join(m.jobDir(id), manifestFile), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -799,25 +883,40 @@ func (m *Manager) transform(ctx context.Context, id string, spec Spec) error {
 	}
 	m.mu.Lock()
 	j.State = StateDone
+	doneEv := m.recordPhase(j, PhaseDone, "")
 	m.mu.Unlock()
+	m.trace(id, doneEv)
+	hRunTime.Observe(runFor.Seconds())
 	cCompleted.Inc()
-	m.logf("jobs: %s done (%d statements → %d nodes, %d edges)", id, bound.stmts, store.NumNodes(), store.NumEdges())
+	m.cfg.Log.Info("job_done", "job_id", id,
+		"statements", bound.stmts, "nodes", store.NumNodes(), "edges", store.NumEdges(),
+		"run_seconds", runFor.Seconds())
+	// Advisory rewrite so the manifest carries the done event too; the
+	// load-bearing done-transition is the commit above.
+	m.persistManifest(j)
 	return nil
 }
 
 // requeue puts a job back on the queue in StateQueued. free drains do not
 // consume the attempt budget.
 func (m *Manager) requeue(id string, free bool) {
+	note := "retry"
+	if free {
+		note = "drain"
+	}
 	m.mu.Lock()
 	j := m.jobs[id]
 	j.State = StateQueued
+	j.enqueuedAt = time.Now()
 	if free && j.Attempts > 0 {
 		j.Attempts--
 	}
+	ev := m.recordPhase(j, PhaseQueued, note)
 	m.pending = append(m.pending, id)
 	m.updateGauges()
 	m.mu.Unlock()
 	cRequeued.Inc()
+	m.trace(id, ev)
 	m.persistManifest(j)
 	m.cond.Signal()
 }
@@ -832,7 +931,7 @@ func (m *Manager) requeueOrFail(id string, err error) error {
 	if attempts >= m.cfg.MaxAttempts {
 		return fmt.Errorf("giving up after %d attempts: %w", attempts, err)
 	}
-	m.logf("jobs: %s requeued after commit failure (attempt %d/%d): %v", id, attempts, m.cfg.MaxAttempts, err)
+	m.cfg.Log.Warn("job_requeued", "job_id", id, "attempt", attempts, "max_attempts", m.cfg.MaxAttempts, "error", err)
 	m.requeue(id, false)
 	return errRequeue
 }
@@ -844,8 +943,17 @@ func (m *Manager) fail(id string, err error) {
 	j.State = StateFailed
 	j.Error = err.Error()
 	j.Finished = time.Now().UTC()
+	ev := m.recordPhase(j, PhaseFailed, "")
+	var runFor time.Duration
+	if !j.Started.IsZero() {
+		runFor = j.Finished.Sub(j.Started)
+	}
 	m.mu.Unlock()
 	cFailed.Inc()
-	m.logf("jobs: %s failed: %v", id, err)
+	if runFor > 0 {
+		hRunTime.Observe(runFor.Seconds())
+	}
+	m.trace(id, ev)
+	m.cfg.Log.Error("job_failed", "job_id", id, "error", err)
 	m.persistManifest(j)
 }

@@ -1,0 +1,170 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timelinePhases extracts the phase sequence of a job's timeline.
+func timelinePhases(j Job) []string {
+	out := make([]string, len(j.Timeline))
+	for i, ev := range j.Timeline {
+		out[i] = ev.Phase
+	}
+	return out
+}
+
+func assertMonotone(t *testing.T, j Job) {
+	t.Helper()
+	for i := 1; i < len(j.Timeline); i++ {
+		if j.Timeline[i].At.Before(j.Timeline[i-1].At) {
+			t.Fatalf("timeline not monotone at %d: %v", i, timelinePhases(j))
+		}
+	}
+}
+
+func TestTimelineCoversLifecycle(t *testing.T) {
+	shapes, data := testDataset()
+	m := mustOpen(t, testConfig(t))
+	j, err := m.Submit(Spec{}, shapes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, j.ID)
+	if done.State != StateDone {
+		t.Fatalf("job: %s (%s)", done.State, done.Error)
+	}
+	phases := timelinePhases(done)
+	want := []string{PhaseSpool, PhaseQueued, PhaseRunning, PhaseCheckpoint, PhaseCommit, PhaseDone}
+	got := strings.Join(phases, ",")
+	if got != strings.Join(want, ",") {
+		t.Fatalf("timeline %v, want %v", phases, want)
+	}
+	assertMonotone(t, done)
+	// The small test chunk size forces many checkpoints; coalescing must have
+	// folded them into the single checkpoint event with an accumulated count.
+	for _, ev := range done.Timeline {
+		if ev.Phase == PhaseCheckpoint && ev.Count < 2 {
+			t.Fatalf("checkpoint event not coalesced: count=%d", ev.Count)
+		}
+	}
+}
+
+func TestTimelineSurvivesManifestRoundTrip(t *testing.T) {
+	shapes, data := testDataset()
+	m := mustOpen(t, testConfig(t))
+	j, err := m.Submit(Spec{}, shapes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, j.ID)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the same spool: the timeline is part of the manifest, so the
+	// recovered record must carry the full pre-restart history.
+	cfg := testConfig(t)
+	cfg.Dir = m.cfg.Dir
+	m2 := mustOpen(t, cfg)
+	got, err := m2.Get(done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Timeline) < len(done.Timeline) {
+		t.Fatalf("timeline shrank across restart: %v vs %v", timelinePhases(got), timelinePhases(done))
+	}
+	gp := strings.Join(timelinePhases(got), ",")
+	if !strings.HasPrefix(gp, strings.Join(timelinePhases(done), ",")) {
+		t.Fatalf("recovered timeline %v does not extend %v", timelinePhases(got), timelinePhases(done))
+	}
+	assertMonotone(t, got)
+}
+
+func TestTimelineRecordsDrainRequeue(t *testing.T) {
+	shapes, data := testDataset()
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	started := make(chan string, 16)
+	block := make(chan struct{})
+	var once bool
+	cfg.BeforeChunk = func(id string, chunk int) {
+		if chunk == 0 && !once {
+			once = true
+			started <- id
+			<-block
+		}
+	}
+	m := mustOpen(t, cfg)
+	j, err := m.Submit(Spec{}, shapes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	// Drain while the job is mid-run: it must requeue (queued event with a
+	// drain note) rather than fail.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	close(block)
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMonotone(t, got)
+	phases := timelinePhases(got)
+	sawRunning := false
+	for _, p := range phases {
+		if p == PhaseRunning {
+			sawRunning = true
+		}
+	}
+	if !sawRunning {
+		t.Fatalf("timeline %v missing running phase", phases)
+	}
+	// After a drain the job is either terminal (finished before the cancel
+	// landed) or re-queued with the requeue recorded.
+	if !got.State.Terminal() {
+		last := got.Timeline[len(got.Timeline)-1]
+		if last.Phase != PhaseQueued {
+			t.Fatalf("non-terminal drained job ends timeline with %q: %v", last.Phase, phases)
+		}
+		if last.Note == "" {
+			t.Fatal("requeue event carries no note")
+		}
+	}
+}
+
+func TestTimelineJSONShape(t *testing.T) {
+	shapes, data := testDataset()
+	m := mustOpen(t, testConfig(t))
+	j, err := m.Submit(Spec{}, shapes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, j.ID)
+	raw, err := json.Marshal(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"timeline"`)) {
+		t.Fatalf("job JSON missing timeline: %s", raw)
+	}
+	var back Job
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Timeline) != len(done.Timeline) {
+		t.Fatalf("timeline did not round-trip: %d vs %d", len(back.Timeline), len(done.Timeline))
+	}
+}

@@ -75,10 +75,11 @@ func (g *Gauge) Value() int64 {
 // Instruments are created on first use and live for the registry's lifetime;
 // Counter/Gauge/Meter lookups after creation are read-lock only.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	meters   map[string]*Meter
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	meters     map[string]*Meter
+	histograms map[string]*Histogram
 }
 
 // Default is the process-wide registry the pipeline's always-on instruments
@@ -88,9 +89,10 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		meters:   make(map[string]*Meter),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		meters:     make(map[string]*Meter),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -157,15 +159,39 @@ func (r *Registry) Meter(name string) *Meter {
 	return m
 }
 
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram. Names may carry Prometheus-style
+// labels built with LabeledName; the Prometheus exposition groups such
+// series into one metric family.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot captures a point-in-time view of every instrument. Counters and
 // gauges at zero are included so the full instrument inventory is visible.
 // Trace optionally carries a phase-span tree (set by callers that traced a
 // run, e.g. cmd/s3pg -metrics).
 type Snapshot struct {
-	Counters map[string]int64         `json:"counters,omitempty"`
-	Gauges   map[string]int64         `json:"gauges,omitempty"`
-	Meters   map[string]MeterSnapshot `json:"meters,omitempty"`
-	Trace    *SpanRecord              `json:"trace,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Meters     map[string]MeterSnapshot     `json:"meters,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Trace      *SpanRecord                  `json:"trace,omitempty"`
 }
 
 // Snapshot captures the registry's current values. A nil registry yields an
@@ -195,6 +221,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Meters[name] = m.Snapshot()
 		}
 	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
 	return s
 }
 
@@ -218,6 +250,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	for name, m := range s.Meters {
 		lines = append(lines, fmt.Sprintf("meter %s count=%d busy=%s rate=%.0f/s",
 			name, m.Count, FormatDuration(m.Busy()), m.PerSec))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%.6f p50=%.6f p95=%.6f p99=%.6f",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

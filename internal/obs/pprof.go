@@ -3,6 +3,8 @@ package obs
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -50,6 +52,18 @@ func StartProfiles(dir string) (stop func() error, err error) {
 		}
 		return errors.Join(cerr, werr, herr)
 	}, nil
+}
+
+// RegisterPprofHandlers mounts the net/http/pprof handlers under
+// /debug/pprof/ on mux. Importing net/http/pprof registers on
+// http.DefaultServeMux as a side effect; the daemon serves its own mux, so
+// the handlers are attached explicitly — and only when the operator opts in.
+func RegisterPprofHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 }
 
 // EnvProfiles starts profiling when the S3PG_PPROF environment variable

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// HTTP instrumentation: every request gets a correlation ID (inbound
+// X-Request-Id honored, otherwise generated), an access-log record, a sample
+// in the per-route latency histogram, and an in-flight gauge increment. The
+// middleware wraps the whole mux, so route attribution uses the mux's own
+// pattern match — handlers stay uninstrumented.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the correlation ID assigned to the request, or "" when
+// the middleware did not run (direct handler tests).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID returns a 16-hex-char random correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-entropy-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+const maxInboundRequestID = 64
+
+// requestID picks the correlation ID for a request: a sane inbound
+// X-Request-Id propagates (so a caller can stitch its own traces to ours),
+// anything else is replaced.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= maxInboundRequestID {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if !(c == '-' || c == '_' || c == '.' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	return newRequestID()
+}
+
+// statusWriter captures the response status and byte count for the access
+// log without changing the handler-visible API.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// routeLabel resolves the mux pattern that will serve the request, the label
+// the per-route histogram is keyed by. Unmatched requests share one bucket
+// so a scanner can't mint unbounded label values.
+func (s *Server) routeLabel(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
+}
+
+// routeHistogram returns the latency histogram of a route, creating it on
+// first use. Routes are a closed set (mux patterns + "unmatched"), so the
+// label space — and the registry — stays bounded.
+func (s *Server) routeHistogram(route string) *obs.Histogram {
+	return obs.Default.Histogram(obs.LabeledName("http.request.seconds", "route", route))
+}
+
+// instrument is the outermost handler: correlation ID, in-flight gauge,
+// latency histogram, access log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := requestID(r)
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		route := s.routeLabel(r)
+		sw := &statusWriter{ResponseWriter: w}
+		gInflight.Add(1)
+		defer func() {
+			gInflight.Add(-1)
+			elapsed := time.Since(start)
+			s.routeHistogram(route).ObserveDuration(elapsed)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.cfg.Log.Info("http_request",
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_seconds", elapsed.Seconds(),
+			)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

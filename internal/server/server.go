@@ -14,7 +14,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +34,7 @@ var (
 	cReqStatus  = obs.Default.Counter("server.req.status")
 	cReqRejects = obs.Default.Counter("server.req.rejected")
 	gLameDuck   = obs.Default.Gauge("server.lameduck")
+	gInflight   = obs.Default.Gauge("http.inflight")
 )
 
 // Config parameterizes a Server.
@@ -40,16 +43,23 @@ type Config struct {
 	Manager *jobs.Manager
 	// MaxBodyBytes caps the submit payload. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
-	// Logf receives request-level log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured request-level log records. Nil discards them.
+	Log *obs.Logger
 	// RetryAfter is the hint returned with 429/503 responses. 0 means 1s.
 	RetryAfter time.Duration
+	// Version is reported in s3pgd_build_info. Empty means "dev".
+	Version string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: the profile endpoints expose internals and cost CPU).
+	EnablePprof bool
 }
 
 // Server is an http.Handler serving the job API.
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the instrumentation middleware
+	start    time.Time
 	lameduck atomic.Bool
 }
 
@@ -61,7 +71,12 @@ type Server struct {
 //	GET  /jobs/{id}/output/{name}  result file of a done job
 //	GET  /healthz           liveness (200 while the process serves)
 //	GET  /readyz            readiness (503 while draining/shedding)
-//	GET  /metrics           obs counters + queue stats, JSON
+//	GET  /metrics           obs registry + queue stats: JSON by default,
+//	                        Prometheus text format when Accept: text/plain
+//
+// Every route runs behind the instrumentation middleware: request IDs,
+// access logs, per-route latency histograms, in-flight gauge. With
+// Config.EnablePprof the net/http/pprof handlers are mounted too.
 func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
@@ -69,7 +84,10 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
@@ -77,23 +95,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		obs.RegisterPprofHandlers(s.mux)
+	}
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // EnterLameDuck flips /readyz to 503 ahead of the listener shutdown, giving
 // load balancers a window to stop routing here before connections drop.
 func (s *Server) EnterLameDuck() {
 	if !s.lameduck.Swap(true) {
 		gLameDuck.Set(1)
-		s.logf("server: entering lame-duck mode")
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+		s.cfg.Log.Info("lame_duck")
 	}
 }
 
@@ -121,7 +137,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.logf("server: response encode: %v", err)
+		s.cfg.Log.Warn("response_encode_failed", "error", err)
 	}
 }
 
@@ -225,7 +241,7 @@ func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := io.Copy(w, f); err != nil {
-		s.logf("server: streaming %s: %v", path, err)
+		s.cfg.Log.Warn("output_stream_failed", "request_id", RequestID(r.Context()), "path", path, "error", err)
 	}
 }
 
@@ -249,15 +265,48 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ready\n")
 }
 
-// metricsBody combines the obs registry snapshot with queue stats.
+// metricsBody combines the obs registry snapshot with queue stats. Key order
+// is deterministic: encoding/json sorts map keys, and the snapshot's own
+// collections are maps (see TestMetricsJSONDeterministic).
 type metricsBody struct {
-	Jobs    jobs.Stats   `json:"jobs"`
-	Metrics obs.Snapshot `json:"metrics"`
+	Jobs          jobs.Stats   `json:"jobs"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+// wantsPrometheus reports whether the Accept header asks for the text
+// exposition format. JSON stays the default: only an explicit text/plain
+// (or the versioned Prometheus media type) switches.
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		snap := obs.Default.Snapshot()
+		w.Header().Set("Content-Type", obs.PromContentType)
+		err := snap.WritePrometheus(w, "s3pgd",
+			obs.PromSeries{
+				Name: "build_info", Value: 1, Type: "gauge",
+				Help: "Build metadata (value is always 1).",
+				Labels: [][2]string{
+					{"version", s.cfg.Version},
+					{"go_version", runtime.Version()},
+				},
+			},
+			obs.PromSeries{
+				Name: "uptime.seconds", Value: time.Since(s.start).Seconds(), Type: "gauge",
+				Help: "Seconds since the server was constructed.",
+			},
+		)
+		if err != nil {
+			s.cfg.Log.Warn("metrics_write_failed", "error", err)
+		}
+		return
+	}
 	s.writeJSON(w, http.StatusOK, metricsBody{
-		Jobs:    s.cfg.Manager.Stats(),
-		Metrics: obs.Default.Snapshot(),
+		Jobs:          s.cfg.Manager.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Metrics:       obs.Default.Snapshot(),
 	})
 }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/s3pg/s3pg/internal/datagen"
 	"github.com/s3pg/s3pg/internal/jobs"
+	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/shapeex"
@@ -45,14 +46,24 @@ func newTestServer(t *testing.T, mcfg jobs.Config) (*Server, *jobs.Manager) {
 	if mcfg.ChunkSize == 0 {
 		mcfg.ChunkSize = 64
 	}
-	mcfg.Logf = t.Logf
+	mcfg.Log = testLogger(t)
 	mgr, err := jobs.Open(mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { mgr.Close() })
-	return New(Config{Manager: mgr, Logf: t.Logf}), mgr
+	return New(Config{Manager: mgr, Log: testLogger(t)}), mgr
 }
+
+// tlogWriter routes structured log lines into the test log.
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *obs.Logger { return obs.NewLogger(tlogWriter{t}, "test") }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
 	t.Helper()
