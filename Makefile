@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-obs verify fuzz chaos experiments
+.PHONY: build test bench bench-json bench-obs bench-dist verify fuzz chaos dist-chaos experiments
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench-json:
 MAX_OBS_OVERHEAD ?= 0
 bench-obs:
 	$(GO) run ./cmd/benchjson -mode obs -out BENCH_obs.json -reps 5 -max-overhead-pct $(MAX_OBS_OVERHEAD)
+
+# bench-dist times the coordinator/worker distributed transform (real loopback
+# HTTP, real spool writes, dense-remap merge) against the sequential pipeline,
+# writing BENCH_dist.json. Byte-equality of the merged outputs is a hard gate;
+# the speedup number is informational (on one machine the protocol overhead is
+# what is being tracked).
+bench-dist:
+	$(GO) run ./cmd/benchjson -mode dist -out BENCH_dist.json
 
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)
@@ -66,6 +74,19 @@ CHAOS_LOG_DIR ?= $(CURDIR)/chaos-logs
 chaos:
 	S3PGD_CHAOS_LOG_DIR=$(CHAOS_LOG_DIR) \
 		$(GO) test -race -count=1 ./internal/jobs ./internal/server ./cmd/s3pgd
+
+# dist-chaos runs the distributed-transform fault matrix: a coordinator and
+# three worker daemons (one straggler, one with injected FS faults, one
+# healthy) through SIGKILL-a-worker, SIGTERM-and-restart-the-coordinator,
+# lease eviction, and speculative reassignment — asserting every shard
+# completes exactly once and the merged output is byte-identical to the
+# sequential pipeline. The dist package's ledger/merge/registry unit tests
+# ride along under the same race detector. Daemon and coordinator logs land
+# in CHAOS_LOG_DIR for post-mortem.
+dist-chaos:
+	$(GO) test -race -count=1 ./internal/dist
+	S3PGD_CHAOS_LOG_DIR=$(CHAOS_LOG_DIR) \
+		$(GO) test -race -count=1 -run 'TestDist' ./cmd/s3pgd
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,5 +1,5 @@
 // Command benchjson measures the pipeline and emits machine-readable JSON
-// for CI trend tracking and regression gates. It has two modes.
+// for CI trend tracking and regression gates. It has three modes.
 //
 // -mode parallel (the default, BENCH_parallel.json) measures the parallel
 // pipeline's speedup over the sequential path. It generates a seeded
@@ -16,10 +16,20 @@
 // runs alternate within each rep so thermal drift cancels, the best run of
 // each wins, and -max-overhead-pct turns the delta into a gate.
 //
+// -mode dist (BENCH_dist.json) measures the distributed transform: a
+// coordinator fanning shards over loopback HTTP to -dist-workers in-process
+// workers, timed against the sequential single-process pipeline over the same
+// input files. Byte-equality with the sequential outputs is a hard gate —
+// the bench fails if the merged nodes.csv, edges.csv, or schema.ddl differ —
+// while the speedup number is informational only: at bench scales the HTTP
+// round-trips and spool writes dominate, and the mode exists to track that
+// overhead, not to prove distribution wins on one machine.
+//
 // Usage:
 //
-//	benchjson [-mode parallel|obs] [-out FILE] [-scale 0.002] [-reps 3]
+//	benchjson [-mode parallel|obs|dist] [-out FILE] [-scale 0.002] [-reps 3]
 //	          [-min-speedup 0] [-workers 1,2,4] [-max-overhead-pct 0]
+//	          [-dist-workers 3] [-dist-shards 8]
 //
 // With -min-speedup s > 0 (parallel mode) the command exits nonzero when the
 // highest configured worker count's speedup falls below s; with
@@ -36,7 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -44,6 +57,7 @@ import (
 
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/dist"
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pgschema"
 	"github.com/s3pg/s3pg/internal/rio"
@@ -87,6 +101,8 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "parallel mode: fail unless the top worker count reaches this speedup (0 = report only; skipped on <4-CPU machines)")
 	workersSpec := flag.String("workers", "1,2,4", "comma-separated worker `counts` to measure (must include 1; obs mode uses the last)")
 	maxOverhead := flag.Float64("max-overhead-pct", 0, "obs mode: fail when instrumentation costs more than this percent (0 = report only; skipped on <4-CPU machines)")
+	distWorkers := flag.Int("dist-workers", 3, "dist mode: in-process worker `count` behind the coordinator")
+	distShards := flag.Int("dist-shards", 8, "dist mode: shard `count` the coordinator splits the input into")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersSpec)
@@ -104,8 +120,13 @@ func main() {
 			*out = "BENCH_obs.json"
 		}
 		err = runObs(*out, *scale, *reps, *maxOverhead, counts[len(counts)-1])
+	case "dist":
+		if *out == "" {
+			*out = "BENCH_dist.json"
+		}
+		err = runDist(*out, *scale, *reps, *distWorkers, *distShards)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel or obs)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, obs, or dist)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -324,6 +345,162 @@ func runObs(out string, scale float64, reps int, maxOverhead float64, workers in
 		return fmt.Errorf("overhead gate failed: %.2f%% > allowed %.2f%%", rep.OverheadPct, maxOverhead)
 	}
 	return nil
+}
+
+// DistReport is the BENCH_dist.json document: the distributed transform's
+// wall time against the sequential single-process pipeline, with byte-equality
+// of the merged outputs as a hard gate.
+type DistReport struct {
+	CPUs             int     `json:"cpus"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Dataset          string  `json:"dataset"`
+	Scale            float64 `json:"scale"`
+	Triples          int     `json:"triples"`
+	InputBytes       int     `json:"input_bytes"`
+	Reps             int     `json:"reps"`
+	Workers          int     `json:"workers"`
+	Shards           int     `json:"shards"`
+	SequentialBestNs int64   `json:"sequential_best_ns"`
+	DistBestNs       int64   `json:"dist_best_ns"`
+	Speedup          float64 `json:"speedup"` // informational: >1 means distribution won
+	Identical        bool    `json:"identical_to_sequential"`
+}
+
+// runDist times the coordinator/worker path against the sequential pipeline.
+// The workers are real dist.Worker instances behind real loopback HTTP
+// servers — the spool writes, shard POSTs, and dense-remap merge are all on
+// the clock — but they share this process, so the number is the protocol's
+// overhead floor, not a cluster measurement.
+func runDist(out string, scale float64, reps, workers, shards int) error {
+	if workers < 1 || shards < 1 {
+		return fmt.Errorf("-dist-workers and -dist-shards must be >= 1")
+	}
+	const dataset = "DBpedia2022"
+	p := datagen.Profiles()[dataset]
+	g := datagen.Generate(p, scale, 1)
+	var nt bytes.Buffer
+	if err := rio.WriteNTriples(&nt, g); err != nil {
+		return err
+	}
+	data := nt.Bytes()
+	shapes := shapeex.Extract(g, shapeex.Options{MinSupport: 0.02})
+
+	dir, err := os.MkdirTemp("", "benchdist")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dataPath := filepath.Join(dir, "input.nt")
+	shapesPath := filepath.Join(dir, "shapes.ttl")
+	if err := os.WriteFile(dataPath, data, 0o644); err != nil {
+		return err
+	}
+	var ttl bytes.Buffer
+	tw := rio.NewTurtleWriter()
+	tw.Prefix("d", p.NS)
+	tw.Prefix("shape", shapeex.ShapeNS)
+	if err := tw.Write(&ttl, shacl.ToGraph(shapes)); err != nil {
+		return err
+	}
+	if err := os.WriteFile(shapesPath, ttl.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	rep := DistReport{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    dataset,
+		Scale:      scale,
+		Triples:    g.Len(),
+		InputBytes: len(data),
+		Reps:       reps,
+		Workers:    workers,
+		Shards:     shards,
+	}
+
+	// Sequential baseline over the same bytes (workers=1 everywhere).
+	var baseline outputs
+	for r := 0; r < reps; r++ {
+		o, ns, err := pipeline(data, shapes, 1)
+		if err != nil {
+			return fmt.Errorf("sequential baseline: %w", err)
+		}
+		baseline = o
+		if rep.SequentialBestNs <= 0 || ns < rep.SequentialBestNs {
+			rep.SequentialBestNs = ns
+		}
+	}
+
+	// One worker fleet serves every rep; each rep gets a fresh coordinator
+	// with fresh state so nothing resumes and the ledger is always cold.
+	type served struct {
+		id, url string
+	}
+	var fleet []served
+	for i := 0; i < workers; i++ {
+		w := &dist.Worker{
+			ID:            fmt.Sprintf("bench-%d", i),
+			SpoolDir:      filepath.Join(dir, fmt.Sprintf("spool-%d", i)),
+			MaxConcurrent: 4,
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /shards", w.Handle)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fleet = append(fleet, served{w.ID, "http://" + ln.Addr().String()})
+	}
+
+	for r := 0; r < reps; r++ {
+		outDir := filepath.Join(dir, fmt.Sprintf("out-%d", r))
+		c := dist.New(dist.Config{
+			DataPath:   dataPath,
+			ShapesPath: shapesPath,
+			OutDir:     outDir,
+			StateDir:   filepath.Join(dir, fmt.Sprintf("state-%d", r)),
+			ShardCount: shards,
+			LeaseTTL:   time.Minute,
+			// No stragglers in-process: speculation would only add noise.
+			SpeculateAfter: time.Hour,
+			WaitWorkers:    time.Minute,
+		})
+		for _, s := range fleet {
+			c.RegisterWorker(s.id, s.url)
+		}
+		start := time.Now()
+		if err := c.Run(context.Background()); err != nil {
+			return fmt.Errorf("dist rep %d: %w", r, err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		if rep.DistBestNs <= 0 || ns < rep.DistBestNs {
+			rep.DistBestNs = ns
+		}
+
+		var got outputs
+		var raw []byte
+		if raw, err = os.ReadFile(filepath.Join(outDir, "schema.ddl")); err != nil {
+			return err
+		}
+		got.ddl = string(raw)
+		if got.nodes, err = os.ReadFile(filepath.Join(outDir, "nodes.csv")); err != nil {
+			return err
+		}
+		if got.edges, err = os.ReadFile(filepath.Join(outDir, "edges.csv")); err != nil {
+			return err
+		}
+		if got.ddl != baseline.ddl || !bytes.Equal(got.nodes, baseline.nodes) || !bytes.Equal(got.edges, baseline.edges) {
+			return fmt.Errorf("dist rep %d: merged outputs differ from the sequential pipeline", r)
+		}
+	}
+	rep.Identical = true
+	rep.Speedup = float64(rep.SequentialBestNs) / float64(rep.DistBestNs)
+	fmt.Fprintf(os.Stderr, "benchjson: dist workers=%d shards=%d best %.1fms vs sequential %.1fms (%.2fx)\n",
+		workers, shards, float64(rep.DistBestNs)/1e6, float64(rep.SequentialBestNs)/1e6, rep.Speedup)
+	return writeJSON(out, &rep)
 }
 
 // pipelineObs is pipeline with the daemon's per-job telemetry live: a span

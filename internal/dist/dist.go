@@ -1,0 +1,70 @@
+// Package dist distributes one RDF→PG transform across several s3pgd
+// processes while preserving the repo's headline guarantee: the merged
+// output is byte-identical to a single-process run over the same input.
+//
+// # Topology
+//
+// One coordinator owns the input file, the shard ledger, and the merge; any
+// number of workers own nothing. The coordinator splits the N-Triples input
+// into newline-aligned byte ranges (the same ownership rule as
+// rio.LoadNTriplesParallel: a shard owns exactly the lines whose first byte
+// falls inside it), posts each shard's bytes to a worker's POST /shards
+// endpoint, and collects shard-local scan results: a dense shard dictionary,
+// triples encoded against it, and the shard's parse errors with shard-local
+// line numbers. Workers are stateless between shards — every piece of
+// coordination state lives in the coordinator's checkpointed ledger, so a
+// worker can crash at any moment and the only loss is one in-flight shard.
+//
+// # Why re-execution is safe (Prop. 4.3)
+//
+// The paper's monotonicity property makes the transform of a prefix (or any
+// line-aligned slice) of the input a sound partial result: re-running a
+// shard can only reproduce the same shard-local scan, because scanning is
+// deterministic in the shard bytes alone. The coordinator therefore never
+// needs distributed consensus — a shard result is acceptable from any
+// worker, any number of times, and the first accepted result is as good as
+// every later duplicate (which the ledger discards by content hash). The
+// order-defining work — dense-remapping shard-local term ids into the global
+// dictionary, first-wins triple dedup, error replay against the MaxErrors
+// budget, and the sequential-commit transform — happens once, on the
+// coordinator, in shard order, which is what makes the merged output
+// byte-identical to workers=1 (see MergeResults).
+//
+// # Robustness
+//
+// Workers register with lease-based heartbeats (POST /workers doubles as the
+// heartbeat); a worker whose lease expires is evicted and its in-flight
+// shards are requeued. Each shard send retries transient failures (network
+// errors, 429/503 responses) with capped exponential backoff through
+// faultio.Retry, honoring Retry-After hints from shedding workers. Shards
+// assigned longer than Config.SpeculateAfter get one speculative duplicate
+// send to another worker — first result wins. The ledger is committed
+// atomically through internal/ckpt on every transition, so a restarted
+// coordinator resumes without re-running completed shards. When no worker is
+// reachable, the coordinator degrades to processing shards locally.
+package dist
+
+import (
+	"errors"
+
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// ErrWorkerBusy is returned by Worker.Process when every shard slot is
+// occupied; the HTTP layer maps it to 429 so the coordinator backs off.
+var ErrWorkerBusy = errors.New("dist: worker at shard concurrency limit")
+
+// Observability instruments (obs.Default registry). The counters are the
+// chaos matrix's witnesses: a run that survived a worker kill shows
+// dist.shard.requeued > 0, a straggler rescue shows dist.shard.reassigned,
+// and a duplicate speculative result shows dist.shard.duplicates.
+var (
+	hShardSeconds = obs.Default.Histogram("dist.shard.seconds")
+	cRequeued     = obs.Default.Counter("dist.shard.requeued")
+	cReassigned   = obs.Default.Counter("dist.shard.reassigned")
+	cDuplicates   = obs.Default.Counter("dist.shard.duplicates")
+	cLocalShards  = obs.Default.Counter("dist.shard.local")
+	cSendRetries  = obs.Default.Counter("dist.send.retries")
+	cEvicted      = obs.Default.Counter("dist.worker.evicted")
+	cHeartbeats   = obs.Default.Counter("dist.worker.heartbeats")
+)

@@ -1,0 +1,410 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/jobs"
+)
+
+// Shard states. A shard is pending (no send in flight), assigned (at least
+// one send in flight), or done (exactly one result accepted). There is no
+// failed state: a shard that cannot complete remotely degrades to local
+// execution, so the only terminal state is done.
+const (
+	ShardPending  = "pending"
+	ShardAssigned = "assigned"
+	ShardDone     = "done"
+)
+
+// Shard is one ledger entry: a newline-aligned byte range of the input plus
+// everything the coordinator knows about getting it scanned.
+type Shard struct {
+	ID    int    `json:"id"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	State string `json:"state"`
+	// Attempts counts sends that ended (successfully or not); the local
+	// fallback triggers once it reaches the configured budget.
+	Attempts int `json:"attempts,omitempty"`
+	// Completions counts accepted results. Exactly-once means this is 1 for
+	// every done shard, however many times the shard was sent.
+	Completions int `json:"completions,omitempty"`
+	// Duplicates counts results that arrived after the first and were
+	// discarded (speculative twins, mostly).
+	Duplicates int `json:"duplicates,omitempty"`
+	// Worker is the producer of the accepted result ("local" for the
+	// degraded path).
+	Worker string `json:"worker,omitempty"`
+	// Hash is the content hash of the accepted result (Worker excluded),
+	// used to verify duplicates and the persisted blob on resume.
+	Hash string `json:"hash,omitempty"`
+	// Lines and Triples summarize the accepted result.
+	Lines   int `json:"lines,omitempty"`
+	Triples int `json:"triples,omitempty"`
+	// Timeline is the shard's phase history: assigned → uploaded →
+	// transformed → merged, with requeued marking every failure/eviction.
+	Timeline []jobs.PhaseEvent `json:"timeline,omitempty"`
+
+	// sends are the in-flight transmissions (primary plus at most one
+	// speculative twin). In-memory only: after a restart nothing is in
+	// flight, which is why Load requeues assigned shards.
+	sends []*send `json:"-"`
+}
+
+// send is one in-flight transmission of a shard to a worker.
+type send struct {
+	worker  string
+	started time.Time
+}
+
+// ledgerFile is the persisted form: identifying facts to validate a resume
+// against, plus every shard's durable state.
+type ledgerFile struct {
+	RunID      string    `json:"run_id"`
+	InputPath  string    `json:"input_path"`
+	InputSize  int64     `json:"input_size"`
+	ShardCount int       `json:"shard_count"`
+	Merged     bool      `json:"merged"`
+	Shards     []*Shard  `json:"shards"`
+	SavedAt    time.Time `json:"saved_at"`
+}
+
+// Ledger is the coordinator's source of truth for shard progress. All
+// mutation goes through its methods under one mutex; Commit persists the
+// durable fields atomically through internal/ckpt so a restarted coordinator
+// resumes exactly where the last commit left it (minus in-flight sends,
+// which are requeued — re-execution is safe, see the package comment).
+type Ledger struct {
+	mu     sync.Mutex
+	file   ledgerFile
+	path   string
+	fs     ckpt.FS
+	done   int
+	now    func() time.Time
+	resume bool // loaded from disk rather than freshly initialized
+}
+
+// NewLedger initializes a fresh ledger over the given shards, persisting the
+// initial state. fs nil means ckpt.OSFS.
+func NewLedger(path string, fs ckpt.FS, runID, inputPath string, inputSize int64, ranges []Range) (*Ledger, error) {
+	l := &Ledger{path: path, fs: fs, now: time.Now}
+	if l.fs == nil {
+		l.fs = ckpt.OSFS
+	}
+	l.file = ledgerFile{RunID: runID, InputPath: inputPath, InputSize: inputSize, ShardCount: len(ranges)}
+	for i, r := range ranges {
+		l.file.Shards = append(l.file.Shards, &Shard{ID: i, Start: r.Start, End: r.End, State: ShardPending})
+	}
+	if err := l.Commit(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// LoadLedger resumes a persisted ledger, validating it against the input it
+// is supposed to describe. Shards that were assigned when the previous
+// coordinator died are requeued (their sends died with it); done shards keep
+// their results. os.ErrNotExist is returned untouched so callers fall back
+// to NewLedger.
+func LoadLedger(path string, fs ckpt.FS, inputPath string, inputSize int64, shardCount int) (*Ledger, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &Ledger{path: path, fs: fs, now: time.Now}
+	if l.fs == nil {
+		l.fs = ckpt.OSFS
+	}
+	if err := json.Unmarshal(raw, &l.file); err != nil {
+		return nil, fmt.Errorf("dist: ledger %s: %w", path, err)
+	}
+	if l.file.InputSize != inputSize {
+		return nil, fmt.Errorf("dist: ledger %s describes a %d-byte input, have %d bytes", path, l.file.InputSize, inputSize)
+	}
+	if shardCount > 0 && l.file.ShardCount != shardCount {
+		return nil, fmt.Errorf("dist: ledger %s has %d shards, config wants %d", path, l.file.ShardCount, shardCount)
+	}
+	for _, s := range l.file.Shards {
+		switch s.State {
+		case ShardDone:
+			l.done++
+		case ShardAssigned:
+			s.State = ShardPending
+			s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: "requeued", At: l.now(), Note: "recovered"})
+			cRequeued.Inc()
+		}
+	}
+	l.resume = true
+	return l, nil
+}
+
+// Resumed reports whether the ledger was loaded from a previous run.
+func (l *Ledger) Resumed() bool { return l.resume }
+
+// Commit persists the ledger atomically. Safe to call concurrently with
+// mutations; it snapshots under the lock and writes outside it.
+func (l *Ledger) Commit() error {
+	l.mu.Lock()
+	l.file.SavedAt = l.now()
+	raw, err := json.MarshalIndent(&l.file, "", "  ")
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ckpt.WriteFileAtomicFS(l.fs, l.path, 0o644, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+}
+
+// Claim is a granted transmission slot for one shard.
+type Claim struct {
+	Shard       int
+	Start, End  int64
+	Attempts    int
+	Speculative bool
+}
+
+// Claim grants the next transmission slot, preferring pending shards and
+// falling back to speculation: an assigned shard whose single send has been
+// in flight longer than speculateAfter gets one concurrent twin (first
+// result wins). ok is false when nothing needs sending right now.
+func (l *Ledger) Claim(speculateAfter time.Duration) (Claim, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	for _, s := range l.file.Shards {
+		if s.State == ShardPending && len(s.sends) == 0 {
+			s.State = ShardAssigned
+			s.sends = append(s.sends, &send{started: now})
+			return Claim{Shard: s.ID, Start: s.Start, End: s.End, Attempts: s.Attempts}, true
+		}
+	}
+	if speculateAfter <= 0 {
+		return Claim{}, false
+	}
+	for _, s := range l.file.Shards {
+		if s.State == ShardAssigned && len(s.sends) == 1 && now.Sub(s.sends[0].started) >= speculateAfter {
+			s.sends = append(s.sends, &send{started: now})
+			cReassigned.Inc()
+			return Claim{Shard: s.ID, Start: s.Start, End: s.End, Attempts: s.Attempts, Speculative: true}, true
+		}
+	}
+	return Claim{}, false
+}
+
+// SetSendWorker names the worker a freshly claimed send is going to and
+// records the assignment in the shard's timeline.
+func (l *Ledger) SetSendWorker(shard int, worker string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	for _, sd := range s.sends {
+		if sd.worker == "" {
+			sd.worker = worker
+			s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: "assigned", At: l.now(), Note: worker})
+			return
+		}
+	}
+}
+
+// Phase appends a timeline event to a shard (uploaded, transformed, merged).
+func (l *Ledger) Phase(shard int, phase, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: phase, At: l.now(), Note: note})
+}
+
+// AbortSend releases a claim that never reached a worker (no worker was
+// available). The shard returns to pending unless a twin is still in flight
+// or a result arrived meanwhile.
+func (l *Ledger) AbortSend(shard int, worker string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropSend(l.file.Shards[shard], worker, "")
+}
+
+// FailSend records a send that ended without an accepted result: the
+// attempt is counted, and the shard is requeued unless a twin is still in
+// flight or it completed meanwhile.
+func (l *Ledger) FailSend(shard int, worker, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	s.Attempts++
+	l.dropSend(s, worker, note)
+}
+
+// dropSend removes one send (matched by worker name) and fixes up state.
+// Callers hold mu.
+func (l *Ledger) dropSend(s *Shard, worker, note string) {
+	for i, sd := range s.sends {
+		if sd.worker == worker {
+			s.sends = append(s.sends[:i], s.sends[i+1:]...)
+			break
+		}
+	}
+	if s.State == ShardAssigned && len(s.sends) == 0 {
+		s.State = ShardPending
+		s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: "requeued", At: l.now(), Note: note})
+		cRequeued.Inc()
+	}
+}
+
+// DropWorker requeues every shard the evicted worker was sending, returning
+// how many in-flight sends were cut.
+func (l *Ledger) DropWorker(worker string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cut := 0
+	for _, s := range l.file.Shards {
+		for i := 0; i < len(s.sends); {
+			if s.sends[i].worker == worker {
+				s.sends = append(s.sends[:i], s.sends[i+1:]...)
+				cut++
+				continue
+			}
+			i++
+		}
+		if s.State == ShardAssigned && len(s.sends) == 0 {
+			s.State = ShardPending
+			s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: "requeued", At: l.now(), Note: "worker evicted: " + worker})
+			cRequeued.Inc()
+		}
+	}
+	return cut
+}
+
+// SendersOf returns the workers currently sending a shard, for the picker to
+// exclude (a speculative twin on the same worker would prove nothing).
+func (l *Ledger) SendersOf(shard int) map[string]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string]bool{}
+	for _, sd := range l.file.Shards[shard].sends {
+		if sd.worker != "" {
+			out[sd.worker] = true
+		}
+	}
+	return out
+}
+
+// Complete offers a shard result to the ledger. The first offer per shard is
+// accepted (state → done, Completions = 1); every later offer is discarded
+// as a duplicate, with a hash mismatch reported loudly since identical shard
+// bytes must produce identical results. The accepted flag tells the caller
+// whether it owns persisting the result blob.
+func (l *Ledger) Complete(shard int, worker, hash string, lines, triples int) (accepted bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	l.dropSendQuiet(s, worker)
+	if s.State == ShardDone {
+		s.Duplicates++
+		cDuplicates.Inc()
+		if s.Hash != hash {
+			return false, fmt.Errorf("dist: shard %d: duplicate result hash %.12s from %s disagrees with accepted %.12s from %s",
+				shard, hash, worker, s.Hash, s.Worker)
+		}
+		return false, nil
+	}
+	s.State = ShardDone
+	s.Attempts++
+	s.Completions++
+	s.Worker = worker
+	s.Hash = hash
+	s.Lines = lines
+	s.Triples = triples
+	l.done++
+	return true, nil
+}
+
+// dropSendQuiet removes a send without requeue side effects (the shard is
+// about to be marked done). Callers hold mu.
+func (l *Ledger) dropSendQuiet(s *Shard, worker string) {
+	for i, sd := range s.sends {
+		if sd.worker == worker {
+			s.sends = append(s.sends[:i], s.sends[i+1:]...)
+			return
+		}
+	}
+}
+
+// Reset demotes a shard back to pending regardless of its state — the
+// resume path uses it when a done shard's persisted result turns out to be
+// missing or corrupt (re-execution is safe; merging nothing is not).
+func (l *Ledger) Reset(shard int, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	if s.State == ShardDone {
+		l.done--
+	}
+	s.State = ShardPending
+	s.sends = nil
+	s.Completions = 0
+	s.Worker = ""
+	s.Hash = ""
+	s.Timeline = append(s.Timeline, jobs.PhaseEvent{Phase: "requeued", At: l.now(), Note: note})
+	cRequeued.Inc()
+}
+
+// SetMerged durably marks the run's outputs as committed.
+func (l *Ledger) SetMerged() {
+	l.mu.Lock()
+	l.file.Merged = true
+	l.mu.Unlock()
+}
+
+// Merged reports whether outputs were committed.
+func (l *Ledger) Merged() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.file.Merged
+}
+
+// AllDone reports whether every shard has an accepted result.
+func (l *Ledger) AllDone() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done == len(l.file.Shards)
+}
+
+// Done returns the number of completed shards and the total.
+func (l *Ledger) Done() (done, total int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done, len(l.file.Shards)
+}
+
+// Shards returns a deep copy of the shard table for status endpoints and
+// tests.
+func (l *Ledger) Shards() []Shard {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Shard, len(l.file.Shards))
+	for i, s := range l.file.Shards {
+		out[i] = *s
+		out[i].sends = nil
+		out[i].Timeline = append([]jobs.PhaseEvent(nil), s.Timeline...)
+	}
+	return out
+}
+
+// Ranges returns every shard's byte range in shard order.
+func (l *Ledger) Ranges() []Range {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Range, len(l.file.Shards))
+	for i, s := range l.file.Shards {
+		out[i] = Range{Start: s.Start, End: s.End}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestLedger builds a fresh ledger over n equal fake shards in a temp dir.
+func newTestLedger(t *testing.T, n int) *Ledger {
+	t.Helper()
+	ranges := make([]Range, n)
+	for i := range ranges {
+		ranges[i] = Range{Start: int64(i * 100), End: int64((i + 1) * 100)}
+	}
+	l, err := NewLedger(filepath.Join(t.TempDir(), "ledger.json"), nil, "run-1", "input.nt", int64(n*100), ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLedgerClaimAssignComplete(t *testing.T) {
+	l := newTestLedger(t, 3)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		cl, ok := l.Claim(0)
+		if !ok {
+			t.Fatalf("claim %d: nothing to claim", i)
+		}
+		if seen[cl.Shard] {
+			t.Fatalf("shard %d claimed twice", cl.Shard)
+		}
+		seen[cl.Shard] = true
+		l.SetSendWorker(cl.Shard, "w1")
+	}
+	if _, ok := l.Claim(0); ok {
+		t.Fatal("claim should find nothing with all shards assigned and speculation off")
+	}
+	if senders := l.SendersOf(0); !senders["w1"] || len(senders) != 1 {
+		t.Fatalf("senders of 0: %v", senders)
+	}
+	for i := 0; i < 3; i++ {
+		accepted, err := l.Complete(i, "w1", "h", 10, 5)
+		if err != nil || !accepted {
+			t.Fatalf("complete %d: accepted=%v err=%v", i, accepted, err)
+		}
+	}
+	if !l.AllDone() {
+		t.Fatal("all shards completed but AllDone is false")
+	}
+	for _, s := range l.Shards() {
+		if s.State != ShardDone || s.Completions != 1 || s.Worker != "w1" {
+			t.Fatalf("shard %d: %+v", s.ID, s)
+		}
+	}
+}
+
+func TestLedgerSpeculationFirstResultWins(t *testing.T) {
+	l := newTestLedger(t, 1)
+	clock := time.Now()
+	l.now = func() time.Time { return clock }
+
+	cl, ok := l.Claim(time.Second)
+	if !ok || cl.Speculative {
+		t.Fatalf("first claim: ok=%v speculative=%v", ok, cl.Speculative)
+	}
+	l.SetSendWorker(0, "w1")
+
+	// Not yet stale: no twin.
+	if _, ok := l.Claim(time.Second); ok {
+		t.Fatal("speculated before the send was stale")
+	}
+	clock = clock.Add(2 * time.Second)
+	twin, ok := l.Claim(time.Second)
+	if !ok || !twin.Speculative || twin.Shard != 0 {
+		t.Fatalf("twin claim: ok=%v claim=%+v", ok, twin)
+	}
+	l.SetSendWorker(0, "w2")
+	if senders := l.SendersOf(0); !senders["w1"] || !senders["w2"] {
+		t.Fatalf("senders: %v", senders)
+	}
+	// A third concurrent send is never granted.
+	clock = clock.Add(time.Hour)
+	if _, ok := l.Claim(time.Second); ok {
+		t.Fatal("granted a third concurrent send")
+	}
+
+	// Twin lands first and wins; the primary's result is a duplicate.
+	if accepted, err := l.Complete(0, "w2", "h", 1, 1); err != nil || !accepted {
+		t.Fatalf("twin complete: accepted=%v err=%v", accepted, err)
+	}
+	if accepted, err := l.Complete(0, "w1", "h", 1, 1); err != nil || accepted {
+		t.Fatalf("duplicate complete: accepted=%v err=%v", accepted, err)
+	}
+	s := l.Shards()[0]
+	if s.Completions != 1 || s.Duplicates != 1 || s.Worker != "w2" {
+		t.Fatalf("shard after duplicate: %+v", s)
+	}
+}
+
+func TestLedgerDuplicateHashMismatch(t *testing.T) {
+	l := newTestLedger(t, 1)
+	l.Claim(0)
+	l.SetSendWorker(0, "w1")
+	if _, err := l.Complete(0, "w1", "aaa", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.Complete(0, "w2", "bbb", 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("want hash-disagreement error, got %v", err)
+	}
+	if l.Shards()[0].Duplicates != 1 {
+		t.Fatal("mismatching duplicate must still be counted")
+	}
+}
+
+func TestLedgerFailSendRequeues(t *testing.T) {
+	l := newTestLedger(t, 1)
+	cl, _ := l.Claim(0)
+	l.SetSendWorker(cl.Shard, "w1")
+	l.FailSend(cl.Shard, "w1", "send: boom")
+	s := l.Shards()[0]
+	if s.State != ShardPending || s.Attempts != 1 {
+		t.Fatalf("after FailSend: %+v", s)
+	}
+	requeued := false
+	for _, ev := range s.Timeline {
+		if ev.Phase == "requeued" && ev.Note == "send: boom" {
+			requeued = true
+		}
+	}
+	if !requeued {
+		t.Fatalf("timeline missing requeued event: %+v", s.Timeline)
+	}
+	// The shard is claimable again, with the attempt visible to the claimer.
+	cl2, ok := l.Claim(0)
+	if !ok || cl2.Shard != 0 || cl2.Attempts != 1 {
+		t.Fatalf("reclaim: ok=%v claim=%+v", ok, cl2)
+	}
+}
+
+func TestLedgerAbortSendIsQuiet(t *testing.T) {
+	l := newTestLedger(t, 1)
+	cl, _ := l.Claim(0)
+	l.AbortSend(cl.Shard, "")
+	s := l.Shards()[0]
+	if s.State != ShardPending || s.Attempts != 0 {
+		t.Fatalf("after AbortSend: %+v", s)
+	}
+}
+
+func TestLedgerDropWorkerRequeuesItsShards(t *testing.T) {
+	l := newTestLedger(t, 3)
+	for i := 0; i < 3; i++ {
+		cl, _ := l.Claim(0)
+		if cl.Shard < 2 {
+			l.SetSendWorker(cl.Shard, "victim")
+		} else {
+			l.SetSendWorker(cl.Shard, "healthy")
+		}
+	}
+	if cut := l.DropWorker("victim"); cut != 2 {
+		t.Fatalf("cut %d sends, want 2", cut)
+	}
+	for _, s := range l.Shards() {
+		want := ShardPending
+		if s.ID == 2 {
+			want = ShardAssigned
+		}
+		if s.State != want {
+			t.Fatalf("shard %d: state %s, want %s", s.ID, s.State, want)
+		}
+	}
+}
+
+func TestLedgerResumeRequeuesAssigned(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.json")
+	ranges := []Range{{0, 100}, {100, 200}, {200, 300}}
+	l, err := NewLedger(path, nil, "run-1", "input.nt", 300, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 done, shard 1 assigned (in flight), shard 2 pending.
+	l.Claim(0)
+	l.SetSendWorker(0, "w1")
+	if _, err := l.Complete(0, "w1", "h0", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	l.Claim(0)
+	l.SetSendWorker(1, "w1")
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := LoadLedger(path, nil, "input.nt", 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Resumed() {
+		t.Fatal("loaded ledger must report Resumed")
+	}
+	done, total := r.Done()
+	if done != 1 || total != 3 {
+		t.Fatalf("done=%d total=%d", done, total)
+	}
+	ss := r.Shards()
+	if ss[0].State != ShardDone || ss[0].Hash != "h0" {
+		t.Fatalf("shard 0 lost its result: %+v", ss[0])
+	}
+	if ss[1].State != ShardPending {
+		t.Fatalf("in-flight shard 1 must requeue, got %s", ss[1].State)
+	}
+	if ss[2].State != ShardPending {
+		t.Fatalf("shard 2: %s", ss[2].State)
+	}
+
+	// Validation: wrong input size or shard count refuses to resume.
+	if _, err := LoadLedger(path, nil, "input.nt", 999, 3); err == nil {
+		t.Fatal("size mismatch must refuse")
+	}
+	if _, err := LoadLedger(path, nil, "input.nt", 300, 5); err == nil {
+		t.Fatal("shard-count mismatch must refuse")
+	}
+	if _, err := LoadLedger(filepath.Join(dir, "absent.json"), nil, "input.nt", 300, 3); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing ledger: want ErrNotExist, got %v", err)
+	}
+}
+
+func TestLedgerResetDemotesDone(t *testing.T) {
+	l := newTestLedger(t, 2)
+	l.Claim(0)
+	l.SetSendWorker(0, "w1")
+	if _, err := l.Complete(0, "w1", "h", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset(0, "result blob lost")
+	s := l.Shards()[0]
+	if s.State != ShardPending || s.Completions != 0 || s.Hash != "" || s.Worker != "" {
+		t.Fatalf("after Reset: %+v", s)
+	}
+	if done, _ := l.Done(); done != 0 {
+		t.Fatalf("done=%d after Reset", done)
+	}
+}
+
+// TestLedgerConcurrentHammer drives the full claim/fail/complete cycle from
+// many goroutines under -race. Every shard must land done with exactly one
+// completion no matter how sends interleave.
+func TestLedgerConcurrentHammer(t *testing.T) {
+	const shards, workers = 32, 8
+	l := newTestLedger(t, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			name := string(rune('a' + id))
+			for !l.AllDone() {
+				cl, ok := l.Claim(0)
+				if !ok {
+					continue
+				}
+				l.SetSendWorker(cl.Shard, name)
+				switch rng.Intn(3) {
+				case 0:
+					l.FailSend(cl.Shard, name, "injected")
+				case 1:
+					l.AbortSend(cl.Shard, name)
+				default:
+					if _, err := l.Complete(cl.Shard, name, "h", 1, 1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if rng.Intn(4) == 0 {
+					if err := l.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				l.Shards() // concurrent snapshot reads
+			}
+		}(w)
+	}
+	wg.Wait()
+	done, total := l.Done()
+	if done != total {
+		t.Fatalf("done=%d total=%d", done, total)
+	}
+	for _, s := range l.Shards() {
+		if s.State != ShardDone || s.Completions != 1 {
+			t.Fatalf("shard %d: state=%s completions=%d", s.ID, s.State, s.Completions)
+		}
+	}
+}

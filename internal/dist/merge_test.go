@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/datagen"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/shapeex"
+)
+
+// distDataset generates the shared shapes (Turtle) + data (N-Triples) pair
+// once; the same generator and seed as the job-server tests.
+var distDataset = sync.OnceValues(func() (string, string) {
+	p := datagen.University()
+	g := datagen.Generate(p, 0.2, 7)
+	shapes := shapeex.Extract(g, shapeex.Options{MinSupport: 0.01})
+	var sb bytes.Buffer
+	tw := rio.NewTurtleWriter()
+	tw.Prefix("d", p.NS)
+	tw.Prefix("shape", shapeex.ShapeNS)
+	if err := tw.Write(&sb, shacl.ToGraph(shapes)); err != nil {
+		panic(err)
+	}
+	var db bytes.Buffer
+	if err := rio.WriteNTriples(&db, g); err != nil {
+		panic(err)
+	}
+	return sb.String(), db.String()
+})
+
+// scanAll splits data into n aligned shards and scans each, mimicking what a
+// worker fleet produces.
+func scanAll(t *testing.T, data string, n int, lenient bool, maxBuffered int) []*ShardResult {
+	t.Helper()
+	ranges, err := SplitAligned(strings.NewReader(data), int64(len(data)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*ShardResult, len(ranges))
+	for i, r := range ranges {
+		res, err := ScanShard(data[r.Start:r.End], i, lenient, maxBuffered)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// transformBytes runs the full schema+data transform over a graph and returns
+// the three output artifacts, for byte-level comparison.
+func transformBytes(t *testing.T, g *rdf.Graph, shapes string) (nodes, edges, ddl string) {
+	t.Helper()
+	ctx := context.Background()
+	sg, err := rio.ParseTurtleWith(ctx, shapes, rio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := shacl.FromGraph(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.TransformWith(ctx, g, schema, core.Parsimonious, nil, core.TransformOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, eb bytes.Buffer
+	if err := tr.Store().WriteCSV(&nb, &eb); err != nil {
+		t.Fatal(err)
+	}
+	return nb.String(), eb.String(), pgschema.WriteDDL(tr.Schema())
+}
+
+// TestMergeShardCountIndependence is the determinism core: for every shard
+// count, split + scan + merge must rebuild the exact graph a sequential scan
+// builds — same term ids, same triple order — and therefore the exact same
+// transform output bytes.
+func TestMergeShardCountIndependence(t *testing.T) {
+	shapes, data := distDataset()
+	ref, err := rio.LoadNTriplesWith(context.Background(), strings.NewReader(data), rio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNodes, refEdges, refDDL := transformBytes(t, ref, shapes)
+
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			results := scanAll(t, data, n, false, -1)
+			g, err := MergeResults(results, rio.Options{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(ref) {
+				t.Fatalf("merged graph differs from sequential load (%d vs %d triples)", g.Len(), ref.Len())
+			}
+			nodes, edges, ddl := transformBytes(t, g, shapes)
+			if nodes != refNodes || edges != refEdges || ddl != refDDL {
+				t.Fatal("transform outputs differ from the sequential pipeline")
+			}
+		})
+	}
+}
+
+// dirtyData interleaves malformed lines, blanks, and comments with valid
+// triples so lenient-mode replay has something to chew on.
+const dirtyData = `<http://e/s1> <http://e/p> "a" .
+this is not a triple
+<http://e/s2> <http://e/p> "b" .
+
+# a comment line
+<http://e/s3> <http://e/p> "c" .
+<http://e/s4> <http://e/p .
+<http://e/s5> <http://e/p> "d" .
+also not a triple
+<http://e/s6> <http://e/p> "e" .
+<http://e/s7> <http://e/p> <http://e/s1> .
+`
+
+// TestMergeLenientErrorParity checks that lenient-mode merge re-delivers the
+// same skipped statements, in the same order, with the same global line
+// numbers, as a sequential lenient scan.
+func TestMergeLenientErrorParity(t *testing.T) {
+	collect := func(errs *[]rio.ParseError) rio.Options {
+		return rio.Options{Lenient: true, MaxErrors: -1, OnError: func(pe rio.ParseError) {
+			*errs = append(*errs, pe)
+		}}
+	}
+	var seqErrs []rio.ParseError
+	ref, err := rio.LoadNTriplesWith(context.Background(), strings.NewReader(dirtyData), collect(&seqErrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 5, 11} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			results := scanAll(t, dirtyData, n, true, -1)
+			var gotErrs []rio.ParseError
+			g, err := MergeResults(results, collect(&gotErrs), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(ref) {
+				t.Fatalf("merged graph differs (%d vs %d triples)", g.Len(), ref.Len())
+			}
+			if len(gotErrs) != len(seqErrs) {
+				t.Fatalf("replayed %d errors, sequential reported %d", len(gotErrs), len(seqErrs))
+			}
+			for i := range gotErrs {
+				if gotErrs[i].Line != seqErrs[i].Line || gotErrs[i].Reason != seqErrs[i].Reason {
+					t.Fatalf("error %d: got line %d (%s), want line %d (%s)",
+						i, gotErrs[i].Line, gotErrs[i].Reason, seqErrs[i].Line, seqErrs[i].Reason)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeLenientBudgetParity checks ErrTooManyErrors fires at the same
+// point in replay as it would sequentially.
+func TestMergeLenientBudgetParity(t *testing.T) {
+	opts := rio.Options{Lenient: true, MaxErrors: 2}
+	_, seqErr := rio.LoadNTriplesWith(context.Background(), strings.NewReader(dirtyData), opts)
+	if !errors.Is(seqErr, rio.ErrTooManyErrors) {
+		t.Fatalf("sequential: want ErrTooManyErrors, got %v", seqErr)
+	}
+	results := scanAll(t, dirtyData, 3, true, 3) // budget+1, the coordinator's cap
+	_, err := MergeResults(results, rio.Options{Lenient: true, MaxErrors: 2}, 2)
+	if !errors.Is(err, rio.ErrTooManyErrors) {
+		t.Fatalf("merge: want ErrTooManyErrors, got %v", err)
+	}
+}
+
+// TestMergeStrictErrorParity checks a strict-mode parse failure surfaces from
+// the merge with the same global line number a sequential scan reports.
+func TestMergeStrictErrorParity(t *testing.T) {
+	_, seqErr := rio.LoadNTriplesWith(context.Background(), strings.NewReader(dirtyData), rio.Options{})
+	var seqPE *rio.ParseError
+	if !errors.As(seqErr, &seqPE) {
+		t.Fatalf("sequential: want *rio.ParseError, got %v", seqErr)
+	}
+	for _, n := range []int{1, 2, 4} {
+		results := scanAll(t, dirtyData, n, false, 0)
+		_, err := MergeResults(results, rio.Options{}, 2)
+		var pe *rio.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("shards=%d: want *rio.ParseError, got %v", n, err)
+		}
+		if pe.Line != seqPE.Line || pe.Reason != seqPE.Reason {
+			t.Fatalf("shards=%d: got line %d (%s), want line %d (%s)", n, pe.Line, pe.Reason, seqPE.Line, seqPE.Reason)
+		}
+	}
+}
+
+// TestSplitAlignedProperties checks the structural invariants every split
+// must satisfy: contiguous coverage of [0, size) and newline-aligned starts.
+func TestSplitAlignedProperties(t *testing.T) {
+	_, data := distDataset()
+	for _, n := range []int{1, 2, 5, 13, 64} {
+		ranges, err := SplitAligned(strings.NewReader(data), int64(len(data)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranges) == 0 || len(ranges) > n {
+			t.Fatalf("n=%d: got %d ranges", n, len(ranges))
+		}
+		var prev int64
+		for i, r := range ranges {
+			if r.Start != prev {
+				t.Fatalf("n=%d: range %d starts at %d, want %d (contiguity)", n, i, r.Start, prev)
+			}
+			if r.End < r.Start {
+				t.Fatalf("n=%d: range %d inverted", n, i)
+			}
+			if r.Start > 0 && r.Start < int64(len(data)) && data[r.Start-1] != '\n' {
+				t.Fatalf("n=%d: range %d start %d is not a line start", n, i, r.Start)
+			}
+			prev = r.End
+		}
+		if prev != int64(len(data)) {
+			t.Fatalf("n=%d: ranges end at %d, want %d", n, prev, len(data))
+		}
+	}
+}
+
+// TestSplitAlignedLongLine checks that one line spanning several raw
+// boundaries collapses them into empty ranges instead of splitting the line.
+func TestSplitAlignedLongLine(t *testing.T) {
+	data := strings.Repeat("x", 1000) + "\nshort\n"
+	ranges, err := SplitAligned(strings.NewReader(data), int64(len(data)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt strings.Builder
+	empties := 0
+	for _, r := range ranges {
+		if r.Start == r.End {
+			empties++
+		}
+		rebuilt.WriteString(data[r.Start:r.End])
+	}
+	if rebuilt.String() != data {
+		t.Fatal("ranges do not rebuild the input")
+	}
+	if empties == 0 {
+		t.Fatal("expected the long line to collapse at least one boundary into an empty range")
+	}
+	if ranges[0].End != 1001 {
+		t.Fatalf("first range ends at %d, want 1001 (after the long line's newline)", ranges[0].End)
+	}
+}
+
+// TestShardResultHashIgnoresWorker checks the duplicate-detection hash is
+// content-only: the same shard scanned by two workers hashes identically.
+func TestShardResultHashIgnoresWorker(t *testing.T) {
+	_, data := distDataset()
+	a, err := ScanShard(data, 0, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScanShard(data, 0, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Worker, b.Worker = "w1", "w2"
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical shard content with different workers must hash identically")
+	}
+	c, err := ScanShard(data[:len(data)/2], 0, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() == a.Hash() {
+		t.Fatal("different shard content must hash differently")
+	}
+}

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// ShardRequest is the POST /shards payload: one newline-aligned slice of the
+// input, shipped as complete lines so the worker needs no ownership probe.
+type ShardRequest struct {
+	// RunID identifies the coordinator run; workers use it only to keep
+	// spool files from different runs apart.
+	RunID string `json:"run_id"`
+	// Shard is the shard's index in the ledger.
+	Shard int `json:"shard"`
+	// Start is the shard's byte offset in the original input (diagnostic).
+	Start int64 `json:"start"`
+	// Lenient selects skip-and-report parsing; errors come back in the
+	// result instead of failing the shard.
+	Lenient bool `json:"lenient,omitempty"`
+	// MaxBufferedErrors caps how many parse errors the worker reports back
+	// (the coordinator's budget+1 — more could never be observed before the
+	// global ErrTooManyErrors cutoff). Negative means unlimited.
+	MaxBufferedErrors int `json:"max_buffered_errors,omitempty"`
+	// Data is the shard's bytes: whole lines, first byte of the first line
+	// through the end of the last owned line.
+	Data string `json:"data"`
+}
+
+// WireTerm is one dictionary term on the wire.
+type WireTerm struct {
+	K uint8  `json:"k"`
+	V string `json:"v"`
+	D string `json:"d,omitempty"`
+	L string `json:"l,omitempty"`
+}
+
+// WireError is one parse error with a shard-local 1-based line number; the
+// coordinator prefix-sums shard line counts to recover global positions.
+type WireError struct {
+	Line   int    `json:"line"`
+	Col    int    `json:"col,omitempty"`
+	Input  string `json:"input,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// ShardResult is a worker's scan of one shard: the shard-local dictionary in
+// id order, triples encoded against it, and the shard's error outcomes. It is
+// deterministic in the shard bytes alone — two workers scanning the same
+// shard produce identical results (the Worker field is excluded from the
+// content hash), which is what lets the ledger discard duplicates safely.
+type ShardResult struct {
+	Shard int `json:"shard"`
+	// Lines is the total number of input lines in the shard, blanks and
+	// comments included, for global line-number recovery.
+	Lines int `json:"lines"`
+	// Terms is the shard-local dictionary: Terms[i] is local id i, assigned
+	// in first-reference order of the shard's triple stream.
+	Terms []WireTerm `json:"terms"`
+	// Triples holds the encoded triples flattened as (s,p,o) local-id
+	// runs: len(Triples) = 3 × triple count.
+	Triples []uint32 `json:"triples"`
+	// Errors are the skipped statements, in input order (lenient mode).
+	Errors []WireError `json:"errors,omitempty"`
+	// Strict is the first malformed line (strict mode); the shard scan
+	// stopped there, exactly as the sequential reader would.
+	Strict *WireError `json:"strict,omitempty"`
+	// Worker names the process that produced the result (diagnostic only).
+	Worker string `json:"worker,omitempty"`
+}
+
+// wireTerm converts an rdf.Term for the wire.
+func wireTerm(t rdf.Term) WireTerm {
+	return WireTerm{K: uint8(t.Kind), V: t.Value, D: t.Datatype, L: t.Lang}
+}
+
+// Term converts back to an rdf.Term.
+func (w WireTerm) Term() rdf.Term {
+	return rdf.Term{Kind: rdf.Kind(w.K), Value: w.V, Datatype: w.D, Lang: w.L}
+}
+
+// wireError converts a rio.ParseError for the wire.
+func wireError(pe rio.ParseError) WireError {
+	return WireError{Line: pe.Line, Col: pe.Col, Input: pe.Input, Reason: pe.Reason}
+}
+
+// ParseError converts back to a rio.ParseError.
+func (w WireError) ParseError() rio.ParseError {
+	return rio.ParseError{Line: w.Line, Col: w.Col, Input: w.Input, Reason: w.Reason}
+}
+
+// Hash returns the result's content hash: sha256 over the canonical JSON
+// encoding with the Worker field zeroed, so results for the same shard from
+// different workers hash identically and duplicates are detectable.
+func (r *ShardResult) Hash() string {
+	c := *r
+	c.Worker = ""
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		// Marshal of these field types cannot fail; keep the signature clean.
+		panic("dist: hashing shard result: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

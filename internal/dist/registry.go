@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerInfo is one registered worker as reported by the status endpoint.
+type WorkerInfo struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	LeaseEnd time.Time `json:"lease_end"`
+	Inflight int       `json:"inflight"`
+	Shards   int       `json:"shards"` // completed shard count
+}
+
+// Registry tracks registered workers under lease-based heartbeats. A worker
+// registers (and re-registers — the same call is the heartbeat) with POST
+// /workers; Upsert renews its lease for TTL. Reap evicts workers whose lease
+// expired: a worker that crashed, hung, or lost the network stops
+// heartbeating and falls out within one TTL, at which point the coordinator
+// requeues its in-flight shards.
+type Registry struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*WorkerInfo
+}
+
+// NewRegistry returns an empty registry with the given lease TTL (<= 0 means
+// 10s).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &Registry{ttl: ttl, now: time.Now, m: map[string]*WorkerInfo{}}
+}
+
+// TTL returns the lease duration handed to workers.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Upsert registers or heartbeats a worker, renewing its lease. It returns
+// true when the worker is new (or returning after eviction).
+func (r *Registry) Upsert(id, url string) bool {
+	cHeartbeats.Inc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.m[id]
+	if !ok {
+		w = &WorkerInfo{ID: id}
+		r.m[id] = w
+	}
+	w.URL = url
+	w.LeaseEnd = r.now().Add(r.ttl)
+	return !ok
+}
+
+// Reap evicts every worker whose lease has expired, returning their ids.
+func (r *Registry) Reap() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var evicted []string
+	for id, w := range r.m {
+		if now.After(w.LeaseEnd) {
+			delete(r.m, id)
+			evicted = append(evicted, id)
+			cEvicted.Inc()
+		}
+	}
+	return evicted
+}
+
+// Pick reserves the live worker with the fewest in-flight shards, excluding
+// the given ids (a speculative twin must land elsewhere). The reservation
+// increments the worker's in-flight count; the caller must release it with
+// Done.
+func (r *Registry) Pick(exclude map[string]bool) (id, url string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *WorkerInfo
+	for _, w := range r.m {
+		if exclude[w.ID] {
+			continue
+		}
+		// Ties break by id so the choice is deterministic under test.
+		if best == nil || w.Inflight < best.Inflight || (w.Inflight == best.Inflight && w.ID < best.ID) {
+			best = w
+		}
+	}
+	if best == nil {
+		return "", "", false
+	}
+	best.Inflight++
+	return best.ID, best.URL, true
+}
+
+// Done releases a Pick reservation, crediting a completed shard when the
+// send produced the accepted result.
+func (r *Registry) Done(id string, completed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.m[id]; ok {
+		if w.Inflight > 0 {
+			w.Inflight--
+		}
+		if completed {
+			w.Shards++
+		}
+	}
+}
+
+// Live returns the number of registered (unexpired) workers.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// Workers returns a snapshot of the registry for the status endpoint.
+func (r *Registry) Workers() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.m))
+	for _, w := range r.m {
+		out = append(out, *w)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// Worker executes shard scans for a coordinator. It is deliberately thin:
+// spool the shard durably, scan it, return the result — every retry,
+// reassignment, and merge decision belongs to the coordinator, so a worker
+// can be killed at any instant with no cleanup protocol.
+//
+// The spool write goes through the commit filesystem (ckpt.WriteFileAtomicFS
+// over FS) with no worker-side retry: a transient fault surfaces as a 503
+// with Retry-After, exactly like the job server's admission layer, so the
+// coordinator's Retry-After-honoring backoff — not a hidden local loop — is
+// what absorbs storage trouble. That is what lets the chaos matrix inject
+// S3PG_FAULT_FS on a worker and watch the coordinator ride it out.
+type Worker struct {
+	// ID names the worker in results and logs.
+	ID string
+	// SpoolDir receives shard input files (shard spool is a scratch area,
+	// not a durable queue — the coordinator re-sends after a crash).
+	SpoolDir string
+	// FS is the spool filesystem; nil means ckpt.OSFS. Fault injection
+	// wraps it.
+	FS ckpt.FS
+	// MaxConcurrent caps simultaneous shard scans (<= 0 means 2); excess
+	// requests bounce with ErrWorkerBusy → 429 so the coordinator's picker
+	// load-balances instead of queueing behind a busy worker.
+	MaxConcurrent int
+	// Delay stalls each scan (test hook: S3PGD_SHARD_DELAY makes a worker a
+	// straggler so speculation and SIGKILL windows are wide enough to hit).
+	Delay time.Duration
+	// RetryAfter is the hint returned with 429/503 (<= 0 means 1s).
+	RetryAfter time.Duration
+	// Log receives structured records; nil discards them.
+	Log *obs.Logger
+
+	sem chan struct{}
+}
+
+// init lazily prepares the semaphore.
+func (w *Worker) acquire() bool {
+	if w.sem == nil {
+		n := w.MaxConcurrent
+		if n <= 0 {
+			n = 2
+		}
+		w.sem = make(chan struct{}, n)
+	}
+	select {
+	case w.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *Worker) release() { <-w.sem }
+
+// Process scans one shard: spool, optional straggler delay, scan. The
+// returned error is ErrWorkerBusy when concurrency is exhausted, a transient
+// (faultio) error when the spool commit failed transiently, or a hard error.
+func (w *Worker) Process(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	if !w.acquire() {
+		return nil, ErrWorkerBusy
+	}
+	defer w.release()
+	start := time.Now()
+
+	fs := w.FS
+	if fs == nil {
+		fs = ckpt.OSFS
+	}
+	path := filepath.Join(w.SpoolDir, fmt.Sprintf("%s-shard-%04d.nt", req.RunID, req.Shard))
+	if err := os.MkdirAll(w.SpoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	// One atomic commit, no retry: transient faults are the coordinator's to
+	// absorb (see the type comment).
+	if err := ckpt.WriteFileAtomicFS(fs, path, 0o644, func(out io.Writer) error {
+		_, werr := io.WriteString(out, req.Data)
+		return werr
+	}); err != nil {
+		w.Log.Warn("shard_spool_failed", "shard", req.Shard, "error", err)
+		return nil, err
+	}
+
+	if w.Delay > 0 {
+		t := time.NewTimer(w.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, context.Cause(ctx)
+		case <-t.C:
+		}
+	}
+
+	// Scan from the spooled copy so the bytes that were durably accepted are
+	// the bytes that get scanned.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ScanShard(string(data), req.Shard, req.Lenient, req.MaxBufferedErrors)
+	if err != nil {
+		return nil, err
+	}
+	res.Worker = w.ID
+	hShardSeconds.ObserveSince(start)
+	w.Log.Info("shard_scanned", "shard", req.Shard, "lines", res.Lines,
+		"triples", len(res.Triples)/3, "errors", len(res.Errors), "duration_seconds", time.Since(start).Seconds())
+	return res, nil
+}
+
+// Handle is the POST /shards handler. Status mapping mirrors the job
+// server's admission responses so the coordinator's retry loop treats both
+// layers uniformly: 429 busy, 503 transient storage trouble (both with
+// Retry-After), 400 malformed, 500 hard failure.
+func (w *Worker) Handle(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "malformed shard request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := w.Process(r.Context(), &req)
+	if err != nil {
+		ra := w.RetryAfter
+		if ra <= 0 {
+			ra = time.Second
+		}
+		secs := strconv.Itoa(int((ra + time.Second - 1) / time.Second))
+		switch {
+		case err == ErrWorkerBusy:
+			rw.Header().Set("Retry-After", secs)
+			http.Error(rw, err.Error(), http.StatusTooManyRequests)
+		case faultio.Transient(err):
+			rw.Header().Set("Retry-After", secs)
+			http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(res); err != nil {
+		w.Log.Warn("shard_response_encode_failed", "shard", req.Shard, "error", err)
+	}
+}

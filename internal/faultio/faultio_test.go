@@ -210,6 +210,66 @@ func TestRetryContextCancel(t *testing.T) {
 	}
 }
 
+// TestRetryCancelDuringBackoffReturnsCause: cancelling mid-backoff must
+// interrupt the sleep promptly and surface context.Cause, not wait out the
+// schedule — a drain's cause-carrying cancellation depends on both.
+func TestRetryCancelDuringBackoffReturnsCause(t *testing.T) {
+	cause := errors.New("drain in progress")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(cause)
+	}()
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	start := time.Now()
+	err := Retry(ctx, p, func() error { return ErrTransient })
+	if !errors.Is(err, cause) {
+		t.Fatalf("want the cancellation cause, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation waited out the backoff: %v", elapsed)
+	}
+}
+
+// TestRetryCancelInterruptsCustomSleep: a custom Sleep (e.g. a test clock or
+// a Retry-After-honoring sleeper) must not be able to block cancellation —
+// Retry returns the cause even while the sleeper is still asleep.
+func TestRetryCancelInterruptsCustomSleep(t *testing.T) {
+	cause := errors.New("shutdown requested")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	block := make(chan struct{})
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) { <-block },
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(cause)
+	}()
+	defer close(block)
+	start := time.Now()
+	err := Retry(ctx, p, func() error { return ErrTransient })
+	if !errors.Is(err, cause) {
+		t.Fatalf("want the cancellation cause, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("custom sleeper held cancellation hostage: %v", elapsed)
+	}
+}
+
+// TestRetryPreCanceledReturnsCause: a context already canceled with a cause
+// makes Retry return that cause without even calling fn.
+func TestRetryPreCanceledReturnsCause(t *testing.T) {
+	cause := errors.New("already draining")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	calls := 0
+	err := Retry(ctx, RetryPolicy{}, func() error { calls++; return ErrTransient })
+	if !errors.Is(err, cause) || calls != 0 {
+		t.Fatalf("want cause with no attempts, got err=%v calls=%d", err, calls)
+	}
+}
+
 // TestRetryOnRetryHook: the per-operation hook observes every scheduled
 // retry with its 1-based attempt number and the triggering error, and is not
 // invoked on the final give-up or on hard errors.

@@ -72,6 +72,11 @@ func (p RetryPolicy) resolve() RetryPolicy {
 // attempt budget is exhausted, or ctx ends. Only errors for which
 // Transient reports true are retried; anything else is returned as-is so
 // hard faults surface immediately.
+//
+// Cancellation is honored between attempts and during every backoff sleep,
+// custom Sleep implementations included: a canceled context makes Retry
+// return promptly with context.Cause(ctx), so a drain (whose cancellation
+// carries its own cause) is never held hostage by a backoff schedule.
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	p = p.resolve()
 	var rng *rand.Rand
@@ -81,8 +86,8 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	delay := p.BaseDelay
 	var err error
 	for attempt := 1; ; attempt++ {
-		if err = ctx.Err(); err != nil {
-			return err
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
 		}
 		err = fn()
 		if err == nil || !Transient(err) {
@@ -100,17 +105,39 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 		if rng != nil {
 			d = time.Duration(float64(d) * (1 - p.Jitter/2 + p.Jitter*rng.Float64()))
 		}
-		if p.Sleep != nil {
-			p.Sleep(d)
-		} else {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(d):
-			}
+		if err := sleepInterruptible(ctx, p.Sleep, d); err != nil {
+			return err
 		}
 		if delay *= 2; delay > p.MaxDelay {
 			delay = p.MaxDelay
 		}
+	}
+}
+
+// sleepInterruptible waits d using sleep (time.Sleep when nil), returning
+// early with the cancellation cause if ctx ends first. A custom sleeper runs
+// on its own goroutine so even a deterministic test clock cannot block a
+// cancellation from being observed.
+func sleepInterruptible(ctx context.Context, sleep func(time.Duration), d time.Duration) error {
+	if sleep == nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-t.C:
+			return nil
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sleep(d)
+	}()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-done:
+		return nil
 	}
 }

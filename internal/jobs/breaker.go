@@ -104,9 +104,11 @@ func (b *Breaker) Allow() error {
 }
 
 // Record feeds the outcome of an admitted commit back into the breaker.
-// Context cancellations are not storage failures and must not be recorded.
+// Context cancellations are not storage failures and must not be recorded —
+// including a drain's cause-carrying cancellation (ErrDraining), which
+// faultio.Retry surfaces instead of context.Canceled.
 func (b *Breaker) Record(err error) {
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrDraining)) {
 		b.mu.Lock()
 		b.trial = false // a cancelled trial neither closes nor re-opens
 		b.mu.Unlock()
@@ -131,6 +133,22 @@ func (b *Breaker) Record(err error) {
 		b.openedAt = b.now()
 		gBreakerState.Set(1)
 	}
+}
+
+// CooldownRemaining returns how long an open breaker will keep shedding
+// before it admits its half-open trial commit — the honest Retry-After hint
+// for a 503 caused by ErrBreakerOpen. Zero while closed or half-open.
+func (b *Breaker) CooldownRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return 0
+	}
+	rem := b.cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
 }
 
 // State returns "closed", "open", or "half-open" for /readyz and /metrics.

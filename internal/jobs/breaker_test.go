@@ -123,6 +123,46 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+func TestBreakerIgnoresDrainCause(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	// A commit abandoned because the manager is draining (the cause that
+	// faultio.Retry now surfaces instead of context.Canceled) is not a
+	// storage failure: must not trip.
+	b.Record(ErrDraining)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("ErrDraining tripped the breaker: %s", got)
+	}
+}
+
+func TestBreakerCooldownRemaining(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	if got := b.CooldownRemaining(); got != 0 {
+		t.Fatalf("closed breaker reports cooldown %v", got)
+	}
+	_ = b.Allow()
+	b.Record(errStorage)
+	if got := b.CooldownRemaining(); got != time.Minute {
+		t.Fatalf("freshly opened breaker: %v, want 1m", got)
+	}
+	clk.advance(40 * time.Second)
+	if got := b.CooldownRemaining(); got != 20*time.Second {
+		t.Fatalf("mid-cooldown: %v, want 20s", got)
+	}
+	clk.advance(2 * time.Minute)
+	if got := b.CooldownRemaining(); got != 0 {
+		t.Fatalf("past cooldown: %v, want 0", got)
+	}
+	if err := b.Allow(); err != nil { // half-open trial
+		t.Fatal(err)
+	}
+	if got := b.CooldownRemaining(); got != 0 {
+		t.Fatalf("half-open breaker reports cooldown %v", got)
+	}
+}
+
 func TestBreakerIgnoresContextErrors(t *testing.T) {
 	b, clk := newTestBreaker(1, time.Minute)
 	if err := b.Allow(); err != nil {

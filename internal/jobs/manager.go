@@ -331,6 +331,14 @@ func (m *Manager) Ready() error {
 	return nil
 }
 
+// RetryAfterHint returns how long a shed client should wait before retrying:
+// the breaker's remaining cooldown when it is open (retrying sooner is
+// guaranteed to be shed again), zero otherwise so callers fall back to their
+// static hint.
+func (m *Manager) RetryAfterHint() time.Duration {
+	return m.breaker.CooldownRemaining()
+}
+
 // Stats is a point-in-time queue summary (served alongside /metrics).
 type Stats struct {
 	Queued   int    `json:"queued"`
@@ -639,12 +647,13 @@ func (m *Manager) runJob(id string) {
 	case err == nil, errors.Is(err, errRequeue):
 	case errors.Is(err, context.DeadlineExceeded):
 		m.fail(id, fmt.Errorf("deadline exceeded after %v", spec.Timeout))
-	case draining(jctx) && errors.Is(err, context.Canceled):
+	case draining(jctx) && (errors.Is(err, context.Canceled) || errors.Is(err, ErrDraining)):
 		// The drain canceled the job in a phase with no boundary-requeue
 		// path of its own (e.g. mid shapes parse, or a commit retry that
-		// burned its budget on the canceled context). The spool still
-		// holds the last checkpoint — or nothing, for a fresh job — so
-		// putting it back on the queue is always sound.
+		// burned its budget on the canceled context — faultio.Retry
+		// surfaces that as the cancellation cause, ErrDraining). The spool
+		// still holds the last checkpoint — or nothing, for a fresh job —
+		// so putting it back on the queue is always sound.
 		m.requeue(id, true)
 	default:
 		m.fail(id, err)

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/s3pg/s3pg/internal/dist"
 	"github.com/s3pg/s3pg/internal/faultio"
 	"github.com/s3pg/s3pg/internal/jobs"
 	"github.com/s3pg/s3pg/internal/obs"
@@ -52,6 +53,12 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: the profile endpoints expose internals and cost CPU).
 	EnablePprof bool
+	// ShardWorker, when non-nil, mounts POST /shards so this daemon can
+	// serve shard scans for a distributed-transform coordinator. Shard
+	// requests share the server's admission gates: a draining or shedding
+	// daemon bounces them with 503 + Retry-After instead of taking on work
+	// it is trying to get rid of.
+	ShardWorker *dist.Worker
 }
 
 // Server is an http.Handler serving the job API.
@@ -95,6 +102,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.ShardWorker != nil {
+		s.mux.HandleFunc("POST /shards", s.handleShard)
+	}
 	if cfg.EnablePprof {
 		obs.RegisterPprofHandlers(s.mux)
 	}
@@ -141,9 +151,30 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// retryAfterSeconds is the Retry-After hint for 429/503 responses: the static
+// Config.RetryAfter floor, raised to the breaker's remaining cooldown when the
+// manager is shedding because the commit breaker is open — retrying before
+// that is guaranteed to be shed again. Always at least 1 second so distributed
+// clients never busy-loop on a zero hint.
+func (s *Server) retryAfterSeconds() int {
+	d := s.cfg.RetryAfter
+	if hint := s.cfg.Manager.RetryAfterHint(); hint > d {
+		d = hint
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+		s.setRetryAfter(w)
 		cReqRejects.Inc()
 	}
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
@@ -245,6 +276,22 @@ func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleShard admits a coordinator's shard-scan request through the same
+// gates as job submission, then hands it to the dist worker. The coordinator
+// treats the resulting 503s exactly like a busy worker's: back off for
+// Retry-After, try again or reroute.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if s.lameduck.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+		return
+	}
+	if err := s.cfg.Manager.Ready(); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.cfg.ShardWorker.Handle(w, r)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
@@ -253,11 +300,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.lameduck.Load() {
+		s.setRetryAfter(w)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining: lame duck\n")
 		return
 	}
 	if err := s.cfg.Manager.Ready(); err != nil {
+		s.setRetryAfter(w)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "not ready: %v\n", err)
 		return

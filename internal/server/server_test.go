@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -258,7 +260,35 @@ func TestHealthReadyAndLameDuck(t *testing.T) {
 	}
 }
 
+// TestReadyz503CarriesRetryAfter: every 503 the server produces — readyz and
+// submit rejections alike — carries a positive Retry-After hint so
+// distributed clients (the dist coordinator included) back off instead of
+// hammering a server that is guaranteed to shed them.
+func TestReadyz503CarriesRetryAfter(t *testing.T) {
+	srv, _ := newTestServer(t, jobs.Config{})
+	srv.EnterLameDuck()
+	rr, _ := doJSON(t, srv, "GET", "/readyz", nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("lame-duck readyz: %d", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("readyz 503 without Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
+	}
+	shapes, data := testDataset()
+	rr, _ = doJSON(t, srv, "POST", "/jobs", SubmitRequest{Shapes: shapes, Data: data})
+	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("lame-duck submit: code=%d Retry-After=%q", rr.Code, rr.Header().Get("Retry-After"))
+	}
+}
+
 func TestReadyzReflectsMemPressure(t *testing.T) {
+	// Pin enough live heap that HeapAlloc is certainly above the 1 MiB
+	// watermark: a fresh small test process can sit under 1 MiB and make
+	// the expected pressure vanish.
+	ballast := make([]byte, 8<<20)
+	defer runtime.KeepAlive(ballast)
 	srv, _ := newTestServer(t, jobs.Config{MaxMemMB: 1})
 	rr, raw := doJSON(t, srv, "GET", "/readyz", nil)
 	if rr.Code != http.StatusServiceUnavailable || !strings.Contains(string(raw), "memory") {
