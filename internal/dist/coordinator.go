@@ -115,6 +115,7 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	led       *Ledger // set early in Run
+	runID     string  // resolved run id; set early in Run (handleStatus reads it concurrently)
 	input     *os.File
 	inputSize int64
 
@@ -154,6 +155,13 @@ func (c *Coordinator) Ledger() *Ledger {
 	return c.led
 }
 
+// RunID returns the resolved run id ("" until Run derives it).
+func (c *Coordinator) RunID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runID
+}
+
 func (c *Coordinator) ledgerPath() string { return filepath.Join(c.cfg.StateDir, "ledger.json") }
 func (c *Coordinator) resultPath(shard int) string {
 	return filepath.Join(c.cfg.StateDir, fmt.Sprintf("shard-%04d.json", shard))
@@ -180,12 +188,14 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	rid := c.cfg.RunID
+	if rid == "" {
+		rid = fmt.Sprintf("%s-%d", filepath.Base(c.cfg.DataPath), st.Size())
+	}
 	c.mu.Lock()
 	c.input, c.inputSize = f, st.Size()
+	c.runID = rid
 	c.mu.Unlock()
-	if c.cfg.RunID == "" {
-		c.cfg.RunID = fmt.Sprintf("%s-%d", filepath.Base(c.cfg.DataPath), st.Size())
-	}
 
 	led, err := c.openLedger(f, st.Size())
 	if err != nil {
@@ -212,14 +222,14 @@ func (c *Coordinator) Run(ctx context.Context) error {
 // shards whose result blob is missing or corrupt are demoted back to
 // pending — re-execution is safe, losing a blob is not.
 func (c *Coordinator) openLedger(f *os.File, size int64) (*Ledger, error) {
-	led, err := LoadLedger(c.ledgerPath(), c.cfg.FS, c.cfg.DataPath, size, c.cfg.ShardCount)
+	led, err := LoadLedger(c.ledgerPath(), c.cfg.FS, c.cfg.DataPath, size, ClampShards(c.cfg.ShardCount, size))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		ranges, serr := SplitAligned(f, size, c.cfg.ShardCount)
 		if serr != nil {
 			return nil, serr
 		}
-		led, serr = NewLedger(c.ledgerPath(), c.cfg.FS, c.cfg.RunID, c.cfg.DataPath, size, ranges)
+		led, serr = NewLedger(c.ledgerPath(), c.cfg.FS, c.RunID(), c.cfg.DataPath, size, ranges)
 		if serr != nil {
 			return nil, serr
 		}
@@ -386,6 +396,18 @@ func (c *Coordinator) localShard(ctx context.Context, cl Claim) error {
 // complete persists a result blob and offers it to the ledger.
 func (c *Coordinator) complete(shard int, worker string, res *ShardResult) error {
 	led := c.Ledger()
+	// A late (speculative-twin) result for an already-done shard must never
+	// touch the accepted blob: a mismatched duplicate would otherwise
+	// overwrite it and fail merge's hash verification later. Record the
+	// duplicate in the ledger and stop.
+	if _, done := led.AcceptedHash(shard); done {
+		if _, err := led.Complete(shard, worker, res.Hash(), res.Lines, len(res.Triples)/3); err != nil {
+			c.cfg.Log.Error("shard_result_conflict", "shard", shard, "worker", worker, "error", err)
+			return err
+		}
+		c.cfg.Log.Info("shard_duplicate_discarded", "shard", shard, "worker", worker)
+		return led.Commit()
+	}
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return err
@@ -427,7 +449,7 @@ func (c *Coordinator) send(ctx context.Context, cl Claim, wid, url string) {
 		return
 	}
 	req := &ShardRequest{
-		RunID: c.cfg.RunID, Shard: cl.Shard, Start: cl.Start,
+		RunID: c.RunID(), Shard: cl.Shard, Start: cl.Start,
 		Lenient: c.cfg.Lenient, MaxBufferedErrors: c.maxBuffered(), Data: data,
 	}
 	start := time.Now()
@@ -647,7 +669,7 @@ type statusBody struct {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	led := c.Ledger()
-	body := statusBody{RunID: c.cfg.RunID, State: "initializing", Workers: c.reg.Workers()}
+	body := statusBody{RunID: c.RunID(), State: "initializing", Workers: c.reg.Workers()}
 	if led != nil {
 		body.Done, body.Total = led.Done()
 		body.Resumed = led.Resumed()

@@ -54,6 +54,11 @@ import (
 // occupied; the HTTP layer maps it to 429 so the coordinator backs off.
 var ErrWorkerBusy = errors.New("dist: worker at shard concurrency limit")
 
+// ErrBadShardRequest is returned by Worker.Process for requests that fail
+// validation (e.g. a run id that could escape the spool directory); the HTTP
+// layer maps it to 400 so the coordinator does not retry.
+var ErrBadShardRequest = errors.New("dist: bad shard request")
+
 // Observability instruments (obs.Default registry). The counters are the
 // chaos matrix's witnesses: a run that survived a worker kill shows
 // dist.shard.requeued > 0, a straggler rescue shows dist.shard.reassigned,

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -397,6 +399,126 @@ func TestWorkerHandleStatusMapping(t *testing.T) {
 	w.Handle(rr, req("{not json"))
 	if rr.Code != http.StatusBadRequest {
 		t.Fatalf("malformed: %d", rr.Code)
+	}
+}
+
+// TestWorkerConcurrentFirstRequests hammers a fresh worker with parallel
+// first requests. Regression: the semaphore used to be lazily initialized
+// with a racy nil-check, so two simultaneous first requests could mint
+// separate channels — breaking the MaxConcurrent cap and wedging a handler's
+// release forever (this test then hangs, and -race flags the write).
+func TestWorkerConcurrentFirstRequests(t *testing.T) {
+	w := &Worker{ID: "w", SpoolDir: filepath.Join(t.TempDir(), "spool"),
+		MaxConcurrent: 1, Delay: 100 * time.Millisecond}
+	raw, err := json.Marshal(&ShardRequest{RunID: "r", Shard: 0, Data: "<http://e/s> <http://e/p> \"v\" .\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			w.Handle(rr, httptest.NewRequest("POST", "/shards", strings.NewReader(string(raw))))
+			codes <- rr.Code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	ok, busy := 0, 0
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			busy++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if ok < 1 || ok+busy != n {
+		t.Fatalf("ok=%d busy=%d, want every request answered and at least one accepted", ok, busy)
+	}
+}
+
+// TestWorkerRejectsUnsafeRunID checks the spool-path guard: run ids arrive
+// over an unauthenticated endpoint and are spliced into a file name, so
+// anything that could escape SpoolDir must bounce with 400 (and no retry).
+func TestWorkerRejectsUnsafeRunID(t *testing.T) {
+	w := &Worker{ID: "w", SpoolDir: filepath.Join(t.TempDir(), "spool"), MaxConcurrent: 1}
+	post := func(runID string) int {
+		t.Helper()
+		raw, err := json.Marshal(&ShardRequest{RunID: runID, Shard: 0, Data: "<http://e/s> <http://e/p> \"v\" .\n"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := httptest.NewRecorder()
+		w.Handle(rr, httptest.NewRequest("POST", "/shards", strings.NewReader(string(raw))))
+		return rr.Code
+	}
+	for _, id := range []string{"", "../../tmp/evil", "a/b", `a\b`, "run\x00id", strings.Repeat("x", 201)} {
+		if code := post(id); code != http.StatusBadRequest {
+			t.Fatalf("run id %q: status %d, want 400", id, code)
+		}
+	}
+	// The id the coordinator derives (base name + size) still passes.
+	if code := post("input.nt-1024"); code != http.StatusOK {
+		t.Fatalf("derived-style run id: status %d, want 200", code)
+	}
+}
+
+// TestCompleteLateDuplicateKeepsAcceptedBlob checks that a late result for an
+// already-done shard never touches the persisted blob: a mismatched
+// speculative twin is reported, but the accepted blob still verifies against
+// the ledger hash so the merge can finish.
+func TestCompleteLateDuplicateKeepsAcceptedBlob(t *testing.T) {
+	c := New(Config{StateDir: t.TempDir(), ShardCount: 1})
+	res1, err := ScanShard("<http://e/s> <http://e/p> \"a\" .\n", 0, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ScanShard("<http://e/s> <http://e/p> \"b\" .\n", 0, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := NewLedger(c.ledgerPath(), nil, "run", "input.nt", 32, []Range{{Start: 0, End: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.led = led
+
+	if err := c.complete(0, "w1", res1); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := os.ReadFile(c.resultPath(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.complete(0, "w2", res2); err == nil {
+		t.Fatal("mismatched duplicate result must be reported")
+	}
+	after, err := os.ReadFile(c.resultPath(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(accepted, after) {
+		t.Fatal("mismatched duplicate overwrote the accepted blob")
+	}
+	if _, err := c.loadResult(0, led.Shards()[0].Hash); err != nil {
+		t.Fatalf("accepted blob no longer verifies: %v", err)
+	}
+
+	// A matching duplicate (the usual speculative twin) is discarded quietly.
+	if err := c.complete(0, "w3", res1); err != nil {
+		t.Fatal(err)
+	}
+	s := led.Shards()[0]
+	if s.Completions != 1 || s.Duplicates != 2 || s.Worker != "w1" {
+		t.Fatalf("shard after duplicates: %+v", s)
 	}
 }
 

@@ -326,6 +326,19 @@ func (l *Ledger) Complete(shard int, worker, hash string, lines, triples int) (a
 	return true, nil
 }
 
+// AcceptedHash returns the accepted result's content hash for a done shard;
+// done is false while the shard is still pending or in flight. Callers use it
+// to avoid clobbering an accepted result blob with a late duplicate.
+func (l *Ledger) AcceptedHash(shard int) (hash string, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.file.Shards[shard]
+	if s.State != ShardDone {
+		return "", false
+	}
+	return s.Hash, true
+}
+
 // dropSendQuiet removes a send without requeue side effects (the shard is
 // about to be marked done). Callers hold mu.
 func (l *Ledger) dropSendQuiet(s *Shard, worker string) {

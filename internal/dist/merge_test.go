@@ -258,6 +258,25 @@ func TestSplitAlignedLongLine(t *testing.T) {
 	}
 }
 
+// TestSplitAlignedEmptyInput checks the clamp order: an empty input must
+// still yield one (empty) shard, not zero — a zero-shard ledger would fail
+// resume validation ("ledger has 0 shards") on a coordinator restart.
+func TestSplitAlignedEmptyInput(t *testing.T) {
+	ranges, err := SplitAligned(strings.NewReader(""), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || ranges[0] != (Range{Start: 0, End: 0}) {
+		t.Fatalf("ranges = %+v, want exactly one empty range", ranges)
+	}
+	if got := ClampShards(8, 0); got != 1 {
+		t.Fatalf("ClampShards(8, 0) = %d, want 1", got)
+	}
+	if got := ClampShards(8, 3); got != 3 {
+		t.Fatalf("ClampShards(8, 3) = %d, want 3", got)
+	}
+}
+
 // TestShardResultHashIgnoresWorker checks the duplicate-detection hash is
 // content-only: the same shard scanned by two workers hashes identically.
 func TestShardResultHashIgnoresWorker(t *testing.T) {

@@ -28,12 +28,7 @@ type Range struct {
 // collapses them); empty ranges scan to empty results, which keeps shard ids
 // stable for any input.
 func SplitAligned(r io.ReaderAt, size int64, n int) ([]Range, error) {
-	if n < 1 {
-		n = 1
-	}
-	if int64(n) > size {
-		n = int(size)
-	}
+	n = ClampShards(n, size)
 	ranges := make([]Range, 0, n)
 	var prev int64
 	for i := 1; i <= n; i++ {
@@ -55,6 +50,21 @@ func SplitAligned(r io.ReaderAt, size int64, n int) ([]Range, error) {
 		prev = aligned
 	}
 	return ranges, nil
+}
+
+// ClampShards is the shard-count clamp SplitAligned applies: never more
+// shards than input bytes, never fewer than one — the size clamp runs first
+// so an empty input still yields one (empty) shard instead of zero, which
+// keeps the persisted ledger resumable. Resume validation uses the same
+// clamp so a restart against a small input compares like with like.
+func ClampShards(n int, size int64) int {
+	if int64(n) > size {
+		n = int(size)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // alignToLineStart returns the offset of the first line start at or after

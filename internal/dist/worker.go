@@ -3,12 +3,14 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/s3pg/s3pg/internal/ckpt"
@@ -48,18 +50,21 @@ type Worker struct {
 	// Log receives structured records; nil discards them.
 	Log *obs.Logger
 
-	sem chan struct{}
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
-// init lazily prepares the semaphore.
+// acquire claims a shard slot. The semaphore is initialized exactly once —
+// Handle runs concurrently on the HTTP mux, so a lazy nil-check here would be
+// a race that could mint two channels and break the concurrency cap.
 func (w *Worker) acquire() bool {
-	if w.sem == nil {
+	w.semOnce.Do(func() {
 		n := w.MaxConcurrent
 		if n <= 0 {
 			n = 2
 		}
 		w.sem = make(chan struct{}, n)
-	}
+	})
 	select {
 	case w.sem <- struct{}{}:
 		return true
@@ -70,10 +75,37 @@ func (w *Worker) acquire() bool {
 
 func (w *Worker) release() { <-w.sem }
 
+// validRunID accepts the ids the coordinator derives (input base name plus
+// size, e.g. "data.nt-1024") and nothing that could traverse out of SpoolDir
+// when used as a file-name prefix: no separators, no NULs, no empty id. The
+// id is a prefix of the spool file name, never a whole path component, so
+// dots are harmless.
+func validRunID(id string) bool {
+	if id == "" || len(id) > 200 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Process scans one shard: spool, optional straggler delay, scan. The
 // returned error is ErrWorkerBusy when concurrency is exhausted, a transient
 // (faultio) error when the spool commit failed transiently, or a hard error.
 func (w *Worker) Process(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	// The run id is spliced into a spool file name and arrives from an
+	// unauthenticated endpoint: anything outside the safe alphabet (notably
+	// path separators) could escape SpoolDir, so it is rejected outright.
+	if !validRunID(req.RunID) {
+		return nil, fmt.Errorf("%w: run id %q", ErrBadShardRequest, req.RunID)
+	}
 	if !w.acquire() {
 		return nil, ErrWorkerBusy
 	}
@@ -143,6 +175,8 @@ func (w *Worker) Handle(rw http.ResponseWriter, r *http.Request) {
 		}
 		secs := strconv.Itoa(int((ra + time.Second - 1) / time.Second))
 		switch {
+		case errors.Is(err, ErrBadShardRequest):
+			http.Error(rw, err.Error(), http.StatusBadRequest)
 		case err == ErrWorkerBusy:
 			rw.Header().Set("Retry-After", secs)
 			http.Error(rw, err.Error(), http.StatusTooManyRequests)
