@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-obs bench-dist verify fuzz chaos dist-chaos experiments
+.PHONY: build test bench bench-json bench-obs bench-dist bench-delta verify fuzz chaos dist-chaos delta-chaos experiments
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,16 @@ bench-obs:
 bench-dist:
 	$(GO) run ./cmd/benchjson -mode dist -out BENCH_dist.json
 
+# bench-delta measures change-based incremental maintenance (ApplyDelta)
+# against full re-transformation, writing BENCH_delta.json. Two workloads:
+# grow-only batches ride the monotone fast path (the speedup gate), and
+# mixed churn (deletes + mutations) takes the deterministic rebuild path
+# (informational). Byte-equality of the incrementally maintained exports
+# with a from-scratch transform is a hard gate on both.
+MIN_DELTA_SPEEDUP ?= 0
+bench-delta:
+	$(GO) run ./cmd/benchjson -mode delta -out BENCH_delta.json -min-speedup $(MIN_DELTA_SPEEDUP)
+
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)
 # under the race detector, the full test suite (including the corrupted-input
@@ -57,7 +67,8 @@ FUZZ_TARGETS = \
 	FuzzReadTurtle:./internal/rio \
 	FuzzLexer:./internal/cypher \
 	FuzzParse:./internal/cypher \
-	FuzzParse:./internal/sparql
+	FuzzParse:./internal/sparql \
+	FuzzParseUpdate:./internal/sparql
 
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
@@ -87,6 +98,18 @@ dist-chaos:
 	$(GO) test -race -count=1 ./internal/dist
 	S3PGD_CHAOS_LOG_DIR=$(CHAOS_LOG_DIR) \
 		$(GO) test -race -count=1 -run 'TestDist' ./cmd/s3pgd
+
+# delta-chaos runs the crash-safe incremental-transform matrix: the WAL and
+# live-graph layers under the race detector, then the SIGKILL matrix against
+# the real daemon — kill mid-ApplyDelta, mid-WAL-append, and mid-/changes
+# stream — asserting no acknowledged LSN is lost or double-applied, resumed
+# subscriber streams are byte-identical to uninterrupted ones, and the
+# recovered exports equal a full re-transform of the accepted batch prefix.
+# Daemon logs land in CHAOS_LOG_DIR for post-mortem.
+delta-chaos:
+	$(GO) test -race -count=1 ./internal/wal ./internal/server
+	S3PGD_CHAOS_LOG_DIR=$(CHAOS_LOG_DIR) \
+		$(GO) test -race -count=1 -run 'TestDeltaChaos' ./cmd/s3pgd
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,5 +1,5 @@
 // Command benchjson measures the pipeline and emits machine-readable JSON
-// for CI trend tracking and regression gates. It has three modes.
+// for CI trend tracking and regression gates. It has four modes.
 //
 // -mode parallel (the default, BENCH_parallel.json) measures the parallel
 // pipeline's speedup over the sequential path. It generates a seeded
@@ -25,9 +25,18 @@
 // round-trips and spool writes dominate, and the mode exists to track that
 // overhead, not to prove distribution wins on one machine.
 //
+// -mode delta (BENCH_delta.json) measures change-based incremental
+// maintenance: a DeltaState absorbing update batches versus re-transforming
+// the evolved snapshot from scratch. Two workloads run: grow-only batches
+// (no deletions, no new types) ride the monotone fast path and carry the
+// speedup gate; mixed churn (deletions + literal mutations) takes the
+// deterministic rebuild path and its number is informational. On both,
+// byte-equality of the incrementally maintained exports with the
+// from-scratch transform is a hard gate.
+//
 // Usage:
 //
-//	benchjson [-mode parallel|obs|dist] [-out FILE] [-scale 0.002] [-reps 3]
+//	benchjson [-mode parallel|obs|dist|delta] [-out FILE] [-scale 0.002] [-reps 3]
 //	          [-min-speedup 0] [-workers 1,2,4] [-max-overhead-pct 0]
 //	          [-dist-workers 3] [-dist-shards 8]
 //
@@ -60,6 +69,7 @@ import (
 	"github.com/s3pg/s3pg/internal/dist"
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/shapeex"
@@ -125,8 +135,13 @@ func main() {
 			*out = "BENCH_dist.json"
 		}
 		err = runDist(*out, *scale, *reps, *distWorkers, *distShards)
+	case "delta":
+		if *out == "" {
+			*out = "BENCH_delta.json"
+		}
+		err = runDelta(*out, *scale, *reps, *minSpeedup)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, obs, or dist)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, obs, dist, or delta)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -501,6 +516,200 @@ func runDist(out string, scale float64, reps, workers, shards int) error {
 	fmt.Fprintf(os.Stderr, "benchjson: dist workers=%d shards=%d best %.1fms vs sequential %.1fms (%.2fx)\n",
 		workers, shards, float64(rep.DistBestNs)/1e6, float64(rep.SequentialBestNs)/1e6, rep.Speedup)
 	return writeJSON(out, &rep)
+}
+
+// DeltaWorkload is one batch regime's measurement inside BENCH_delta.json.
+type DeltaWorkload struct {
+	Name            string `json:"name"`
+	Batches         int    `json:"batches"`
+	DeltaStatements int    `json:"delta_statements"`
+	// ApplyBestNs is the best total time to absorb the whole batch sequence.
+	ApplyBestNs int64 `json:"apply_best_ns"`
+	PerBatchNs  int64 `json:"per_batch_ns"`
+	// RetransformBestNs is one full from-scratch transform of the final
+	// evolved snapshot — what a non-incremental system pays per batch.
+	RetransformBestNs int64 `json:"retransform_best_ns"`
+	// Speedup compares one incremental batch against one full re-transform.
+	Speedup     float64 `json:"speedup_vs_retransform"`
+	FastApplies int64   `json:"fast_applies"`
+	Rebuilds    int64   `json:"rebuilds"`
+	Identical   bool    `json:"identical_to_retransform"`
+}
+
+// DeltaReport is the BENCH_delta.json document.
+type DeltaReport struct {
+	CPUs       int             `json:"cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Dataset    string          `json:"dataset"`
+	Scale      float64         `json:"scale"`
+	Triples    int             `json:"triples"`
+	Reps       int             `json:"reps"`
+	Workloads  []DeltaWorkload `json:"workloads"`
+	Gate       string          `json:"gate"` // "passed", "failed", "skipped", or "off"
+	MinSpeedup float64         `json:"min_speedup,omitempty"`
+}
+
+// runDelta measures incremental maintenance against full re-transformation.
+// Batches are pre-generated deterministically (each valid against the graph
+// state its predecessors produce), then each rep replays the sequence
+// through a fresh DeltaState. Byte-equality of the final incremental exports
+// with a from-scratch transform of the evolved snapshot is a hard gate; the
+// speedup gate (grow-only workload only) is skipped on <4-CPU machines like
+// the other timing gates.
+func runDelta(out string, scale float64, reps int, minSpeedup float64) error {
+	const dataset = "DBpedia2022"
+	p := datagen.Profiles()[dataset]
+	base := datagen.Generate(p, scale, 1)
+	shapes := shapeex.Extract(base, shapeex.Options{MinSupport: 0.02})
+
+	rep := DeltaReport{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    dataset,
+		Scale:      scale,
+		Triples:    base.Len(),
+		Reps:       reps,
+		Gate:       "off",
+		MinSpeedup: minSpeedup,
+	}
+
+	workloads := []struct {
+		name    string
+		batches []*rdf.Delta
+	}{
+		{"grow-only", growBatches(base, p, 8)},
+		{"mixed-churn", churnBatches(base, p, 4)},
+	}
+	for _, wl := range workloads {
+		stmts := 0
+		for _, d := range wl.batches {
+			stmts += d.Len()
+		}
+		applyBest := int64(-1)
+		var state *core.DeltaState
+		for r := 0; r < reps; r++ {
+			st, err := core.NewDeltaState(base.Clone(), shapes, core.NonParsimonious)
+			if err != nil {
+				return fmt.Errorf("%s: %w", wl.name, err)
+			}
+			runtime.GC()
+			start := time.Now()
+			for i, d := range wl.batches {
+				if _, err := st.ApplyDelta(d); err != nil {
+					return fmt.Errorf("%s batch %d: %w", wl.name, i, err)
+				}
+			}
+			if ns := time.Since(start).Nanoseconds(); applyBest < 0 || ns < applyBest {
+				applyBest = ns
+			}
+			state = st
+		}
+		var gotNodes, gotEdges bytes.Buffer
+		if err := state.WriteCSV(&gotNodes, &gotEdges); err != nil {
+			return err
+		}
+
+		retrBest := int64(-1)
+		var want outputs
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			start := time.Now()
+			store, schema, err := core.Transform(state.Graph(), shapes, core.NonParsimonious)
+			if err != nil {
+				return fmt.Errorf("%s: re-transform: %w", wl.name, err)
+			}
+			if ns := time.Since(start).Nanoseconds(); retrBest < 0 || ns < retrBest {
+				retrBest = ns
+			}
+			var nodes, edges bytes.Buffer
+			if err := store.WriteCSV(&nodes, &edges); err != nil {
+				return err
+			}
+			want = outputs{pgschema.WriteDDL(schema), nodes.Bytes(), edges.Bytes()}
+		}
+		identical := state.SchemaDDL() == want.ddl &&
+			bytes.Equal(gotNodes.Bytes(), want.nodes) &&
+			bytes.Equal(gotEdges.Bytes(), want.edges)
+		if !identical {
+			return fmt.Errorf("%s: incremental exports differ from the full re-transformation", wl.name)
+		}
+		perBatch := applyBest / int64(len(wl.batches))
+		rep.Workloads = append(rep.Workloads, DeltaWorkload{
+			Name:              wl.name,
+			Batches:           len(wl.batches),
+			DeltaStatements:   stmts,
+			ApplyBestNs:       applyBest,
+			PerBatchNs:        perBatch,
+			RetransformBestNs: retrBest,
+			Speedup:           float64(retrBest) / float64(perBatch),
+			FastApplies:       state.FastApplies(),
+			Rebuilds:          state.Rebuilds(),
+			Identical:         identical,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: delta %s: %.2fms/batch vs %.2fms re-transform (%.1fx, %d fast / %d rebuilds)\n",
+			wl.name, float64(perBatch)/1e6, float64(retrBest)/1e6,
+			float64(retrBest)/float64(perBatch), state.FastApplies(), state.Rebuilds())
+	}
+
+	if minSpeedup > 0 {
+		grow := rep.Workloads[0]
+		switch {
+		case rep.CPUs < 4:
+			rep.Gate = "skipped"
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %d CPU(s) < 4, timing too noisy to gate on\n", rep.CPUs)
+		case grow.Speedup >= minSpeedup:
+			rep.Gate = "passed"
+		default:
+			rep.Gate = "failed"
+		}
+	}
+	if err := writeJSON(out, &rep); err != nil {
+		return err
+	}
+	if rep.Gate == "failed" {
+		return fmt.Errorf("delta speedup gate failed: grow-only reached %.2fx < required %.2fx",
+			rep.Workloads[0].Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// growBatches pre-generates insert-only batches: new property values with
+// the rdf:type statements filtered out, so every batch stays on the
+// monotone fast path.
+func growBatches(base *rdf.Graph, p *datagen.Profile, n int) []*rdf.Delta {
+	scratch := base.Clone()
+	batches := make([]*rdf.Delta, 0, n)
+	for i := 0; i < n; i++ {
+		d := &rdf.Delta{}
+		datagen.Evolve(scratch, p, 0.01, int64(500+i)).ForEach(func(t rdf.Triple) bool {
+			if t.P != rdf.A {
+				d.Inserts = append(d.Inserts, t)
+				scratch.Add(t)
+			}
+			return true
+		})
+		batches = append(batches, d)
+	}
+	return batches
+}
+
+// churnBatches pre-generates mixed-churn batches, each valid against the
+// graph state produced by its predecessors.
+func churnBatches(base *rdf.Graph, p *datagen.Profile, n int) []*rdf.Delta {
+	scratch := base.Clone()
+	churn := datagen.Churn{AddFrac: 0.01, DeleteFrac: 0.005, MutateFrac: 0.005}
+	batches := make([]*rdf.Delta, 0, n)
+	for i := 0; i < n; i++ {
+		d := datagen.EvolveChurn(scratch, p, churn, int64(700+i))
+		for _, t := range d.Deletes {
+			scratch.Remove(t)
+		}
+		for _, t := range d.Inserts {
+			scratch.Add(t)
+		}
+		batches = append(batches, d)
+	}
+	return batches
 }
 
 // pipelineObs is pipeline with the daemon's per-job telemetry live: a span

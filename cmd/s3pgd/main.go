@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +56,15 @@ const (
 //   - S3PGD_SHARD_DELAY stalls every shard scan in worker mode by the given
 //     duration, turning the worker into a straggler so the chaos matrix can
 //     open wide SIGKILL and speculation windows.
+//   - S3PGD_DELTA_STALL ("apply=50ms", "wal=50ms", or both comma-separated)
+//     stalls every live-graph update at the named point — just before
+//     ApplyDelta or just before the WAL append — so the delta chaos matrix
+//     can SIGKILL the daemon deterministically inside either window.
 const (
 	faultFSEnv    = "S3PG_FAULT_FS"
 	exitFileEnv   = "S3PGD_EXIT_FILE"
 	shardDelayEnv = "S3PGD_SHARD_DELAY"
+	deltaStallEnv = "S3PGD_DELTA_STALL"
 )
 
 var cCommitRetries = obs.Default.Counter("daemon.commit.retries")
@@ -167,6 +173,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 
+	graphCfg := server.GraphConfig{
+		Dir:        filepath.Join(*spool, "graphs"),
+		FS:         commitFS,
+		QueueDepth: *queueDepth,
+		Log:        logger.With("component", "graphs"),
+	}
+	if spec := os.Getenv(deltaStallEnv); spec != "" {
+		if err := parseDeltaStall(spec, &graphCfg); err != nil {
+			fmt.Fprintf(stderr, "s3pgd: error: %s: %v\n", deltaStallEnv, err)
+			return exitUsage
+		}
+		logger.Info("delta_stall_active", "env", deltaStallEnv, "spec", spec)
+	}
+	graphs, err := server.OpenGraphs(graphCfg)
+	if err != nil {
+		logger.Error("open_graphs_failed", "dir", graphCfg.Dir, "error", err)
+		return exitError
+	}
+	defer graphs.Close()
+
 	var shardWorker *dist.Worker
 	if *join != "" {
 		shardWorker = &dist.Worker{
@@ -193,6 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Version:      version,
 		EnablePprof:  *pprofHTTP,
 		ShardWorker:  shardWorker,
+		Graphs:       graphs,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -255,7 +282,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		close(abort)
 	}()
 	done := make(chan int, 1)
-	go func() { done <- shutdown(srv, httpSrv, mgr, *lameduck, *drainTimeout, logger) }()
+	go func() { done <- shutdown(srv, httpSrv, mgr, graphs, *lameduck, *drainTimeout, logger) }()
 	select {
 	case code := <-done:
 		if code == exitOK {
@@ -274,11 +301,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // shutdown is the graceful-drain sequence: fail readiness first (lame-duck
 // window for load balancers), stop the listener, then drain the job manager
 // so every in-flight job checkpoints and requeues durably.
-func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lameduck, drainTimeout time.Duration, logger *obs.Logger) int {
+func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, graphs *server.GraphManager, lameduck, drainTimeout time.Duration, logger *obs.Logger) int {
 	srv.EnterLameDuck()
 	if lameduck > 0 {
 		time.Sleep(lameduck)
 	}
+	// Wake long-polling change subscribers first: their handlers must return
+	// before the listener shutdown below can complete.
+	graphs.EnterDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -288,8 +318,35 @@ func shutdown(srv *server.Server, httpSrv *http.Server, mgr *jobs.Manager, lamed
 		logger.Error("drain_failed", "error", err)
 		return exitError
 	}
+	if err := graphs.Close(); err != nil {
+		logger.Warn("graphs_close_failed", "error", err)
+	}
 	logger.Info("drained")
 	return exitOK
+}
+
+// parseDeltaStall parses the S3PGD_DELTA_STALL spec ("apply=50ms,wal=20ms")
+// into the graph config's chaos hooks.
+func parseDeltaStall(spec string, cfg *server.GraphConfig) error {
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fmt.Errorf("bad entry %q (want point=duration)", kv)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "apply":
+			cfg.StallApply = d
+		case "wal":
+			cfg.StallWAL = d
+		default:
+			return fmt.Errorf("unknown stall point %q (want apply or wal)", key)
+		}
+	}
+	return nil
 }
 
 // coordCfg carries the coordinator-mode flags.

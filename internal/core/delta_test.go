@@ -1,0 +1,377 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/pgschema"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/sparql"
+)
+
+// exportState captures the maintained outputs of a DeltaState.
+func exportState(t *testing.T, s *core.DeltaState) (nodes, edges []byte, ddl string) {
+	t.Helper()
+	var nb, eb bytes.Buffer
+	if err := s.WriteCSV(&nb, &eb); err != nil {
+		t.Fatal(err)
+	}
+	return nb.Bytes(), eb.Bytes(), s.SchemaDDL()
+}
+
+// exportBaseline runs the from-scratch full transformation of the state's
+// current graph — the byte-equality oracle every incremental step must match.
+func exportBaseline(t *testing.T, s *core.DeltaState) (nodes, edges []byte, ddl string) {
+	t.Helper()
+	store, spg, err := core.Transform(s.Graph(), fixtures.UniversityShapes(), s.Mode())
+	if err != nil {
+		t.Fatalf("baseline transform: %v", err)
+	}
+	var nb, eb bytes.Buffer
+	if err := store.WriteCSV(&nb, &eb); err != nil {
+		t.Fatal(err)
+	}
+	return nb.Bytes(), eb.Bytes(), pgschema.WriteDDL(spg)
+}
+
+func assertMatchesBaseline(t *testing.T, s *core.DeltaState, step string) {
+	t.Helper()
+	gotN, gotE, gotDDL := exportState(t, s)
+	wantN, wantE, wantDDL := exportBaseline(t, s)
+	if !bytes.Equal(gotN, wantN) {
+		t.Fatalf("%s: nodes.csv diverged from full re-transform\n got: %s\nwant: %s", step, gotN, wantN)
+	}
+	if !bytes.Equal(gotE, wantE) {
+		t.Fatalf("%s: edges.csv diverged from full re-transform\n got: %s\nwant: %s", step, gotE, wantE)
+	}
+	if gotDDL != wantDDL {
+		t.Fatalf("%s: schema DDL diverged from full re-transform\n got: %s\nwant: %s", step, gotDDL, wantDDL)
+	}
+}
+
+func newUniversityState(t *testing.T) *core.DeltaState {
+	t.Helper()
+	s, err := core.NewDeltaState(fixtures.UniversityGraph(), fixtures.UniversityShapes(), core.Parsimonious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustUpdate(t *testing.T, src string) *rdf.Delta {
+	t.Helper()
+	d, err := sparql.ParseUpdate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const exPrefix = "PREFIX ex: <http://example.org/univ#>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n"
+
+func TestApplyDeltaInsertOnlyRidesFastPath(t *testing.T) {
+	s := newUniversityState(t)
+	d := mustUpdate(t, exPrefix+`INSERT DATA {
+		ex:bob ex:dob "1999-02-03"^^xsd:date .
+		ex:bob ex:takesCourse "Advanced Logic" .
+		ex:alice ex:email "alice@example.org" .
+	}`)
+	pgd, err := s.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FastApplies() != 1 || s.Rebuilds() != 0 {
+		t.Fatalf("fast=%d rebuilds=%d, want 1/0", s.FastApplies(), s.Rebuilds())
+	}
+	if pgd.Empty() {
+		t.Fatal("insert batch produced an empty PG delta")
+	}
+	// ex:email is uncovered by the shapes → the batch extends the schema.
+	if pgd.SchemaDDL == "" || !strings.Contains(pgd.SchemaDDL, "email") {
+		t.Fatalf("schema extension not reported: %q", pgd.SchemaDDL)
+	}
+	assertMatchesBaseline(t, s, "insert-only")
+}
+
+func TestApplyDeltaTypeInsertTakesRebuildPath(t *testing.T) {
+	s := newUniversityState(t)
+	d := mustUpdate(t, exPrefix+`INSERT DATA {
+		ex:carol a ex:Person, ex:Student ;
+			ex:name "Carol" ;
+			ex:regNo "Cs7" ;
+			ex:advisedBy ex:alice .
+	}`)
+	if _, err := s.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	// A type statement would be hoisted into phase 1 of a full run, so it
+	// cannot ride the append-only fast path.
+	if s.Rebuilds() != 1 {
+		t.Fatalf("rebuilds=%d, want 1", s.Rebuilds())
+	}
+	assertMatchesBaseline(t, s, "typed insert")
+}
+
+func TestApplyDeltaDeleteHeavy(t *testing.T) {
+	s := newUniversityState(t)
+	d := mustUpdate(t, exPrefix+`DELETE DATA {
+		ex:bob ex:takesCourse "Intro to Logic" .
+		ex:bob ex:dob "1999"^^xsd:gYear .
+		ex:AAU a ex:University .
+		ex:AAU ex:name "Aalborg University" .
+		ex:CS ex:partOf ex:AAU .
+	}`)
+	pgd, err := s.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deletes := 0
+	for _, nc := range pgd.Nodes {
+		if nc.Op == core.OpDelete {
+			deletes++
+		}
+	}
+	if deletes == 0 {
+		t.Fatalf("delete-heavy batch reported no node deletions: %+v", pgd.Nodes)
+	}
+	assertMatchesBaseline(t, s, "delete-heavy")
+}
+
+func TestApplyDeltaMixedChurnSequence(t *testing.T) {
+	s := newUniversityState(t)
+	steps := []string{
+		// Mutate a property: delete + reinsert with a new value.
+		exPrefix + `DELETE DATA { ex:alice ex:dob "1975-05-17"^^xsd:date . } ;
+			INSERT DATA { ex:alice ex:dob "1975-05-18"^^xsd:date . }`,
+		// Grow monotonically.
+		exPrefix + `INSERT DATA { ex:DB ex:credits "10"^^xsd:integer . }`,
+		// New entity plus edge rewiring in one batch.
+		exPrefix + `DELETE DATA { ex:bob ex:advisedBy ex:alice . } ;
+			INSERT DATA {
+				ex:dave a ex:Person, ex:Faculty, ex:Professor ;
+					ex:name "Dave" ;
+					ex:worksFor ex:CS .
+				ex:bob ex:advisedBy ex:dave .
+			}`,
+		// Delete an entity wholesale.
+		exPrefix + `DELETE DATA {
+			ex:DB a ex:Course . ex:DB a ex:GraduateCourse .
+			ex:DB ex:name "Databases" . ex:DB ex:credits "10"^^xsd:integer .
+			ex:bob ex:takesCourse ex:DB .
+		}`,
+		// Re-insert a previously deleted triple (lands at a new admission slot).
+		exPrefix + `INSERT DATA { ex:bob ex:advisedBy ex:alice . }`,
+	}
+	for i, src := range steps {
+		if _, err := s.ApplyDelta(mustUpdate(t, src)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		assertMatchesBaseline(t, s, src[:60])
+	}
+	if s.FastApplies() == 0 || s.Rebuilds() == 0 {
+		t.Fatalf("churn sequence should exercise both paths: fast=%d rebuilds=%d", s.FastApplies(), s.Rebuilds())
+	}
+}
+
+func TestApplyDeltaAnnotations(t *testing.T) {
+	s := newUniversityState(t)
+	// Insert a statement and an RDF-star annotation on it in one batch.
+	ins := mustUpdate(t, exPrefix+`INSERT DATA {
+		ex:carol a ex:Person ; ex:name "Carol" .
+		ex:carol ex:knows ex:bob .
+		<< ex:carol ex:knows ex:bob >> ex:since "2020"^^xsd:gYear .
+	}`)
+	if _, err := s.ApplyDelta(ins); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBaseline(t, s, "annotated insert")
+
+	// With annotations present, even pure inserts must take the rebuild path
+	// (the annotation pass does not commute with appended triples).
+	rebuilds := s.Rebuilds()
+	if _, err := s.ApplyDelta(mustUpdate(t, exPrefix+`INSERT DATA { ex:carol ex:age "30"^^xsd:integer . }`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rebuilds() != rebuilds+1 {
+		t.Fatalf("insert with annotations present did not rebuild (rebuilds=%d)", s.Rebuilds())
+	}
+	assertMatchesBaseline(t, s, "insert under annotations")
+
+	// Deleting the annotated statement while keeping the annotation orphans
+	// it — strict mode rejects the batch and the state must roll back.
+	gotN, gotE, gotDDL := exportState(t, s)
+	before := s.Graph().Clone()
+	_, err := s.ApplyDelta(mustUpdate(t, exPrefix+`DELETE DATA { ex:carol ex:knows ex:bob . }`))
+	if err == nil || !strings.Contains(err.Error(), "not realized as an edge") {
+		t.Fatalf("orphaned annotation not rejected: %v", err)
+	}
+	if !s.Graph().Equal(before) {
+		t.Fatal("rejected batch left the RDF graph changed")
+	}
+	n2, e2, ddl2 := exportState(t, s)
+	if !bytes.Equal(gotN, n2) || !bytes.Equal(gotE, e2) || gotDDL != ddl2 {
+		t.Fatal("rejected batch left the property graph changed")
+	}
+
+	// Deleting statement and annotation together is fine.
+	if _, err := s.ApplyDelta(mustUpdate(t, exPrefix+`DELETE DATA {
+		ex:carol ex:knows ex:bob .
+		<< ex:carol ex:knows ex:bob >> ex:since "2020"^^xsd:gYear .
+	}`)); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBaseline(t, s, "annotation removed")
+}
+
+func TestApplyDeltaRejectionsRollBackExactly(t *testing.T) {
+	s := newUniversityState(t)
+	gotN, gotE, _ := exportState(t, s)
+	before := s.Graph().Clone()
+	cases := []string{
+		// Typed quoted triple.
+		exPrefix + `INSERT DATA { << ex:bob ex:advisedBy ex:alice >> a ex:Claim . }`,
+		// Annotation on a statement that does not exist.
+		exPrefix + `INSERT DATA { << ex:bob ex:advisedBy ex:zed >> ex:since "2020"^^xsd:gYear . }`,
+		// Annotation with a language-tagged value.
+		exPrefix + `INSERT DATA { << ex:bob ex:advisedBy ex:alice >> ex:note "hi"@en . }`,
+	}
+	for _, src := range cases {
+		if _, err := s.ApplyDelta(mustUpdate(t, src)); err == nil {
+			t.Fatalf("batch %q was not rejected", src)
+		}
+		if !s.Graph().Equal(before) {
+			t.Fatalf("batch %q left the RDF graph changed", src)
+		}
+		n2, e2, _ := exportState(t, s)
+		if !bytes.Equal(gotN, n2) || !bytes.Equal(gotE, e2) {
+			t.Fatalf("batch %q left the property graph changed", src)
+		}
+	}
+	// The state is still usable after rejections.
+	if _, err := s.ApplyDelta(mustUpdate(t, exPrefix+`INSERT DATA { ex:alice ex:office "B2-201" . }`)); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBaseline(t, s, "after rejections")
+}
+
+func TestApplyDeltaNoopBatch(t *testing.T) {
+	s := newUniversityState(t)
+	n1, e1, ddl1 := exportState(t, s)
+	// Deleting an absent triple and inserting a present one are both no-ops.
+	pgd, err := s.ApplyDelta(mustUpdate(t, exPrefix+`
+		DELETE DATA { ex:zed ex:name "Nobody" . } ;
+		INSERT DATA { ex:alice ex:name "Alice" . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pgd.Empty() {
+		t.Fatalf("no-op batch produced changes: %+v", pgd)
+	}
+	n2, e2, ddl2 := exportState(t, s)
+	if !bytes.Equal(n1, n2) || !bytes.Equal(e1, e2) || ddl1 != ddl2 {
+		t.Fatal("no-op batch changed the state")
+	}
+}
+
+func TestApplyDeltaDeterministicDigest(t *testing.T) {
+	src := exPrefix + `DELETE DATA { ex:bob ex:takesCourse "Intro to Logic" . } ;
+		INSERT DATA { ex:bob ex:takesCourse "Modal Logic" . ex:eve a ex:Person ; ex:name "Eve" . }`
+	digest := func() string {
+		s := newUniversityState(t)
+		pgd, err := s.ApplyDelta(mustUpdate(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := pgd.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if d1, d2 := digest(), digest(); d1 != d2 {
+		t.Fatalf("same batch on same state produced different digests: %s vs %s", d1, d2)
+	}
+}
+
+func TestApplyDeltaChangeStreamOps(t *testing.T) {
+	s := newUniversityState(t)
+	pgd, err := s.ApplyDelta(mustUpdate(t, exPrefix+`
+		DELETE DATA { ex:alice ex:dob "1975-05-17"^^xsd:date . } ;
+		INSERT DATA { ex:alice ex:dob "1980-01-01"^^xsd:date . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, nc := range pgd.Nodes {
+		ops = append(ops, nc.Op+" "+nc.Key)
+	}
+	for _, ec := range pgd.Edges {
+		ops = append(ops, ec.Op+" "+ec.From+" -["+ec.Label+"]-> "+ec.To)
+	}
+	joined := strings.Join(ops, "\n")
+	// The old date's value node disappears (no other statement realizes it),
+	// the new one appears, and the dob edge is rewired.
+	for _, want := range []string{
+		`delete v:l:"1975-05-17"`,
+		`create v:l:"1980-01-01"`,
+		"delete e:http://example.org/univ#alice -[dob]->",
+		"create e:http://example.org/univ#alice -[dob]->",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("change stream missing %q:\n%s", want, joined)
+		}
+	}
+	// Round trip through the wire encoding.
+	enc, err := pgd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.DecodePGDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(pgd.Nodes) || len(back.Edges) != len(pgd.Edges) {
+		t.Fatal("PGDelta did not round-trip")
+	}
+}
+
+func TestApplyDeltaReplayIsExactlyOnceByDeterminism(t *testing.T) {
+	// Replaying the same batch sequence from the same base state twice must
+	// produce identical digests and identical final exports — the property
+	// the WAL recovery path relies on for exactly-once application.
+	batches := []string{
+		exPrefix + `INSERT DATA { ex:bob ex:email "bob@example.org" . }`,
+		exPrefix + `DELETE DATA { ex:bob ex:email "bob@example.org" . } ;
+			INSERT DATA { ex:bob ex:email "rob@example.org" . }`,
+		exPrefix + `INSERT DATA { ex:frank a ex:Person ; ex:name "Frank" . }`,
+	}
+	run := func() (digests []string, nodes, edges []byte) {
+		s := newUniversityState(t)
+		for _, src := range batches {
+			pgd, err := s.ApplyDelta(mustUpdate(t, src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dg, err := pgd.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			digests = append(digests, dg)
+		}
+		n, e, _ := exportState(t, s)
+		return digests, n, e
+	}
+	d1, n1, e1 := run()
+	d2, n2, e2 := run()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("batch %d digest differs across replays", i)
+		}
+	}
+	if !bytes.Equal(n1, n2) || !bytes.Equal(e1, e2) {
+		t.Fatal("replay produced different exports")
+	}
+}

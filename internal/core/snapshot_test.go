@@ -224,6 +224,10 @@ func TestParseModeRoundTrip(t *testing.T) {
 			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
 		}
 	}
+	// The service APIs document the unhyphenated alias.
+	if got, err := core.ParseMode("nonparsimonious"); err != nil || got != core.NonParsimonious {
+		t.Fatalf(`ParseMode("nonparsimonious") = %v, %v`, got, err)
+	}
 	if _, err := core.ParseMode("bogus"); err == nil {
 		t.Fatal("bogus mode accepted")
 	}

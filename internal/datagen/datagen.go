@@ -341,3 +341,80 @@ func Evolve(g *rdf.Graph, p *Profile, addFrac float64, seed int64) *rdf.Graph {
 	})
 	return clean
 }
+
+// Churn parameterizes EvolveChurn. Each fraction is relative to the size
+// of the base graph; all three may be combined in one delta.
+type Churn struct {
+	// AddFrac is the growth fraction, as in Evolve.
+	AddFrac float64
+	// DeleteFrac is the fraction of existing triples removed outright.
+	DeleteFrac float64
+	// MutateFrac is the fraction of literal-valued triples whose value is
+	// replaced in place (a delete plus an insert on the same subject and
+	// predicate, keeping the datatype).
+	MutateFrac float64
+}
+
+// EvolveChurn generates a mixed-churn delta for an existing graph: seeded
+// deletions, in-place literal mutations, and Evolve-style growth. Unlike
+// Evolve's grow-only deltas (the Prop 4.3 monotone direction), the
+// deletions here can remove rdf:type triples and whole slices of an
+// entity, exercising the Prop 4.1 inverse direction. The result is
+// deterministic in (g, p, c, seed); it deletes only triples present in g
+// and inserts only triples absent from g, so applying it to g is exact.
+func EvolveChurn(g *rdf.Graph, p *Profile, c Churn, seed int64) *rdf.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	gen := &generator{p: p, rng: rng}
+	d := &rdf.Delta{}
+
+	var all []rdf.Triple
+	g.ForEach(func(t rdf.Triple) bool { all = append(all, t); return true })
+
+	gone := make(map[string]bool)
+	if n := int(float64(len(all)) * c.DeleteFrac); n > 0 {
+		for _, idx := range rng.Perm(len(all)) {
+			if len(d.Deletes) >= n {
+				break
+			}
+			t := all[idx]
+			d.Deletes = append(d.Deletes, t)
+			gone[t.String()] = true
+		}
+	}
+	if n := int(float64(len(all)) * c.MutateFrac); n > 0 {
+		added := make(map[string]bool)
+		count := 0
+		for _, idx := range rng.Perm(len(all)) {
+			if count >= n {
+				break
+			}
+			t := all[idx]
+			if !t.O.IsLiteral() || gone[t.String()] {
+				continue
+			}
+			nv := gen.literal(t.O.Datatype)
+			nt := rdf.NewTriple(t.S, t.P, nv)
+			if nv == t.O || g.Has(nt) || added[nt.String()] {
+				continue
+			}
+			d.Deletes = append(d.Deletes, t)
+			gone[t.String()] = true
+			d.Inserts = append(d.Inserts, nt)
+			added[nt.String()] = true
+			count++
+		}
+	}
+	if c.AddFrac > 0 {
+		seen := make(map[string]bool, len(d.Inserts))
+		for _, t := range d.Inserts {
+			seen[t.String()] = true
+		}
+		Evolve(g, p, c.AddFrac, seed+1).ForEach(func(t rdf.Triple) bool {
+			if !seen[t.String()] {
+				d.Inserts = append(d.Inserts, t)
+			}
+			return true
+		})
+	}
+	return d
+}

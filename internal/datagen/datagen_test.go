@@ -135,3 +135,72 @@ func TestUniversityProfile(t *testing.T) {
 		t.Fatalf("graduate student types = %v", types)
 	}
 }
+
+func TestEvolveChurn(t *testing.T) {
+	p := datagen.DBpedia2022()
+	g := datagen.Generate(p, testScale, 5)
+	churn := datagen.Churn{AddFrac: 0.03, DeleteFrac: 0.02, MutateFrac: 0.02}
+
+	a := datagen.EvolveChurn(g, p, churn, 7)
+	b := datagen.EvolveChurn(g, p, churn, 7)
+	if len(a.Deletes) != len(b.Deletes) || len(a.Inserts) != len(b.Inserts) {
+		t.Fatal("same seed must generate the same churn delta")
+	}
+	for i := range a.Deletes {
+		if a.Deletes[i] != b.Deletes[i] {
+			t.Fatalf("delete %d differs between same-seed runs", i)
+		}
+	}
+	for i := range a.Inserts {
+		if a.Inserts[i] != b.Inserts[i] {
+			t.Fatalf("insert %d differs between same-seed runs", i)
+		}
+	}
+
+	if len(a.Deletes) == 0 || len(a.Inserts) == 0 {
+		t.Fatalf("churn delta too small: %d deletes, %d inserts", len(a.Deletes), len(a.Inserts))
+	}
+	// Deletes name only existing triples; inserts only new ones.
+	for _, tr := range a.Deletes {
+		if !g.Has(tr) {
+			t.Fatalf("delete of absent triple %s", tr)
+		}
+	}
+	for _, tr := range a.Inserts {
+		if g.Has(tr) {
+			t.Fatalf("insert of present triple %s", tr)
+		}
+	}
+
+	// Applying the delta must leave a transformable graph: mirror it and
+	// run the full pipeline.
+	live := rdf.NewGraph()
+	g.ForEach(func(tr rdf.Triple) bool { live.Add(tr); return true })
+	for _, tr := range a.Deletes {
+		live.Remove(tr)
+	}
+	for _, tr := range a.Inserts {
+		live.Add(tr)
+	}
+	if live.Len() == g.Len() && len(a.Deletes) != len(a.Inserts) {
+		t.Fatal("churn had no net effect")
+	}
+	sg := shapeex.Extract(live, shapeex.Options{})
+	if _, _, err := core.Transform(live, sg, core.Parsimonious); err != nil {
+		t.Fatalf("churned graph fails transform: %v", err)
+	}
+
+	other := datagen.EvolveChurn(g, p, churn, 8)
+	if len(other.Deletes) == len(a.Deletes) && len(other.Inserts) == len(a.Inserts) {
+		same := true
+		for i := range a.Deletes {
+			if a.Deletes[i] != other.Deletes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should differ")
+		}
+	}
+}

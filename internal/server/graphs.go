@@ -1,0 +1,635 @@
+// graphs.go is the live-graph surface of the daemon: named RDF graphs that
+// accept SPARQL Update batches and stream the resulting property-graph deltas
+// to subscribers. Each graph is a crash-safe session — the initial snapshot
+// (source N-Triples + SHACL shapes) is committed atomically at creation, and
+// every accepted update batch is fsynced into a per-graph write-ahead log
+// before the 202 acknowledgment carries its LSN back to the client. Recovery
+// is replay: reload the snapshot, re-apply the WAL's update records in LSN
+// order, and — because core.ApplyDelta is deterministic — arrive at the exact
+// pre-crash store and the exact pre-crash change stream. Exactly-once
+// semantics therefore need no dedup table: an LSN is applied exactly once per
+// process lifetime, and replay after a crash reproduces rather than repeats
+// it (the WAL's APPLIED digests are checked to prove that).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/core"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/shacl"
+	"github.com/s3pg/s3pg/internal/wal"
+)
+
+// Per-graph spool layout: graphs/<id>/{shapes.ttl, source.nt, meta.json,
+// wal/}. meta.json is written last during creation, so a directory without
+// it is an aborted create and is ignored (and logged) on reload.
+const (
+	graphShapesFile = "shapes.ttl"
+	graphSourceFile = "source.nt"
+	graphMetaFile   = "meta.json"
+	graphWALDir     = "wal"
+)
+
+var (
+	cGraphUpdates   = obs.Default.Counter("graphs.updates")
+	cGraphRejected  = obs.Default.Counter("graphs.updates_rejected")
+	cGraphRecovered = obs.Default.Counter("graphs.recovered_batches")
+	cGraphStreams   = obs.Default.Counter("graphs.streams")
+	cGraphStreamRec = obs.Default.Counter("graphs.stream_records")
+	cGraphBroken    = obs.Default.Counter("graphs.broken")
+)
+
+// Graph-layer sentinel errors, mapped to HTTP statuses by graphStatusCode.
+var (
+	ErrUnknownGraph  = errors.New("graphs: unknown graph")
+	ErrGraphExists   = errors.New("graphs: graph already exists")
+	ErrGraphBusy     = errors.New("graphs: update queue full")
+	ErrGraphBroken   = errors.New("graphs: graph persistence failed; restart to recover")
+	ErrDeltaRejected = errors.New("graphs: update rejected")
+	ErrGraphDraining = errors.New("graphs: draining")
+)
+
+// graphIDPattern keeps graph ids filesystem- and URL-safe.
+var graphIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// GraphConfig parameterizes a GraphManager.
+type GraphConfig struct {
+	// Dir is the root spool directory; each graph owns a subdirectory.
+	Dir string
+	// FS is the filesystem seam for every durable write (snapshot files and
+	// the WAL). Nil means the real filesystem; internal/faultio injects.
+	FS ckpt.FS
+	// QueueDepth bounds concurrently admitted updates per graph; excess
+	// submissions are bounced with ErrGraphBusy (429). 0 means 16.
+	QueueDepth int
+	// SegmentBytes is the per-graph WAL rotation threshold (0 = wal default).
+	SegmentBytes int64
+	// Log receives structured records. Nil discards them.
+	Log *obs.Logger
+	// StallApply and StallWAL are chaos-test hooks: a sleep inserted before
+	// ApplyDelta / before the WAL append of every update, opening a wide,
+	// deterministic window for SIGKILL to land mid-apply or mid-append.
+	// Zero (production) inserts nothing.
+	StallApply, StallWAL time.Duration
+}
+
+// GraphManager owns the live graph sessions.
+type GraphManager struct {
+	cfg GraphConfig
+
+	mu       sync.Mutex
+	graphs   map[string]*graphSession
+	draining bool
+}
+
+// graphSession is one live graph. applyMu serializes the update path — apply
+// to the in-memory state, append to the WAL, publish to the history — so the
+// WAL's LSN order is the apply order is the stream order. histMu guards the
+// published history and gates subscribers; it is never held across I/O.
+type graphSession struct {
+	id   string
+	dir  string
+	mode core.Mode
+
+	sem chan struct{} // admission: one slot per queued-or-running update
+
+	applyMu sync.Mutex
+	state   *core.DeltaState
+	wlog    *wal.Log
+	broken  error
+
+	histMu sync.Mutex
+	cond   *sync.Cond
+	hist   []*core.PGDelta // hist[i] is the delta acknowledged as LSN i+1
+	drain  bool
+}
+
+// GraphStatus is the GET /graphs/{id} document.
+type GraphStatus struct {
+	ID          string `json:"id"`
+	Mode        string `json:"mode"`
+	LSN         uint64 `json:"lsn"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	FastApplies int64  `json:"fast_applies"`
+	Rebuilds    int64  `json:"rebuilds"`
+	Broken      string `json:"broken,omitempty"`
+}
+
+// UpdateResult is the 202 body for an accepted update batch.
+type UpdateResult struct {
+	LSN uint64 `json:"lsn"`
+	// Digest is the SHA-256 of the canonical PG delta — the exactly-once
+	// witness: a replayed batch must reproduce it bit-for-bit.
+	Digest string `json:"digest"`
+	Nodes  int    `json:"nodes_changed"`
+	Edges  int    `json:"edges_changed"`
+}
+
+type graphMeta struct {
+	Mode string `json:"mode"`
+}
+
+// OpenGraphs loads every graph session under cfg.Dir, replaying each WAL
+// against its snapshot, and returns the manager. A graph whose replay
+// diverges from its recorded APPLIED digests fails the open loudly — that is
+// a determinism bug, not something to serve through.
+func OpenGraphs(cfg GraphConfig) (*GraphManager, error) {
+	if cfg.FS == nil {
+		cfg.FS = ckpt.OSFS
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &GraphManager{cfg: cfg, graphs: make(map[string]*graphSession)}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		if _, err := os.Stat(filepath.Join(cfg.Dir, id, graphMetaFile)); err != nil {
+			// No meta: the create never committed. Ignore the husk.
+			m.cfg.Log.Warn("graph_ignored_incomplete", "graph", id)
+			continue
+		}
+		gs, err := m.loadGraph(id)
+		if err != nil {
+			return nil, fmt.Errorf("graphs: load %s: %w", id, err)
+		}
+		m.graphs[id] = gs
+		m.cfg.Log.Info("graph_recovered", "graph", id, "lsn", gs.lastLSN())
+	}
+	return m, nil
+}
+
+// Create materializes a new graph session: parse and transform the snapshot,
+// persist it (meta.json last, so a crash mid-create leaves an ignorable
+// husk), and open a fresh WAL.
+func (m *GraphManager) Create(id, mode, shapesTTL, dataNT string) (*GraphStatus, error) {
+	if !graphIDPattern.MatchString(id) {
+		return nil, fmt.Errorf("%w: bad graph id %q", ErrDeltaRejected, id)
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrGraphDraining
+	}
+	if _, ok := m.graphs[id]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrGraphExists, id)
+	}
+	// Reserve the slot before the (slow) initial transform so two racing
+	// creates cannot both win.
+	m.graphs[id] = nil
+	m.mu.Unlock()
+	gs, err := m.createLocked(id, mode, shapesTTL, dataNT)
+	m.mu.Lock()
+	if err != nil {
+		delete(m.graphs, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.graphs[id] = gs
+	m.mu.Unlock()
+	m.cfg.Log.Info("graph_created", "graph", id, "mode", gs.mode.String(),
+		"nodes", gs.state.Store().NumNodes(), "edges", gs.state.Store().NumEdges())
+	return gs.status(), nil
+}
+
+func (m *GraphManager) createLocked(id, mode, shapesTTL, dataNT string) (*graphSession, error) {
+	state, md, err := buildDeltaState(mode, shapesTTL, dataNT)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDeltaRejected, err)
+	}
+	dir := filepath.Join(m.cfg.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	writes := []struct{ name, body string }{
+		{graphShapesFile, shapesTTL},
+		{graphSourceFile, dataNT},
+	}
+	for _, wr := range writes {
+		err := ckpt.WriteFileAtomicFS(m.cfg.FS, filepath.Join(dir, wr.name), 0o644, func(w io.Writer) error {
+			_, werr := io.WriteString(w, wr.body)
+			return werr
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	metaBody, err := json.Marshal(graphMeta{Mode: md.String()})
+	if err != nil {
+		return nil, err
+	}
+	if err := ckpt.WriteFileAtomicFS(m.cfg.FS, filepath.Join(dir, graphMetaFile), 0o644, func(w io.Writer) error {
+		_, werr := w.Write(metaBody)
+		return werr
+	}); err != nil {
+		return nil, err
+	}
+	wlog, recs, err := wal.Open(filepath.Join(dir, graphWALDir), wal.Options{FS: m.cfg.FS, SegmentBytes: m.cfg.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != 0 {
+		wlog.Close()
+		return nil, fmt.Errorf("graphs: fresh graph %s has %d WAL records", id, len(recs))
+	}
+	return m.newSession(id, dir, md, state, wlog), nil
+}
+
+// loadGraph recovers one session from its spool directory: snapshot, then
+// WAL replay. Every UPDATE record must re-apply cleanly (only applied batches
+// are logged), and where an APPLIED digest was recorded the replayed delta
+// must reproduce it exactly.
+func (m *GraphManager) loadGraph(id string) (*graphSession, error) {
+	dir := filepath.Join(m.cfg.Dir, id)
+	metaRaw, err := os.ReadFile(filepath.Join(dir, graphMetaFile))
+	if err != nil {
+		return nil, err
+	}
+	var meta graphMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return nil, fmt.Errorf("bad %s: %w", graphMetaFile, err)
+	}
+	shapesRaw, err := os.ReadFile(filepath.Join(dir, graphShapesFile))
+	if err != nil {
+		return nil, err
+	}
+	dataRaw, err := os.ReadFile(filepath.Join(dir, graphSourceFile))
+	if err != nil {
+		return nil, err
+	}
+	state, md, err := buildDeltaState(meta.Mode, string(shapesRaw), string(dataRaw))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	wlog, recs, err := wal.Open(filepath.Join(dir, graphWALDir), wal.Options{FS: m.cfg.FS, SegmentBytes: m.cfg.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	gs := m.newSession(id, dir, md, state, wlog)
+	applied := make(map[uint64]string)
+	for _, r := range recs {
+		if r.Kind == wal.KindApplied {
+			applied[r.LSN] = string(r.Payload)
+		}
+	}
+	for _, r := range recs {
+		if r.Kind != wal.KindUpdate {
+			continue
+		}
+		d, err := rdf.DecodeDelta(r.Payload, rio.ParseNTriplesLine)
+		if err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("wal lsn %d: %w", r.LSN, err)
+		}
+		pd, err := state.ApplyDelta(d)
+		if err != nil {
+			// Only successfully applied batches are logged, and apply is
+			// deterministic: a replay rejection means the snapshot or the
+			// engine changed underneath the log.
+			wlog.Close()
+			return nil, fmt.Errorf("wal lsn %d: replay rejected: %w", r.LSN, err)
+		}
+		pd.LSN = r.LSN
+		digest, err := pd.Digest()
+		if err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("wal lsn %d: %w", r.LSN, err)
+		}
+		if want, ok := applied[r.LSN]; ok && want != digest {
+			wlog.Close()
+			return nil, fmt.Errorf("wal lsn %d: replay digest %s != recorded %s (nondeterministic apply)",
+				r.LSN, digest, want)
+		}
+		gs.hist = append(gs.hist, pd)
+		cGraphRecovered.Inc()
+	}
+	return gs, nil
+}
+
+func (m *GraphManager) newSession(id, dir string, md core.Mode, state *core.DeltaState, wlog *wal.Log) *graphSession {
+	gs := &graphSession{
+		id: id, dir: dir, mode: md,
+		sem:   make(chan struct{}, m.cfg.QueueDepth),
+		state: state, wlog: wlog,
+	}
+	gs.cond = sync.NewCond(&gs.histMu)
+	return gs
+}
+
+// buildDeltaState parses mode/shapes/data and runs the initial transform.
+func buildDeltaState(mode, shapesTTL, dataNT string) (*core.DeltaState, core.Mode, error) {
+	if mode == "" {
+		mode = core.Parsimonious.String()
+	}
+	md, err := core.ParseMode(mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	sgGraph, err := rio.ParseTurtle(shapesTTL)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shapes: %w", err)
+	}
+	sg, err := shacl.FromGraph(sgGraph)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shapes: %w", err)
+	}
+	g, err := rio.LoadNTriples(strings.NewReader(dataNT))
+	if err != nil {
+		return nil, 0, fmt.Errorf("data: %w", err)
+	}
+	state, err := core.NewDeltaState(g, sg, md)
+	if err != nil {
+		return nil, 0, err
+	}
+	return state, md, nil
+}
+
+// get resolves a session by id.
+func (m *GraphManager) get(id string) (*graphSession, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.graphs[id]
+	if !ok || gs == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, id)
+	}
+	return gs, nil
+}
+
+// Status returns one graph's status document.
+func (m *GraphManager) Status(id string) (*GraphStatus, error) {
+	gs, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return gs.status(), nil
+}
+
+// List returns every graph's status, sorted by id.
+func (m *GraphManager) List() []*GraphStatus {
+	m.mu.Lock()
+	var sessions []*graphSession
+	for _, gs := range m.graphs {
+		if gs != nil {
+			sessions = append(sessions, gs)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]*GraphStatus, len(sessions))
+	for i, gs := range sessions {
+		out[i] = gs.status()
+	}
+	return out
+}
+
+// Update runs one parsed SPARQL Update batch through a graph: admission,
+// apply, durable WAL append, publish. The returned result's LSN is durable —
+// the UPDATE record was fsynced before this returns.
+func (m *GraphManager) Update(id string, d *rdf.Delta) (*UpdateResult, error) {
+	gs, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case gs.sem <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w: graph %s has %d updates in flight", ErrGraphBusy, id, cap(gs.sem))
+	}
+	defer func() { <-gs.sem }()
+	return m.applyOne(gs, d)
+}
+
+func (m *GraphManager) applyOne(gs *graphSession, d *rdf.Delta) (*UpdateResult, error) {
+	gs.applyMu.Lock()
+	defer gs.applyMu.Unlock()
+	if gs.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrGraphBroken, gs.broken)
+	}
+
+	// Apply to memory first: a rejected batch never consumes an LSN and
+	// never reaches the WAL, so the log holds applied batches only and the
+	// change stream stays dense. Nothing is acknowledged yet — if the WAL
+	// append below fails or the process dies first, the client never saw a
+	// 202 and recovery (which replays the WAL alone) simply won't have it.
+	m.stall(m.cfg.StallApply)
+	pd, err := gs.state.ApplyDelta(d)
+	if err != nil {
+		cGraphRejected.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrDeltaRejected, err)
+	}
+	m.stall(m.cfg.StallWAL)
+	lsn, err := gs.wlog.AppendUpdate(d.Encode())
+	if err != nil {
+		// The in-memory state is now ahead of the log; continuing would
+		// assign wrong LSNs to later batches. Poison the session — only a
+		// process restart (full replay) recovers it.
+		gs.broken = err
+		cGraphBroken.Inc()
+		m.cfg.Log.Error("graph_wal_append_failed", "graph", gs.id, "error", err)
+		return nil, fmt.Errorf("%w: %v", ErrGraphBroken, err)
+	}
+	pd.LSN = lsn
+	digest, err := pd.Digest()
+	if err != nil {
+		// Encoding a PGDelta cannot realistically fail; treat it as a
+		// determinism-witness loss, not a lost batch.
+		m.cfg.Log.Error("graph_digest_failed", "graph", gs.id, "lsn", lsn, "error", err)
+	} else if err := gs.wlog.AppendApplied(lsn, []byte(digest)); err != nil {
+		// The UPDATE record is durable, so the batch is accepted and the
+		// ack below is truthful; but the log is poisoned (a torn frame may
+		// follow), so later updates must bounce until a restart.
+		gs.broken = err
+		cGraphBroken.Inc()
+		m.cfg.Log.Error("graph_wal_applied_failed", "graph", gs.id, "lsn", lsn, "error", err)
+	}
+
+	gs.histMu.Lock()
+	gs.hist = append(gs.hist, pd)
+	gs.histMu.Unlock()
+	gs.cond.Broadcast()
+	cGraphUpdates.Inc()
+	m.cfg.Log.Info("graph_update_applied", "graph", gs.id, "lsn", lsn,
+		"deletes", len(d.Deletes), "inserts", len(d.Inserts),
+		"nodes_changed", len(pd.Nodes), "edges_changed", len(pd.Edges))
+	return &UpdateResult{LSN: lsn, Digest: digest, Nodes: len(pd.Nodes), Edges: len(pd.Edges)}, nil
+}
+
+func (m *GraphManager) stall(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Changes streams the graph's PG deltas with LSN > from, in LSN order, by
+// calling send once per delta. With follow=false it returns once caught up;
+// with follow=true it long-polls for new deltas until the client goes away
+// (send fails / done closes) or the manager drains. The contract that makes
+// subscriber crash-recovery trivial: the stream from any cursor is a dense,
+// deterministic suffix, so "resume from the last LSN I processed" can never
+// skip or repeat a delta.
+func (m *GraphManager) Changes(id string, from uint64, follow bool, done <-chan struct{}, send func(*core.PGDelta) error) error {
+	gs, err := m.get(id)
+	if err != nil {
+		return err
+	}
+	cGraphStreams.Inc()
+	// A cond has no channel to select on: a watcher goroutine converts the
+	// client-gone signal into a broadcast so blocked waiters re-check.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-done:
+			gs.cond.Broadcast()
+		case <-stopWatch:
+		}
+	}()
+
+	next := from + 1
+	for {
+		gs.histMu.Lock()
+		for int(next) > len(gs.hist) && follow && !gs.drain && !closed(done) {
+			gs.cond.Wait()
+		}
+		var pd *core.PGDelta
+		if int(next) <= len(gs.hist) {
+			pd = gs.hist[next-1]
+		}
+		gs.histMu.Unlock()
+		if pd == nil {
+			return nil // caught up: follow=false, drain, or client gone
+		}
+		if err := send(pd); err != nil {
+			return err // client went away mid-write
+		}
+		cGraphStreamRec.Inc()
+		next++
+	}
+}
+
+func closed(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// Export writes one derived artifact — nodes.csv, edges.csv, or schema.ddl —
+// rendered live from the graph's current PG state.
+func (m *GraphManager) Export(id, name string, w io.Writer) error {
+	gs, err := m.get(id)
+	if err != nil {
+		return err
+	}
+	gs.applyMu.Lock()
+	defer gs.applyMu.Unlock()
+	switch name {
+	case "schema.ddl":
+		_, err = io.WriteString(w, gs.state.SchemaDDL())
+		return err
+	case "nodes.csv":
+		return gs.state.WriteCSV(w, io.Discard)
+	case "edges.csv":
+		return gs.state.WriteCSV(io.Discard, w)
+	default:
+		return fmt.Errorf("%w: no export %q (want nodes.csv, edges.csv, or schema.ddl)", ErrDeltaRejected, name)
+	}
+}
+
+// EnterDrain wakes every long-polling subscriber so their handlers return
+// and the HTTP listener can shut down; new updates and streams bounce with
+// 503. Durable state is untouched — Close finishes the job.
+func (m *GraphManager) EnterDrain() {
+	m.mu.Lock()
+	m.draining = true
+	sessions := make([]*graphSession, 0, len(m.graphs))
+	for _, gs := range m.graphs {
+		if gs != nil {
+			sessions = append(sessions, gs)
+		}
+	}
+	m.mu.Unlock()
+	for _, gs := range sessions {
+		gs.histMu.Lock()
+		gs.drain = true
+		gs.histMu.Unlock()
+		gs.cond.Broadcast()
+	}
+}
+
+// Draining reports whether EnterDrain ran.
+func (m *GraphManager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Close drains and releases every session's WAL.
+func (m *GraphManager) Close() error {
+	m.EnterDrain()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	for _, gs := range m.graphs {
+		if gs == nil {
+			continue
+		}
+		gs.applyMu.Lock()
+		if err := gs.wlog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		gs.applyMu.Unlock()
+	}
+	return firstErr
+}
+
+func (gs *graphSession) lastLSN() uint64 {
+	gs.histMu.Lock()
+	defer gs.histMu.Unlock()
+	return uint64(len(gs.hist))
+}
+
+func (gs *graphSession) status() *GraphStatus {
+	gs.applyMu.Lock()
+	st := &GraphStatus{
+		ID:          gs.id,
+		Mode:        gs.mode.String(),
+		Nodes:       gs.state.Store().NumNodes(),
+		Edges:       gs.state.Store().NumEdges(),
+		FastApplies: gs.state.FastApplies(),
+		Rebuilds:    gs.state.Rebuilds(),
+	}
+	if gs.broken != nil {
+		st.Broken = gs.broken.Error()
+	}
+	gs.applyMu.Unlock()
+	st.LSN = gs.lastLSN()
+	return st
+}

@@ -74,6 +74,15 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the graph
+// change stream) can push records and headers through the instrumentation
+// wrapper before the handler returns.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (sw *statusWriter) Write(p []byte) (int, error) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK

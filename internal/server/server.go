@@ -59,6 +59,10 @@ type Config struct {
 	// daemon bounces them with 503 + Retry-After instead of taking on work
 	// it is trying to get rid of.
 	ShardWorker *dist.Worker
+	// Graphs, when non-nil, mounts the live-graph surface: named graphs
+	// under /graphs/{id} that accept SPARQL Update batches and stream the
+	// resulting PG deltas to resumable subscribers.
+	Graphs *GraphManager
 }
 
 // Server is an http.Handler serving the job API.
@@ -104,6 +108,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.ShardWorker != nil {
 		s.mux.HandleFunc("POST /shards", s.handleShard)
+	}
+	if cfg.Graphs != nil {
+		s.mux.HandleFunc("PUT /graphs/{id}", s.handleGraphCreate)
+		s.mux.HandleFunc("GET /graphs", s.handleGraphList)
+		s.mux.HandleFunc("GET /graphs/{id}", s.handleGraphStatus)
+		s.mux.HandleFunc("POST /graphs/{id}/update", s.handleGraphUpdate)
+		s.mux.HandleFunc("GET /graphs/{id}/changes", s.handleGraphChanges)
+		s.mux.HandleFunc("GET /graphs/{id}/output/{name}", s.handleGraphOutput)
 	}
 	if cfg.EnablePprof {
 		obs.RegisterPprofHandlers(s.mux)

@@ -1,0 +1,36 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseUpdate checks that the SPARQL Update parser neither panics nor
+// hangs on arbitrary input: malformed INSERT DATA bodies, truncated triples,
+// unbalanced quoting, and RDF-star depth bombs (bounded by the Turtle
+// parser's depth guard). Successful parses must satisfy the DELETE DATA
+// blank-node invariant.
+func FuzzParseUpdate(f *testing.F) {
+	f.Add("PREFIX ex: <http://example.org/>\nINSERT DATA { ex:a a ex:Person ; ex:name \"A\" . }")
+	f.Add("DELETE DATA { <http://s> <http://p> \"v\" . } ; INSERT DATA { <http://s> <http://p> \"w\" . }")
+	f.Add("INSERT DATA { << <http://s> <http://p> <http://o> >> <http://c> \"0.9\" . }")
+	f.Add("BASE <http://example.org/>\nINSERT DATA { <a> <b> <c> . }")
+	f.Add("INSERT DATA { \"unterminated")
+	f.Add("INSERT DATA { " + strings.Repeat("<<", 200))
+	f.Add("DELETE DATA { _:b <http://p> <http://o> . }")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		d, err := ParseUpdate(src)
+		if err != nil {
+			return
+		}
+		for _, tr := range d.Deletes {
+			if hasBlank(tr) {
+				t.Fatalf("accepted DELETE DATA with a blank node: %v", tr)
+			}
+		}
+	})
+}

@@ -1,0 +1,540 @@
+// Package wal implements the durable delta log behind incremental
+// transformation: an append-only, CRC-framed record log with atomic segment
+// rotation and torn-tail recovery. The service appends an UPDATE record
+// (fsynced) before acknowledging a batch, so an acknowledged batch survives
+// any crash; replaying the log through the deterministic ApplyDelta engine
+// re-derives the exact post-batch state, which is what makes application
+// exactly-once — a batch is applied "twice" only in the sense that the replay
+// recomputes the same result, never that its effects double.
+//
+// On-disk layout: the log directory holds numbered segment files
+// (wal-00000001.seg, …). Segments are created atomically (temp file → header
+// → fsync → rename → dir fsync), so a visible segment always has an intact
+// header. Records are framed as
+//
+//	offset  size  field
+//	0       4     record magic "S3WR"
+//	4       4     payload length n (little-endian)
+//	8       4     CRC-32 (IEEE) over bytes [12, 21+n)
+//	12      8     LSN
+//	20      1     kind
+//	21      n     payload
+//
+// Recovery distinguishes a torn tail (a crash mid-append: the damage is the
+// final bytes of the final segment, silently truncated) from mid-segment
+// corruption (valid records follow the damage, or the damage is not in the
+// last segment: rejected loudly — bit rot must never silently drop accepted
+// batches).
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/obs"
+)
+
+// WAL observability counters (obs.Default registry).
+var (
+	cAppends   = obs.Default.Counter("wal.appends")
+	cBytes     = obs.Default.Counter("wal.append_bytes")
+	cRotations = obs.Default.Counter("wal.rotations")
+	cRecovered = obs.Default.Counter("wal.recovered_records")
+	cTornTails = obs.Default.Counter("wal.torn_tails")
+)
+
+const (
+	segMagic   = "S3PGWAL1"
+	segVersion = 1
+	// segHeaderSize is magic(8) + version(4) + sequence(8).
+	segHeaderSize = 20
+
+	recMagic = "S3WR"
+	// recHeaderSize is magic(4) + len(4) + crc(4) + lsn(8) + kind(1).
+	recHeaderSize = 21
+
+	// MaxRecordBytes bounds one record's payload; a frame claiming more is
+	// corruption, not a large batch (the service caps request bodies far
+	// below this).
+	MaxRecordBytes = 256 << 20
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// Record kinds.
+const (
+	// KindUpdate carries an encoded rdf.Delta; its LSN is the batch's
+	// acknowledgment token (dense, starting at 1).
+	KindUpdate Kind = 1
+	// KindApplied carries a digest of the PG delta produced by applying the
+	// update with the same LSN — a replay determinism check, not a
+	// correctness dependency (replay re-derives state from UPDATE records
+	// alone).
+	KindApplied Kind = 2
+)
+
+// Kind tags a record's payload interpretation.
+type Kind uint8
+
+// Record is one recovered or appended log entry.
+type Record struct {
+	LSN     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// Sentinel errors.
+var (
+	// ErrCorrupt marks damage that is not a torn tail: the log refuses to
+	// open rather than silently dropping acknowledged batches.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrFailed is returned by appends after a previous append failed
+	// mid-write: the active segment may hold a torn frame, so the log can
+	// only be trusted again after a reopen (which truncates the tear).
+	ErrFailed = errors.New("wal: log failed; reopen to recover")
+	// ErrClosed is returned by appends after Close.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem seam (nil → the real filesystem); internal/faultio
+	// provides a fault-injecting implementation.
+	FS ckpt.FS
+	// SegmentBytes is the size past which the active segment is rotated
+	// (0 → DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// Log is an open write-ahead log. Appends are serialized and each fsyncs
+// before returning, so a returned LSN is durable. Log is safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	fsys ckpt.FS
+	opts Options
+
+	mu          sync.Mutex
+	f           ckpt.File
+	path        string
+	seq         uint64
+	size        int64
+	lastUpdate  uint64
+	lastApplied uint64
+	failed      error
+	closed      bool
+}
+
+// Open recovers the log at dir (creating it if absent) and returns the
+// surviving records in append order. A torn final record is truncated from
+// the final segment (the crash-mid-append case); any other damage fails with
+// ErrCorrupt. After Open the log is ready for appends.
+func Open(dir string, opts Options) (*Log, []Record, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = ckpt.OSFS
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, fsys: fsys, opts: opts}
+	var recs []Record
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		segRecs, validLen, torn, err := parseSegment(seg.path, seg.seq, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		if torn {
+			cTornTails.Inc()
+			if err := truncateFile(seg.path, validLen); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", seg.path, err)
+			}
+		}
+		for _, r := range segRecs {
+			if err := l.admitRecovered(r, seg.path); err != nil {
+				return nil, nil, err
+			}
+		}
+		recs = append(recs, segRecs...)
+	}
+	cRecovered.Add(int64(len(recs)))
+	// Resume into a fresh segment rather than appending to a recovered one:
+	// every writable file then flows through fsys.CreateTemp (the fault
+	// seam), and a recovered segment is never mutated again. A header-only
+	// final segment is removed first so repeated restarts do not accumulate
+	// empty segments.
+	nextSeq := uint64(1)
+	if n := len(segs); n > 0 {
+		nextSeq = segs[n-1].seq + 1
+		if tail := segs[n-1]; tailIsEmpty(tail.path) {
+			if err := fsys.Remove(tail.path); err == nil {
+				nextSeq = tail.seq
+			}
+		}
+	}
+	if err := l.openSegment(nextSeq); err != nil {
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// admitRecovered folds one recovered record into the log's LSN state,
+// enforcing the invariants appends maintain: update LSNs are dense from 1,
+// applied LSNs are strictly increasing and never ahead of the updates.
+func (l *Log) admitRecovered(r Record, path string) error {
+	switch r.Kind {
+	case KindUpdate:
+		if r.LSN != l.lastUpdate+1 {
+			return fmt.Errorf("%w: %s: update LSN %d breaks the dense sequence (last %d)",
+				ErrCorrupt, path, r.LSN, l.lastUpdate)
+		}
+		l.lastUpdate = r.LSN
+	case KindApplied:
+		if r.LSN <= l.lastApplied || r.LSN > l.lastUpdate {
+			return fmt.Errorf("%w: %s: applied LSN %d out of order (applied %d, update %d)",
+				ErrCorrupt, path, r.LSN, l.lastApplied, l.lastUpdate)
+		}
+		l.lastApplied = r.LSN
+	default:
+		return fmt.Errorf("%w: %s: unknown record kind %d (LSN %d)", ErrCorrupt, path, r.Kind, r.LSN)
+	}
+	return nil
+}
+
+// AppendUpdate appends an UPDATE record carrying payload (an encoded
+// rdf.Delta) and returns its LSN. The record is fsynced before the call
+// returns: the LSN may be acknowledged to a client.
+func (l *Log) AppendUpdate(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.lastUpdate + 1
+	if err := l.appendLocked(lsn, KindUpdate, payload); err != nil {
+		return 0, err
+	}
+	l.lastUpdate = lsn
+	return lsn, nil
+}
+
+// AppendApplied appends an APPLIED record confirming the update at lsn with a
+// digest of its effect (see KindApplied).
+func (l *Log) AppendApplied(lsn uint64, digest []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.lastApplied || lsn > l.lastUpdate {
+		return fmt.Errorf("wal: applied LSN %d out of order (applied %d, update %d)",
+			lsn, l.lastApplied, l.lastUpdate)
+	}
+	if err := l.appendLocked(lsn, KindApplied, digest); err != nil {
+		return err
+	}
+	l.lastApplied = lsn
+	return nil
+}
+
+// LastLSN returns the LSN of the most recent UPDATE record (0 if none).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastUpdate
+}
+
+// LastApplied returns the LSN of the most recent APPLIED record (0 if none).
+func (l *Log) LastApplied() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastApplied
+}
+
+// Close finalizes the active segment. Further appends return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// appendLocked frames and durably writes one record, rotating first when the
+// active segment is over the threshold. Any I/O failure poisons the log (the
+// active segment may now end in a torn frame, which only a reopen's recovery
+// may repair).
+func (l *Log) appendLocked(lsn uint64, kind Kind, payload []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrFailed, l.failed)
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record payload %d bytes exceeds %d", len(payload), MaxRecordBytes)
+	}
+	if l.size >= l.opts.SegmentBytes {
+		// Rotation failure is not fatal to the append: the current segment
+		// stays active (merely oversized) and rotation is retried next time.
+		if err := l.rotateLocked(); err == nil {
+			cRotations.Inc()
+		}
+	}
+	frame := encodeFrame(lsn, kind, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: append LSN %d: %w", lsn, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: append LSN %d: sync: %w", lsn, err)
+	}
+	l.size += int64(len(frame))
+	cAppends.Inc()
+	cBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// rotateLocked finalizes the active segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		// The closed-but-unrotated segment is still fully synced (every
+		// append synced); treat the close error as a failed rotation only.
+		return err
+	}
+	l.f = nil
+	if err := l.openSegment(l.seq + 1); err != nil {
+		// Reopen is impossible through ckpt.FS (no append mode); the log is
+		// wedged until reopened from disk.
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
+// openSegment atomically creates segment seq and makes it the append target:
+// temp file → header → fsync → rename → dir fsync. The file handle from
+// CreateTemp stays open across the rename, so appends keep flowing through
+// the fault-injection seam.
+func (l *Log) openSegment(seq uint64) error {
+	path := filepath.Join(l.dir, segmentName(seq))
+	f, err := l.fsys.CreateTemp(l.dir, segmentName(seq)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], segVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	cleanup := func(err error) error {
+		f.Close()
+		l.fsys.Remove(f.Name())
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := l.fsys.Rename(f.Name(), path); err != nil {
+		return cleanup(err)
+	}
+	if err := l.fsys.SyncDir(l.dir); err != nil {
+		// The rename is visible; only its durability is in doubt. Refuse the
+		// segment rather than risk it vanishing after a power loss.
+		f.Close()
+		return fmt.Errorf("wal: create segment %s: sync dir: %w", path, err)
+	}
+	l.f = f
+	l.path = path
+	l.seq = seq
+	l.size = segHeaderSize
+	return nil
+}
+
+// encodeFrame serializes one record in the framing documented at the top of
+// the file.
+func encodeFrame(lsn uint64, kind Kind, payload []byte) []byte {
+	frame := make([]byte, recHeaderSize+len(payload))
+	copy(frame, recMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[12:20], lsn)
+	frame[20] = byte(kind)
+	copy(frame[recHeaderSize:], payload)
+	crc := crc32.ChecksumIEEE(frame[12:])
+	binary.LittleEndian.PutUint32(frame[8:12], crc)
+	return frame
+}
+
+// parseFrame decodes the record at the start of data, returning the record
+// and total frame length. A nil error means the frame is fully intact.
+func parseFrame(data []byte) (Record, int, error) {
+	if len(data) < recHeaderSize {
+		return Record{}, 0, fmt.Errorf("short frame header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != recMagic {
+		return Record{}, 0, fmt.Errorf("bad record magic %q", data[:4])
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("implausible payload length %d", n)
+	}
+	total := recHeaderSize + int(n)
+	if len(data) < total {
+		return Record{}, 0, fmt.Errorf("frame extends past end of segment (%d of %d bytes)", len(data), total)
+	}
+	want := binary.LittleEndian.Uint32(data[8:12])
+	if got := crc32.ChecksumIEEE(data[12:total]); got != want {
+		return Record{}, 0, fmt.Errorf("record crc %08x, want %08x", got, want)
+	}
+	return Record{
+		LSN:     binary.LittleEndian.Uint64(data[12:20]),
+		Kind:    Kind(data[20]),
+		Payload: append([]byte(nil), data[recHeaderSize:total]...),
+	}, total, nil
+}
+
+// parseSegment reads and validates one segment file. On a frame error it
+// applies the torn-tail policy: damage at the very end of the final segment
+// is a torn append (report torn=true with the length of the valid prefix);
+// damage anywhere else — earlier segments, or damage followed by a valid
+// frame — is ErrCorrupt.
+func parseSegment(path string, wantSeq uint64, last bool) (recs []Record, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic {
+		return nil, 0, false, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != segVersion {
+		return nil, 0, false, fmt.Errorf("%w: %s: unsupported segment version %d", ErrCorrupt, path, v)
+	}
+	if seq := binary.LittleEndian.Uint64(data[12:20]); seq != wantSeq {
+		return nil, 0, false, fmt.Errorf("%w: %s: header sequence %d does not match name", ErrCorrupt, path, seq)
+	}
+	off := segHeaderSize
+	for off < len(data) {
+		rec, n, perr := parseFrame(data[off:])
+		if perr != nil {
+			if !last || hasValidFrameAfter(data, off+1) {
+				return nil, 0, false, fmt.Errorf("%w: %s: offset %d: %v", ErrCorrupt, path, off, perr)
+			}
+			return recs, int64(off), true, nil
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, int64(off), false, nil
+}
+
+// hasValidFrameAfter reports whether a fully intact frame starts anywhere at
+// or after from — the signal that damage earlier in the segment is corruption
+// (records were lost in the middle), not a torn tail.
+func hasValidFrameAfter(data []byte, from int) bool {
+	for from < len(data) {
+		i := bytes.Index(data[from:], []byte(recMagic))
+		if i < 0 {
+			return false
+		}
+		from += i
+		if _, _, err := parseFrame(data[from:]); err == nil {
+			return true
+		}
+		from++
+	}
+	return false
+}
+
+// segment is one discovered segment file.
+type segment struct {
+	seq  uint64
+	path string
+}
+
+// listSegments enumerates the segment files in dir in sequence order,
+// removing stray temp files from interrupted segment creations.
+func listSegments(fsys ckpt.FS, dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if n, err := fmt.Sscanf(name, "wal-%08d.seg", &seq); n == 1 && err == nil && name == segmentName(seq) {
+			segs = append(segs, segment{seq: seq, path: filepath.Join(dir, name)})
+			continue
+		}
+		if isTempName(name) {
+			fsys.Remove(filepath.Join(dir, name)) // interrupted creation; best effort
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq == segs[i-1].seq {
+			return nil, fmt.Errorf("%w: duplicate segment sequence %d", ErrCorrupt, segs[i].seq)
+		}
+	}
+	return segs, nil
+}
+
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+func isTempName(name string) bool {
+	base, _, ok := cutLast(name, ".tmp-")
+	return ok && filepath.Ext(base) == ".seg"
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := bytes.LastIndex([]byte(s), []byte(sep))
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// tailIsEmpty reports whether the segment holds a header and nothing else.
+func tailIsEmpty(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.Size() == segHeaderSize
+}
+
+// truncateFile cuts path to n bytes and fsyncs, making a torn-tail repair
+// durable before new appends land after it.
+func truncateFile(path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -219,6 +219,33 @@ func NewTransformer(s *ShapeSchema, mode Mode) (*Transformer, error) {
 	return core.NewTransformer(s, mode)
 }
 
+// Change-based incremental transformation: a typed RDF change batch, the
+// state that maintains a transformed PG under a stream of such batches, and
+// the exact property-graph effect of each applied batch.
+type (
+	// Delta is one atomic batch of RDF triple changes (deletes applied
+	// before inserts), the typed form of a SPARQL Update request.
+	Delta = rdf.Delta
+	// DeltaState maintains a property graph incrementally under Deltas,
+	// guaranteeing results byte-identical to a full re-transformation.
+	DeltaState = core.DeltaState
+	// PGDelta is the exact set of PG nodes and edges created, updated, and
+	// deleted by one applied Delta.
+	PGDelta = core.PGDelta
+)
+
+// NewDeltaState transforms the initial graph and returns the state that
+// incorporates subsequent Deltas via ApplyDelta. Grow-only batches on a
+// stable schema take a fast incremental path (§4.2.1 monotonicity); anything
+// else falls back to a deterministic rebuild with an identical result.
+func NewDeltaState(g *Graph, s *ShapeSchema, mode Mode) (*DeltaState, error) {
+	return core.NewDeltaState(g, s, mode)
+}
+
+// ParseUpdate parses a SPARQL Update request (INSERT DATA / DELETE DATA
+// operations) into a Delta.
+func ParseUpdate(src string) (*Delta, error) { return sparql.ParseUpdate(src) }
+
 // Optimize compacts a (typically non-parsimonious) property graph by
 // folding uniformly-typed literal value nodes back into key/value
 // properties, rewriting the schema accordingly — the paper's §7 open
