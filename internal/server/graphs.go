@@ -76,6 +76,12 @@ type GraphConfig struct {
 	// QueueDepth bounds concurrently admitted updates per graph; excess
 	// submissions are bounced with ErrGraphBusy (429). 0 means 16.
 	QueueDepth int
+	// HistoryLimit bounds the in-memory PG delta history per graph (and the
+	// history rebuilt on restart). Subscribers whose cursor has fallen behind
+	// the window are served by deterministically replaying the snapshot + WAL,
+	// so the stream contract is unchanged — only the memory footprint is.
+	// 0 means 1024; negative means unbounded.
+	HistoryLimit int
 	// SegmentBytes is the per-graph WAL rotation threshold (0 = wal default).
 	SegmentBytes int64
 	// Log receives structured records. Nil discards them.
@@ -112,10 +118,12 @@ type graphSession struct {
 	wlog    *wal.Log
 	broken  error
 
-	histMu sync.Mutex
-	cond   *sync.Cond
-	hist   []*core.PGDelta // hist[i] is the delta acknowledged as LSN i+1
-	drain  bool
+	histMu    sync.Mutex
+	cond      *sync.Cond
+	histBase  uint64          // LSN of the last delta trimmed from the window (0 = none)
+	hist      []*core.PGDelta // hist[i] is the delta acknowledged as LSN histBase+i+1
+	histLimit int             // retention window; <= 0 means unbounded
+	drain     bool
 }
 
 // GraphStatus is the GET /graphs/{id} document.
@@ -154,6 +162,9 @@ func OpenGraphs(cfg GraphConfig) (*GraphManager, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
+	}
+	if cfg.HistoryLimit == 0 {
+		cfg.HistoryLimit = 1024
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
@@ -326,6 +337,7 @@ func (m *GraphManager) loadGraph(id string) (*graphSession, error) {
 				r.LSN, digest, want)
 		}
 		gs.hist = append(gs.hist, pd)
+		gs.trimHistLocked() // bound restart memory the same way live appends are
 		cGraphRecovered.Inc()
 	}
 	return gs, nil
@@ -336,6 +348,7 @@ func (m *GraphManager) newSession(id, dir string, md core.Mode, state *core.Delt
 		id: id, dir: dir, mode: md,
 		sem:   make(chan struct{}, m.cfg.QueueDepth),
 		state: state, wlog: wlog,
+		histLimit: m.cfg.HistoryLimit,
 	}
 	gs.cond = sync.NewCond(&gs.histMu)
 	return gs
@@ -470,6 +483,7 @@ func (m *GraphManager) applyOne(gs *graphSession, d *rdf.Delta) (*UpdateResult, 
 
 	gs.histMu.Lock()
 	gs.hist = append(gs.hist, pd)
+	gs.trimHistLocked()
 	gs.histMu.Unlock()
 	gs.cond.Broadcast()
 	cGraphUpdates.Inc()
@@ -491,11 +505,22 @@ func (m *GraphManager) stall(d time.Duration) {
 // (send fails / done closes) or the manager drains. The contract that makes
 // subscriber crash-recovery trivial: the stream from any cursor is a dense,
 // deterministic suffix, so "resume from the last LSN I processed" can never
-// skip or repeat a delta.
+// skip or repeat a delta. Cursors that have fallen behind the in-memory
+// retention window are served by replaying the snapshot + WAL, which — apply
+// being deterministic — reconstructs the identical deltas.
+//
+// All cursor arithmetic is done in uint64 space: from is client-supplied and
+// may be anything up to MaxUint64, which must never index the history slice.
 func (m *GraphManager) Changes(id string, from uint64, follow bool, done <-chan struct{}, send func(*core.PGDelta) error) error {
 	gs, err := m.get(id)
 	if err != nil {
 		return err
+	}
+	next := from + 1
+	if next == 0 {
+		// from == MaxUint64: no LSN can ever exceed the cursor. Reject rather
+		// than silently serving an empty (or, with follow, eternal) stream.
+		return fmt.Errorf("%w: cursor %d is past any possible LSN", ErrDeltaRejected, from)
 	}
 	cGraphStreams.Inc()
 	// A cond has no channel to select on: a watcher goroutine converts the
@@ -510,17 +535,34 @@ func (m *GraphManager) Changes(id string, from uint64, follow bool, done <-chan 
 		}
 	}()
 
-	next := from + 1
 	for {
 		gs.histMu.Lock()
-		for int(next) > len(gs.hist) && follow && !gs.drain && !closed(done) {
+		for next > gs.histBase+uint64(len(gs.hist)) && follow && !gs.drain && !closed(done) {
 			gs.cond.Wait()
 		}
+		base := gs.histBase
 		var pd *core.PGDelta
-		if int(next) <= len(gs.hist) {
-			pd = gs.hist[next-1]
+		if next > base && next-base <= uint64(len(gs.hist)) {
+			pd = gs.hist[next-base-1]
 		}
 		gs.histMu.Unlock()
+		if next <= base {
+			// The cursor predates the retention window: reconstruct the
+			// missing [next, base] prefix from durable state, stream it, and
+			// loop back into the live window.
+			pds, err := m.replayHistory(gs, next, base)
+			if err != nil {
+				return err
+			}
+			for _, pd := range pds {
+				if err := send(pd); err != nil {
+					return err
+				}
+				cGraphStreamRec.Inc()
+				next++
+			}
+			continue
+		}
 		if pd == nil {
 			return nil // caught up: follow=false, drain, or client gone
 		}
@@ -530,6 +572,60 @@ func (m *GraphManager) Changes(id string, from uint64, follow bool, done <-chan 
 		cGraphStreamRec.Inc()
 		next++
 	}
+}
+
+// replayHistory rebuilds the PG deltas for LSNs in [lo, hi] by re-running the
+// deterministic apply pipeline over the graph's immutable snapshot and its
+// WAL — the same computation loadGraph performs at startup, scoped to a
+// cursor catch-up. Appends are paused (applyMu) only for the raw WAL read;
+// the expensive replay happens unlocked. Every LSN <= hi has a durable UPDATE
+// record (applyOne publishes a delta only after its record is fsynced), so a
+// short result is a corruption signal, not a race.
+func (m *GraphManager) replayHistory(gs *graphSession, lo, hi uint64) ([]*core.PGDelta, error) {
+	shapesRaw, err := os.ReadFile(filepath.Join(gs.dir, graphShapesFile))
+	if err != nil {
+		return nil, err
+	}
+	dataRaw, err := os.ReadFile(filepath.Join(gs.dir, graphSourceFile))
+	if err != nil {
+		return nil, err
+	}
+	gs.applyMu.Lock()
+	recs, err := wal.ReadRecords(filepath.Join(gs.dir, graphWALDir))
+	gs.applyMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	state, _, err := buildDeltaState(gs.mode.String(), string(shapesRaw), string(dataRaw))
+	if err != nil {
+		return nil, fmt.Errorf("graphs: replay %s: snapshot: %w", gs.id, err)
+	}
+	var out []*core.PGDelta
+	for _, r := range recs {
+		if r.Kind != wal.KindUpdate {
+			continue
+		}
+		if r.LSN > hi {
+			break
+		}
+		d, err := rdf.DecodeDelta(r.Payload, rio.ParseNTriplesLine)
+		if err != nil {
+			return nil, fmt.Errorf("graphs: replay %s: wal lsn %d: %w", gs.id, r.LSN, err)
+		}
+		pd, err := state.ApplyDelta(d)
+		if err != nil {
+			return nil, fmt.Errorf("graphs: replay %s: wal lsn %d: %w", gs.id, r.LSN, err)
+		}
+		pd.LSN = r.LSN
+		if r.LSN >= lo {
+			out = append(out, pd)
+		}
+	}
+	if uint64(len(out)) != hi-lo+1 {
+		return nil, fmt.Errorf("graphs: replay %s: wal holds %d of %d deltas in [%d, %d]",
+			gs.id, len(out), hi-lo+1, lo, hi)
+	}
+	return out, nil
 }
 
 func closed(c <-chan struct{}) bool {
@@ -613,7 +709,23 @@ func (m *GraphManager) Close() error {
 func (gs *graphSession) lastLSN() uint64 {
 	gs.histMu.Lock()
 	defer gs.histMu.Unlock()
-	return uint64(len(gs.hist))
+	return gs.histBase + uint64(len(gs.hist))
+}
+
+// trimHistLocked drops deltas beyond the retention window from the front of
+// hist, advancing histBase so LSN bookkeeping is unaffected. The trimmed
+// prefix is reconstructed on demand by replayHistory. Caller holds histMu
+// (or has exclusive access during load).
+func (gs *graphSession) trimHistLocked() {
+	if gs.histLimit <= 0 {
+		return
+	}
+	if n := len(gs.hist) - gs.histLimit; n > 0 {
+		// Copy the tail into a fresh slice so the trimmed deltas are actually
+		// released rather than pinned by the old backing array.
+		gs.hist = append(make([]*core.PGDelta, 0, len(gs.hist)-n), gs.hist[n:]...)
+		gs.histBase += uint64(n)
+	}
 }
 
 func (gs *graphSession) status() *GraphStatus {

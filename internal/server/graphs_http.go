@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -145,6 +146,12 @@ func (s *Server) handleGraphChanges(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad from cursor %q: %w", v, err))
+			return
+		}
+		if n == math.MaxUint64 {
+			// from+1 would overflow: no LSN can ever satisfy this cursor.
+			// Reject before the 200 goes out rather than wedge a follower.
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("from cursor %d is past any possible LSN", n))
 			return
 		}
 		from = n

@@ -428,6 +428,119 @@ func TestGraphFollowStreamDelivers(t *testing.T) {
 	}
 }
 
+// TestGraphChangesHugeCursor sends adversarial ?from= cursors — 2^63 and
+// MaxUint64 — and requires clean HTTP answers with the graph fully usable
+// afterwards. (A panic inside Changes would leave histMu locked forever and
+// wedge every later update and status call.)
+func TestGraphChangesHugeCursor(t *testing.T) {
+	ts, _ := newGraphServer(t, GraphConfig{})
+	createUniversityGraph(t, ts, "uni")
+	if _, code, raw := postUpdate(t, ts, "uni", exPrefixDecl+`INSERT DATA { ex:bob ex:email "bob@example.org" . }`); code != http.StatusAccepted {
+		t.Fatalf("update: %d %s", code, raw)
+	}
+
+	// Far past the current LSN but representable: an empty 200 stream.
+	resp, err := http.Get(fmt.Sprintf("%s/graphs/uni/changes?from=%d", ts.URL, uint64(1)<<63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(bytes.TrimSpace(body)) != 0 {
+		t.Fatalf("from=2^63: %d %q, want empty 200", resp.StatusCode, body)
+	}
+
+	// MaxUint64: from+1 overflows, no LSN can ever satisfy it — 400.
+	resp, err = http.Get(ts.URL + "/graphs/uni/changes?from=18446744073709551615")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from=MaxUint64: %d, want 400", resp.StatusCode)
+	}
+
+	// The graph is not wedged: status, a fresh update, and a normal stream
+	// all still work.
+	if _, code, raw := postUpdate(t, ts, "uni", exPrefixDecl+`INSERT DATA { ex:alice ex:email "alice@example.org" . }`); code != http.StatusAccepted {
+		t.Fatalf("update after huge cursors: %d %s", code, raw)
+	}
+	if deltas := fetchChanges(t, ts, "uni", 0); len(deltas) != 2 {
+		t.Fatalf("stream after huge cursors: %d deltas, want 2", len(deltas))
+	}
+}
+
+// TestGraphHistoryCompaction runs more updates than the retention window
+// holds and requires the change stream from cursor 0 to be complete anyway —
+// the trimmed prefix is rebuilt by WAL replay and must match the acknowledged
+// digests delta-for-delta. The same must hold after a close/reopen cycle.
+func TestGraphHistoryCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m := newGraphManager(t, GraphConfig{Dir: dir, HistoryLimit: 2})
+	if _, err := m.Create("uni", "parsimonious", fixtures.UniversityShapesTurtle, universityNT(t)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	var digests []string
+	for i := 0; i < n; i++ {
+		d, err := sparql.ParseUpdate(fmt.Sprintf(exPrefixDecl+`INSERT DATA { ex:bob ex:email "bob%d@example.org" . }`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Update("uni", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, res.Digest)
+	}
+	verify := func(mgr *GraphManager, from uint64) {
+		t.Helper()
+		var got []*core.PGDelta
+		if err := mgr.Changes("uni", from, false, nil, func(pd *core.PGDelta) error {
+			got = append(got, pd)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n-int(from) {
+			t.Fatalf("stream from %d has %d deltas, want %d", from, len(got), n-int(from))
+		}
+		for i, pd := range got {
+			want := from + uint64(i) + 1
+			dg, err := pd.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pd.LSN != want || dg != digests[want-1] {
+				t.Fatalf("delta %d: lsn %d digest %s, want lsn %d digest %s", i, pd.LSN, dg, want, digests[want-1])
+			}
+		}
+	}
+	// Cursor 0 spans the trimmed prefix; cursor n-1 sits inside the window.
+	verify(m, 0)
+	verify(m, n-1)
+	if st, err := m.Status("uni"); err != nil || st.LSN != n {
+		t.Fatalf("status: %+v err=%v", st, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen trims during recovery too, and the replay path still serves the
+	// full stream.
+	m2 := newGraphManager(t, GraphConfig{Dir: dir, HistoryLimit: 2})
+	verify(m2, 0)
+	verify(m2, 3)
+	// Updates keep flowing at the next LSN after compacted recovery.
+	d, err := sparql.ParseUpdate(exPrefixDecl + `INSERT DATA { ex:bob ex:email "final@example.org" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := m2.Update("uni", d); err != nil || res.LSN != n+1 {
+		t.Fatalf("post-compaction update: %+v err=%v", res, err)
+	}
+}
+
 // TestGraphUpdateAdmission fills the per-graph queue with a stalled apply and
 // requires the excess update to bounce with 429 immediately.
 func TestGraphUpdateAdmission(t *testing.T) {

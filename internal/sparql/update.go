@@ -17,8 +17,13 @@ const MaxUpdateBytes = 64 << 20
 // ParseUpdate parses a SPARQL Update request in the supported subset —
 // `INSERT DATA { … }` and `DELETE DATA { … }` operations, optionally
 // preceded by PREFIX/BASE declarations and separated by ';' — into one
-// typed rdf.Delta batch. Deletions sort before insertions in the result,
-// matching the semantics of applying the request atomically.
+// typed rdf.Delta batch. SPARQL executes the ';'-separated operations
+// sequentially, so the last operation naming a triple decides whether it
+// ends up present or absent; the returned Delta records that net effect
+// (the triple lands in Inserts or Deletes, never both). Because deleting
+// an absent triple and inserting a present one are both no-ops under set
+// semantics, applying the net Delta (deletes, then inserts) leaves the
+// graph exactly where the sequential execution would.
 //
 // The quad blocks use the Turtle subset of the data block grammar
 // (prefixed names, literals, collections, RDF-star quoted triples); GRAPH
@@ -92,7 +97,26 @@ func (u *updateParser) keyword(kw string) bool {
 }
 
 func (u *updateParser) parse() (*rdf.Delta, error) {
-	delta := &rdf.Delta{}
+	// net folds the sequential operations into a last-op-wins map keyed by
+	// the triple's canonical N-Triples form; order preserves first appearance
+	// so the resulting Delta is deterministic for a given request.
+	type netOp struct {
+		triple rdf.Triple
+		insert bool
+	}
+	net := make(map[string]*netOp)
+	var order []string
+	record := func(triples []rdf.Triple, insert bool) {
+		for _, t := range triples {
+			key := t.String()
+			if op, ok := net[key]; ok {
+				op.insert = insert
+				continue
+			}
+			net[key] = &netOp{triple: t, insert: insert}
+			order = append(order, key)
+		}
+	}
 	ops := 0
 	for {
 		u.ws()
@@ -113,7 +137,7 @@ func (u *updateParser) parse() (*rdf.Delta, error) {
 			if err != nil {
 				return nil, err
 			}
-			delta.Inserts = append(delta.Inserts, triples...)
+			record(triples, true)
 			ops++
 			if err := u.operationSeparator(); err != nil {
 				return nil, err
@@ -128,7 +152,7 @@ func (u *updateParser) parse() (*rdf.Delta, error) {
 					return nil, fmt.Errorf("sparql: update: blank nodes are not allowed in DELETE DATA: %v", t)
 				}
 			}
-			delta.Deletes = append(delta.Deletes, triples...)
+			record(triples, false)
 			ops++
 			if err := u.operationSeparator(); err != nil {
 				return nil, err
@@ -139,6 +163,15 @@ func (u *updateParser) parse() (*rdf.Delta, error) {
 	}
 	if ops == 0 {
 		return nil, fmt.Errorf("sparql: update: no INSERT DATA / DELETE DATA operation")
+	}
+	delta := &rdf.Delta{}
+	for _, key := range order {
+		op := net[key]
+		if op.insert {
+			delta.Inserts = append(delta.Inserts, op.triple)
+		} else {
+			delta.Deletes = append(delta.Deletes, op.triple)
+		}
 	}
 	return delta, nil
 }

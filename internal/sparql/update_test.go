@@ -43,6 +43,72 @@ func TestParseUpdateDeleteThenInsert(t *testing.T) {
 	}
 }
 
+// TestParseUpdateSequentialSemantics checks that the ';'-separated operations
+// fold as SPARQL's sequential execution demands: the last operation naming a
+// triple wins, so INSERT-then-DELETE nets to a delete and DELETE-then-INSERT
+// nets to an insert — never both.
+func TestParseUpdateSequentialSemantics(t *testing.T) {
+	tr := rdf.NewTriple(
+		rdf.NewIRI("http://example.org/a"),
+		rdf.NewIRI("http://example.org/p"),
+		rdf.NewIRI("http://example.org/b"))
+
+	t.Run("insert then delete nets to delete", func(t *testing.T) {
+		d, err := ParseUpdate(`
+			PREFIX ex: <http://example.org/>
+			INSERT DATA { ex:a ex:p ex:b . } ;
+			DELETE DATA { ex:a ex:p ex:b . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Inserts) != 0 || len(d.Deletes) != 1 || d.Deletes[0] != tr {
+			t.Fatalf("got %d deletes / %d inserts (%v), want the single triple deleted",
+				len(d.Deletes), len(d.Inserts), d)
+		}
+	})
+	t.Run("delete then insert nets to insert", func(t *testing.T) {
+		d, err := ParseUpdate(`
+			PREFIX ex: <http://example.org/>
+			DELETE DATA { ex:a ex:p ex:b . } ;
+			INSERT DATA { ex:a ex:p ex:b . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Deletes) != 0 || len(d.Inserts) != 1 || d.Inserts[0] != tr {
+			t.Fatalf("got %d deletes / %d inserts (%v), want the single triple inserted",
+				len(d.Deletes), len(d.Inserts), d)
+		}
+	})
+	t.Run("insert delete insert nets to insert", func(t *testing.T) {
+		d, err := ParseUpdate(`
+			PREFIX ex: <http://example.org/>
+			INSERT DATA { ex:a ex:p ex:b . } ;
+			DELETE DATA { ex:a ex:p ex:b . } ;
+			INSERT DATA { ex:a ex:p ex:b . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Deletes) != 0 || len(d.Inserts) != 1 {
+			t.Fatalf("got %d deletes / %d inserts, want 0 / 1", len(d.Deletes), len(d.Inserts))
+		}
+	})
+	t.Run("untouched triples keep their operations", func(t *testing.T) {
+		d, err := ParseUpdate(`
+			PREFIX ex: <http://example.org/>
+			INSERT DATA { ex:a ex:p ex:b . ex:x ex:p ex:y . } ;
+			DELETE DATA { ex:a ex:p ex:b . ex:q ex:p ex:r . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Inserts) != 1 || d.Inserts[0].S.Value != "http://example.org/x" {
+			t.Fatalf("inserts = %v, want only ex:x ex:p ex:y", d.Inserts)
+		}
+		if len(d.Deletes) != 2 {
+			t.Fatalf("deletes = %v, want ex:a ex:p ex:b and ex:q ex:p ex:r", d.Deletes)
+		}
+	})
+}
+
 func TestParseUpdatePrefixBetweenOperations(t *testing.T) {
 	d, err := ParseUpdate(`
 		PREFIX a: <http://example.org/a#>

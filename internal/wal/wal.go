@@ -149,7 +149,7 @@ func Open(dir string, opts Options) (*Log, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
-	segs, err := listSegments(fsys, dir)
+	segs, err := listSegments(fsys, dir, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,9 +293,17 @@ func (l *Log) appendLocked(lsn uint64, kind Kind, payload []byte) error {
 		return fmt.Errorf("wal: record payload %d bytes exceeds %d", len(payload), MaxRecordBytes)
 	}
 	if l.size >= l.opts.SegmentBytes {
-		// Rotation failure is not fatal to the append: the current segment
-		// stays active (merely oversized) and rotation is retried next time.
-		if err := l.rotateLocked(); err == nil {
+		if err := l.rotateLocked(); err != nil {
+			if l.f == nil {
+				// The old segment was closed but the next one never opened:
+				// there is nothing to append to, and rotateLocked already
+				// poisoned the log. Fail the append rather than write to nil.
+				return fmt.Errorf("wal: append LSN %d: rotate: %w", lsn, err)
+			}
+			// Close failed with the handle still set: the current segment
+			// stays active (merely oversized) and rotation is retried next
+			// time.
+		} else {
 			cRotations.Inc()
 		}
 	}
@@ -466,15 +474,46 @@ func hasValidFrameAfter(data []byte, from int) bool {
 	return false
 }
 
+// ReadRecords reads the records at dir without opening the log for appends:
+// segments are parsed read-only, an incomplete frame at the very tail of the
+// final segment is skipped (never truncated — it may be a live writer's
+// in-flight append, not a tear), and stray temp files are left in place. The
+// recovered records pass the same LSN invariants Open enforces. Callers on a
+// live log must pause appends for the duration of the read so no synced frame
+// is captured half-written.
+func ReadRecords(dir string) ([]Record, error) {
+	segs, err := listSegments(ckpt.OSFS, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	check := &Log{}
+	var recs []Record
+	for i, seg := range segs {
+		segRecs, _, _, err := parseSegment(seg.path, seg.seq, i == len(segs)-1)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range segRecs {
+			if err := check.admitRecovered(r, seg.path); err != nil {
+				return nil, err
+			}
+		}
+		recs = append(recs, segRecs...)
+	}
+	return recs, nil
+}
+
 // segment is one discovered segment file.
 type segment struct {
 	seq  uint64
 	path string
 }
 
-// listSegments enumerates the segment files in dir in sequence order,
-// removing stray temp files from interrupted segment creations.
-func listSegments(fsys ckpt.FS, dir string) ([]segment, error) {
+// listSegments enumerates the segment files in dir in sequence order. With
+// cleanTemps it also removes stray temp files from interrupted segment
+// creations (read-only callers must leave them alone — a live writer may be
+// mid-creation).
+func listSegments(fsys ckpt.FS, dir string, cleanTemps bool) ([]segment, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
@@ -487,7 +526,7 @@ func listSegments(fsys ckpt.FS, dir string) ([]segment, error) {
 			segs = append(segs, segment{seq: seq, path: filepath.Join(dir, name)})
 			continue
 		}
-		if isTempName(name) {
+		if cleanTemps && isTempName(name) {
 			fsys.Remove(filepath.Join(dir, name)) // interrupted creation; best effort
 		}
 	}

@@ -343,6 +343,90 @@ func TestShortWritesNeverLoseAcknowledgedRecords(t *testing.T) {
 	}
 }
 
+func TestRotationOpenFailureFailsAppendCleanly(t *testing.T) {
+	dir := t.TempDir()
+	// Create #1 is the initial segment; create #2 is the rotation's new
+	// segment. With it failing, rotation closes the old segment and then has
+	// nothing to append to — the append must return an error, not panic.
+	fsys := &faultio.FS{FailCreate: 2}
+	l, _, err := Open(dir, Options{FS: fsys, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []uint64
+	var appendErr error
+	for i := 0; i < 10; i++ {
+		lsn, err := l.AppendUpdate([]byte("payload-payload-payload-payload"))
+		if err != nil {
+			appendErr = err
+			break
+		}
+		acked = append(acked, lsn)
+	}
+	if appendErr == nil {
+		t.Fatal("rotation create failure never surfaced as an append error")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no append succeeded before the injected rotation failure")
+	}
+	// The log is poisoned, not panicked: further appends bounce with ErrFailed.
+	if _, err := l.AppendUpdate([]byte("after")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after failed rotation = %v, want ErrFailed", err)
+	}
+	l.Close()
+	// Reopen recovers every acknowledged record and resumes the sequence.
+	l2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != len(acked) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(acked))
+	}
+	if lsn, err := l2.AppendUpdate([]byte("resumed")); err != nil || lsn != uint64(len(acked))+1 {
+		t.Fatalf("append after reopen: lsn=%d err=%v, want %d", lsn, err, len(acked)+1)
+	}
+}
+
+func TestReadRecordsMatchesOpenOnLiveLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.AppendUpdate([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := l.AppendApplied(uint64(i+1), []byte("digest")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Read-only access while the log is still open for appends: same records,
+	// no truncation, no temp cleanup.
+	recs, err := ReadRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates int
+	for _, r := range recs {
+		if r.Kind == KindUpdate {
+			updates++
+		}
+	}
+	if updates != n {
+		t.Fatalf("ReadRecords saw %d updates, want %d", updates, n)
+	}
+	// The live log keeps appending afterwards.
+	if lsn, err := l.AppendUpdate([]byte("more")); err != nil || lsn != n+1 {
+		t.Fatalf("append after ReadRecords: lsn=%d err=%v", lsn, err)
+	}
+}
+
 func TestAppendAppliedOrdering(t *testing.T) {
 	dir := t.TempDir()
 	l, _, err := Open(dir, Options{})
