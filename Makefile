@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-obs bench-dist bench-delta verify fuzz chaos dist-chaos delta-chaos experiments
+.PHONY: build test bench bench-json bench-obs bench-dist bench-delta bench-serve verify fuzz chaos dist-chaos delta-chaos experiments
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,20 @@ bench-dist:
 MIN_DELTA_SPEEDUP ?= 0
 bench-delta:
 	$(GO) run ./cmd/benchjson -mode delta -out BENCH_delta.json -min-speedup $(MIN_DELTA_SPEEDUP)
+
+# bench-serve load-tests the online query tier: first the -race hammer test
+# (the concurrency proof for lock-free snapshot swaps + LRU eviction), then
+# SERVE_CLIENTS concurrent clients firing mixed Cypher/SPARQL queries at a
+# real in-process daemon for SERVE_DURATION, writing BENCH_serve.json with
+# p50/p95/p99 and QPS. Hard gates (CPU-independent): every answer byte-equals
+# a single-threaded evaluation, and the snapshot cache records zero loads
+# during the run.
+SERVE_CLIENTS ?= 1000
+SERVE_DURATION ?= 2s
+bench-serve:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) run ./cmd/benchjson -mode serve -out BENCH_serve.json \
+		-scale 0.0002 -serve-clients $(SERVE_CLIENTS) -serve-duration $(SERVE_DURATION)
 
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)

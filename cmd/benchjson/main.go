@@ -1,5 +1,5 @@
 // Command benchjson measures the pipeline and emits machine-readable JSON
-// for CI trend tracking and regression gates. It has four modes.
+// for CI trend tracking and regression gates. It has five modes.
 //
 // -mode parallel (the default, BENCH_parallel.json) measures the parallel
 // pipeline's speedup over the sequential path. It generates a seeded
@@ -34,11 +34,20 @@
 // byte-equality of the incrementally maintained exports with the
 // from-scratch transform is a hard gate.
 //
+// -mode serve (BENCH_serve.json) load-tests the daemon's online query tier:
+// -serve-clients concurrent clients fire a mixed Cypher/SPARQL query set at
+// a real in-process server for -serve-duration, reporting p50/p95/p99
+// latency and QPS. Two CPU-independent hard gates: every answer must
+// byte-equal a single-threaded evaluation of the same query, and the
+// snapshot cache must record zero loads during the run (hits never touch
+// the load path).
+//
 // Usage:
 //
-//	benchjson [-mode parallel|obs|dist|delta] [-out FILE] [-scale 0.002] [-reps 3]
+//	benchjson [-mode parallel|obs|dist|delta|serve] [-out FILE] [-scale 0.002] [-reps 3]
 //	          [-min-speedup 0] [-workers 1,2,4] [-max-overhead-pct 0]
 //	          [-dist-workers 3] [-dist-shards 8]
+//	          [-serve-clients 1000] [-serve-duration 3s]
 //
 // With -min-speedup s > 0 (parallel mode) the command exits nonzero when the
 // highest configured worker count's speedup falls below s; with
@@ -113,6 +122,8 @@ func main() {
 	maxOverhead := flag.Float64("max-overhead-pct", 0, "obs mode: fail when instrumentation costs more than this percent (0 = report only; skipped on <4-CPU machines)")
 	distWorkers := flag.Int("dist-workers", 3, "dist mode: in-process worker `count` behind the coordinator")
 	distShards := flag.Int("dist-shards", 8, "dist mode: shard `count` the coordinator splits the input into")
+	serveClients := flag.Int("serve-clients", 1000, "serve mode: concurrent query clients")
+	serveDuration := flag.Duration("serve-duration", 3*time.Second, "serve mode: load-phase `duration`")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersSpec)
@@ -140,8 +151,13 @@ func main() {
 			*out = "BENCH_delta.json"
 		}
 		err = runDelta(*out, *scale, *reps, *minSpeedup)
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		err = runServe(*out, *scale, *serveClients, *serveDuration)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, obs, dist, or delta)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, obs, dist, delta, or serve)", *mode)
 	}
 	if err != nil {
 		fatal(err)

@@ -92,6 +92,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofHTTP    = fs.Bool("pprof-http", false, "mount /debug/pprof/* profiling handlers (off by default)")
 		traceFile    = fs.String("trace-file", "", "append job lifecycle phase events to this JSONL `file`")
 
+		// Online query serving (POST /query).
+		queryCacheMB = fs.Int("query-cache-mem", 256, "job-snapshot LRU cache budget in `MiB` (0 = unlimited)")
+		queryConc    = fs.Int("query-concurrency", 0, "queries executing at once (0 = 64)")
+		queryQueue   = fs.Int("query-queue", 0, "queries waiting behind the slots before 429 (0 = 256, negative = none)")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-query deadline ceiling (0 = 30s)")
+		queryMaxRows = fs.Int("query-max-rows", 0, "rows returned per query at most (0 = 100000)")
+
 		// Distributed transform: coordinator mode.
 		coordinator    = fs.Bool("coordinator", false, "run as a distributed-transform coordinator instead of a job server")
 		dataPath       = fs.String("data", "", "coordinator: N-Triples input `file`")
@@ -213,13 +220,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(server.Config{
-		Manager:      mgr,
-		MaxBodyBytes: *maxBody,
-		Log:          logger.With("component", "server"),
-		Version:      version,
-		EnablePprof:  *pprofHTTP,
-		ShardWorker:  shardWorker,
-		Graphs:       graphs,
+		Manager:            mgr,
+		MaxBodyBytes:       *maxBody,
+		Log:                logger.With("component", "server"),
+		Version:            version,
+		EnablePprof:        *pprofHTTP,
+		ShardWorker:        shardWorker,
+		Graphs:             graphs,
+		QueryCacheBytes:    int64(*queryCacheMB) << 20,
+		QueryMaxConcurrent: *queryConc,
+		QueryMaxQueue:      *queryQueue,
+		QueryTimeout:       *queryTimeout,
+		QueryMaxRows:       *queryMaxRows,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -111,6 +111,10 @@ type PropExpr struct {
 // ConstExpr is a literal constant.
 type ConstExpr struct{ Value pg.Value }
 
+// ParamExpr references a query parameter: $name. Values are supplied at
+// evaluation time through EvalOptions.Params.
+type ParamExpr struct{ Name string }
+
 // NullExpr is the NULL literal.
 type NullExpr struct{}
 
@@ -145,6 +149,7 @@ type InExpr struct {
 func (VarExpr) expr()    {}
 func (PropExpr) expr()   {}
 func (ConstExpr) expr()  {}
+func (ParamExpr) expr()  {}
 func (NullExpr) expr()   {}
 func (BinaryExpr) expr() {}
 func (NotExpr) expr()    {}

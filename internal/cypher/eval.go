@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -19,33 +20,124 @@ var (
 type nodeRef pg.NodeID
 type edgeRef pg.EdgeID
 
-// binding maps variable names to values (nodeRef, edgeRef, pg.Value, nil).
-type binding map[string]any
+// kvPair is one bound variable.
+type kvPair struct {
+	k string
+	v any
+}
 
-func (b binding) clone() binding {
-	c := make(binding, len(b)+2)
-	for k, v := range b {
-		c[k] = v
+// binding is a small ordered set of variable→value pairs (nodeRef, edgeRef,
+// pg.Value, nil). Queries bind a handful of variables, so linear scans beat
+// map hashing, and — the property the match pipeline lives on — a clone is
+// one allocation plus a memcpy instead of a map rebuild. The invariant that
+// keeps slice sharing safe: a binding is extended (set of a new key) only
+// immediately after clone, so no two bindings ever share a backing array at
+// different lengths.
+type binding []kvPair
+
+func (b binding) get(k string) (any, bool) {
+	for i := range b {
+		if b[i].k == k {
+			return b[i].v, true
+		}
 	}
+	return nil, false
+}
+
+// clone copies the binding with headroom for the variables the current
+// pattern element is about to bind, so the following set calls stay in the
+// same allocation.
+func (b binding) clone() binding {
+	c := make(binding, len(b), len(b)+2)
+	copy(c, b)
 	return c
+}
+
+// set binds k, replacing an existing entry; callers must use the return
+// value (append semantics).
+func (b binding) set(k string, v any) binding {
+	for i := range b {
+		if b[i].k == k {
+			b[i].v = v
+			return b
+		}
+	}
+	return append(b, kvPair{k, v})
+}
+
+// del removes k by swap-remove; callers must use the return value.
+func (b binding) del(k string) binding {
+	for i := range b {
+		if b[i].k == k {
+			b[i] = b[len(b)-1]
+			return b[:len(b)-1]
+		}
+	}
+	return b
+}
+
+// EvalOptions configures evaluation beyond the defaults. The zero value is
+// valid: no cancellation, no parameters, no tracing.
+type EvalOptions struct {
+	// Ctx cancels a running evaluation: the match pipeline checks it every
+	// few hundred bindings, so a deadline bounds runaway cross products.
+	Ctx context.Context
+	// Params supplies values for $name parameter expressions.
+	Params map[string]pg.Value
+	// Span records each UNION part as a child span with its row count.
+	Span *obs.Span
+}
+
+// evaluator carries per-evaluation state: the store, cancellation,
+// parameters, and scratch buffers reused across rows so the steady-state
+// match loop does not allocate per input binding.
+type evaluator struct {
+	store  *pg.Store
+	ctx    context.Context
+	params map[string]pg.Value
+	steps  int
+	seed   [1]binding // reused seed slice for per-row path expansion
+}
+
+// tick is the cooperative cancellation point, amortized so the common case
+// is one increment and a mask test.
+func (ev *evaluator) tick() error {
+	ev.steps++
+	if ev.steps&255 == 0 && ev.ctx != nil {
+		if err := ev.ctx.Err(); err != nil {
+			return fmt.Errorf("cypher: query canceled: %w", err)
+		}
+	}
+	return nil
 }
 
 // Eval executes a query against a property graph store.
 func Eval(store *pg.Store, q *Query) (*Results, error) {
-	return EvalTraced(store, q, nil)
+	return EvalWith(store, q, EvalOptions{})
 }
 
 // EvalTraced is Eval recording each UNION part as a child span with its row
 // count (nil span disables tracing at no cost).
 func EvalTraced(store *pg.Store, q *Query, span *obs.Span) (*Results, error) {
+	return EvalWith(store, q, EvalOptions{Span: span})
+}
+
+// EvalWith executes a query with cancellation, parameters, and tracing.
+func EvalWith(store *pg.Store, q *Query, opt EvalOptions) (*Results, error) {
 	cEvalQueries.Inc()
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cypher: query canceled: %w", err)
+		}
+	}
+	ev := &evaluator{store: store, ctx: opt.Ctx, params: opt.Params}
 	var combined *Results
 	for i, part := range q.Parts {
 		var sp *obs.Span
-		if span != nil {
-			sp = span.StartSpan("part" + strconv.Itoa(i+1))
+		if opt.Span != nil {
+			sp = opt.Span.StartSpan("part" + strconv.Itoa(i+1))
 		}
-		res, err := evalSingle(store, part)
+		res, err := ev.evalSingle(part)
 		if err != nil {
 			return nil, err
 		}
@@ -74,19 +166,19 @@ func EvalTraced(store *pg.Store, q *Query, span *obs.Span) (*Results, error) {
 		combined.Rows = combined.Rows[:q.Limit]
 	}
 	cEvalRows.Add(int64(len(combined.Rows)))
-	span.Count("rows", int64(len(combined.Rows)))
+	opt.Span.Count("rows", int64(len(combined.Rows)))
 	return combined, nil
 }
 
-func evalSingle(store *pg.Store, sq *SingleQuery) (*Results, error) {
-	rows := []binding{{}}
+func (ev *evaluator) evalSingle(sq *SingleQuery) (*Results, error) {
+	rows := []binding{nil}
 	var err error
 	for _, rc := range sq.Reading {
 		switch clause := rc.(type) {
 		case MatchClause:
-			rows, err = evalMatch(store, clause, rows)
+			rows, err = ev.evalMatch(clause, rows)
 		case UnwindClause:
-			rows, err = evalUnwind(store, clause, rows)
+			rows, err = ev.evalUnwind(clause, rows)
 		default:
 			err = fmt.Errorf("cypher: unknown clause %T", rc)
 		}
@@ -100,15 +192,26 @@ func evalSingle(store *pg.Store, sq *SingleQuery) (*Results, error) {
 	if sq.Return == nil {
 		return nil, fmt.Errorf("cypher: query lacks RETURN")
 	}
-	return project(store, sq.Return, rows)
+	return ev.project(sq.Return, rows)
 }
 
-func evalMatch(store *pg.Store, mc MatchClause, input []binding) ([]binding, error) {
+func (ev *evaluator) evalMatch(mc MatchClause, input []binding) ([]binding, error) {
 	var out []binding
 	for _, b := range input {
-		matches := []binding{b}
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
+		// Seed the path expansion from a reused one-element slice: the
+		// expansion never retains the seed slice itself, only the bindings,
+		// so one buffer serves every input row.
+		ev.seed[0] = b
+		matches := ev.seed[:1]
+		var err error
 		for _, path := range mc.Paths {
-			matches = expandPath(store, path, matches)
+			matches, err = ev.expandPath(path, matches)
+			if err != nil {
+				return nil, err
+			}
 			if len(matches) == 0 {
 				break
 			}
@@ -116,7 +219,7 @@ func evalMatch(store *pg.Store, mc MatchClause, input []binding) ([]binding, err
 		if mc.Where != nil {
 			kept := matches[:0]
 			for _, m := range matches {
-				v, err := evalExpr(store, mc.Where, m)
+				v, err := ev.evalExpr(mc.Where, m)
 				if err != nil {
 					return nil, err
 				}
@@ -129,8 +232,8 @@ func evalMatch(store *pg.Store, mc MatchClause, input []binding) ([]binding, err
 		if len(matches) == 0 && mc.Optional {
 			nb := b.clone()
 			for _, v := range clauseVars(mc) {
-				if _, bound := nb[v]; !bound {
-					nb[v] = nil
+				if _, bound := nb.get(v); !bound {
+					nb = nb.set(v, nil)
 				}
 			}
 			out = append(out, nb)
@@ -161,21 +264,25 @@ func clauseVars(mc MatchClause) []string {
 }
 
 // expandPath extends bindings along one path pattern.
-func expandPath(store *pg.Store, path PathPattern, input []binding) []binding {
-	cur := bindNode(store, path.Head, input)
+func (ev *evaluator) expandPath(path PathPattern, input []binding) ([]binding, error) {
+	// Anonymous head nodes still need an anchor for hop expansion; bind them
+	// directly under a synthetic name that cannot clash with user
+	// identifiers instead of re-keying every binding afterwards.
 	prevVar := path.Head.Var
-	// Anonymous head nodes still need an anchor for hop expansion; use a
-	// synthetic variable name that cannot clash with user identifiers.
-	if prevVar == "" {
+	key := prevVar
+	if key == "" {
 		prevVar = "\x00head"
-		for i := range cur {
-			// bindNode stored the node under "" — move it.
-			cur[i][prevVar] = cur[i]["\x00anon"]
-			delete(cur[i], "\x00anon")
-		}
+		key = prevVar
+	}
+	cur, err := ev.bindNode(path.Head, key, input)
+	if err != nil {
+		return nil, err
 	}
 	for _, hop := range path.Hops {
-		cur = expandHop(store, prevVar, hop, cur)
+		cur, err = ev.expandHop(prevVar, hop, cur)
+		if err != nil {
+			return nil, err
+		}
 		if hop.Node.Var != "" {
 			prevVar = hop.Node.Var
 		} else {
@@ -183,44 +290,61 @@ func expandPath(store *pg.Store, path PathPattern, input []binding) []binding {
 		}
 	}
 	// Drop synthetic anchors.
-	for _, b := range cur {
-		delete(b, "\x00head")
-		delete(b, "\x00hop")
+	for i := range cur {
+		cur[i] = cur[i].del("\x00head")
+		cur[i] = cur[i].del("\x00hop")
 	}
-	return cur
+	return cur, nil
 }
 
 // bindNode matches the head node pattern against the store (or an existing
-// binding), producing one binding per candidate.
-func bindNode(store *pg.Store, np NodePattern, input []binding) []binding {
+// binding), storing each candidate under key and producing one binding per
+// match. The candidate set is resolved once per call, not once per input
+// row: for a multi-clause MATCH the input can be thousands of bindings and
+// the per-row index lookup used to dominate the allocation profile.
+func (ev *evaluator) bindNode(np NodePattern, key string, input []binding) ([]binding, error) {
 	var out []binding
-	key := np.Var
-	if key == "" {
-		key = "\x00anon"
-	}
+	candIDs, candNodes := candidateSet(ev.store, np)
 	for _, b := range input {
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
 		if np.Var != "" {
-			if v, bound := b[np.Var]; bound {
-				if ref, ok := v.(nodeRef); ok && nodeMatches(store.Node(pg.NodeID(ref)), np) {
+			if v, bound := b.get(np.Var); bound {
+				if ref, ok := v.(nodeRef); ok && nodeMatches(ev.store.Node(pg.NodeID(ref)), np) {
 					out = append(out, b)
 				}
 				continue
 			}
 		}
-		for _, n := range candidateNodes(store, np) {
-			if !nodeMatches(n, np) {
-				continue
+		if candIDs != nil {
+			for _, id := range candIDs {
+				out = tryBind(ev.store.Node(id), np, key, b, out)
 			}
-			nb := b.clone()
-			nb[key] = nodeRef(n.ID)
-			out = append(out, nb)
+		} else {
+			for _, n := range candNodes {
+				out = tryBind(n, np, key, b, out)
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
-// candidateNodes picks the narrowest label index for the pattern.
-func candidateNodes(store *pg.Store, np NodePattern) []*pg.Node {
+// tryBind appends a binding extended with the candidate node if it matches
+// the pattern. A plain function, not a per-row closure.
+func tryBind(n *pg.Node, np NodePattern, key string, b binding, out []binding) []binding {
+	if !nodeMatches(n, np) {
+		return out
+	}
+	nb := b.clone().set(key, nodeRef(n.ID))
+	return append(out, nb)
+}
+
+// candidateSet picks the narrowest index for the pattern without
+// materializing a node slice: label patterns reuse the index id slice,
+// iri-equality patterns resolve through the unique index, and only the
+// unconstrained case scans all nodes.
+func candidateSet(store *pg.Store, np NodePattern) ([]pg.NodeID, []*pg.Node) {
 	if len(np.Labels) > 0 {
 		best := store.NodesByLabel(np.Labels[0])
 		for _, l := range np.Labels[1:] {
@@ -228,19 +352,15 @@ func candidateNodes(store *pg.Store, np NodePattern) []*pg.Node {
 				best = ids
 			}
 		}
-		out := make([]*pg.Node, 0, len(best))
-		for _, id := range best {
-			out = append(out, store.Node(id))
-		}
-		return out
+		return best, nil
 	}
 	if iri, ok := np.Props["iri"].(string); ok {
 		if n := store.NodeByIRI(iri); n != nil {
-			return []*pg.Node{n}
+			return nil, []*pg.Node{n}
 		}
-		return nil
+		return nil, nil
 	}
-	return store.Nodes()
+	return nil, store.Nodes()
 }
 
 func nodeMatches(n *pg.Node, np NodePattern) bool {
@@ -262,78 +382,83 @@ func nodeMatches(n *pg.Node, np NodePattern) bool {
 }
 
 // expandHop extends each binding across one relationship hop.
-func expandHop(store *pg.Store, fromVar string, hop Hop, input []binding) []binding {
+func (ev *evaluator) expandHop(fromVar string, hop Hop, input []binding) ([]binding, error) {
 	var out []binding
-	typeOK := func(label string) bool {
-		if len(hop.Rel.Types) == 0 {
-			return true
-		}
-		for _, t := range hop.Rel.Types {
-			if t == label {
-				return true
-			}
-		}
-		return false
-	}
 	nodeKey := hop.Node.Var
 	if nodeKey == "" {
 		nodeKey = "\x00hop"
 	}
 	for _, b := range input {
-		ref, ok := b[fromVar].(nodeRef)
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
+		v, _ := b.get(fromVar)
+		ref, ok := v.(nodeRef)
 		if !ok {
 			continue
 		}
 		from := pg.NodeID(ref)
-		try := func(e *pg.Edge, target pg.NodeID) {
-			if !typeOK(e.Label) {
-				return
-			}
-			tn := store.Node(target)
-			if !nodeMatches(tn, hop.Node) {
-				return
-			}
-			if hop.Node.Var != "" {
-				if v, bound := b[hop.Node.Var]; bound {
-					if r, ok := v.(nodeRef); !ok || pg.NodeID(r) != target {
-						return
-					}
-				}
-			}
-			if hop.Rel.Var != "" {
-				if v, bound := b[hop.Rel.Var]; bound {
-					if r, ok := v.(edgeRef); !ok || pg.EdgeID(r) != e.ID {
-						return
-					}
-				}
-			}
-			nb := b.clone()
-			nb[nodeKey] = nodeRef(target)
-			if hop.Rel.Var != "" {
-				nb[hop.Rel.Var] = edgeRef(e.ID)
-			}
-			out = append(out, nb)
-		}
 		if hop.Rel.Dir >= 0 {
-			for _, eid := range store.Out(from) {
-				e := store.Edge(eid)
-				try(e, e.To)
+			for _, eid := range ev.store.Out(from) {
+				e := ev.store.Edge(eid)
+				out = ev.tryHop(hop, nodeKey, b, e, e.To, out)
 			}
 		}
 		if hop.Rel.Dir <= 0 {
-			for _, eid := range store.In(from) {
-				e := store.Edge(eid)
-				try(e, e.From)
+			for _, eid := range ev.store.In(from) {
+				e := ev.store.Edge(eid)
+				out = ev.tryHop(hop, nodeKey, b, e, e.From, out)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
-func evalUnwind(store *pg.Store, uc UnwindClause, input []binding) ([]binding, error) {
+// tryHop appends the extended binding if the edge and target node satisfy
+// the hop pattern. A method rather than a closure: the old per-input-row
+// closure allocation showed up directly in the eval benchmarks.
+func (ev *evaluator) tryHop(hop Hop, nodeKey string, b binding, e *pg.Edge, target pg.NodeID, out []binding) []binding {
+	if len(hop.Rel.Types) > 0 {
+		match := false
+		for _, t := range hop.Rel.Types {
+			if t == e.Label {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return out
+		}
+	}
+	tn := ev.store.Node(target)
+	if !nodeMatches(tn, hop.Node) {
+		return out
+	}
+	if hop.Node.Var != "" {
+		if v, bound := b.get(hop.Node.Var); bound {
+			if r, ok := v.(nodeRef); !ok || pg.NodeID(r) != target {
+				return out
+			}
+		}
+	}
+	if hop.Rel.Var != "" {
+		if v, bound := b.get(hop.Rel.Var); bound {
+			if r, ok := v.(edgeRef); !ok || pg.EdgeID(r) != e.ID {
+				return out
+			}
+		}
+	}
+	nb := b.clone().set(nodeKey, nodeRef(target))
+	if hop.Rel.Var != "" {
+		nb = nb.set(hop.Rel.Var, edgeRef(e.ID))
+	}
+	return append(out, nb)
+}
+
+func (ev *evaluator) evalUnwind(uc UnwindClause, input []binding) ([]binding, error) {
 	var out []binding
 	for _, b := range input {
-		v, err := evalExpr(store, uc.Expr, b)
+		v, err := ev.evalExpr(uc.Expr, b)
 		if err != nil {
 			return nil, err
 		}
@@ -342,21 +467,17 @@ func evalUnwind(store *pg.Store, uc UnwindClause, input []binding) ([]binding, e
 			// UNWIND NULL produces no rows.
 		case []pg.Value:
 			for _, item := range list {
-				nb := b.clone()
-				nb[uc.Alias] = item
-				out = append(out, nb)
+				out = append(out, b.clone().set(uc.Alias, item))
 			}
 		default:
-			nb := b.clone()
-			nb[uc.Alias] = v
-			out = append(out, nb)
+			out = append(out, b.clone().set(uc.Alias, v))
 		}
 	}
 	return out, nil
 }
 
 // project evaluates the RETURN clause, handling COUNT aggregation.
-func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error) {
+func (ev *evaluator) project(rc *ReturnClause, rows []binding) (*Results, error) {
 	res := &Results{}
 	for _, item := range rc.Items {
 		res.Cols = append(res.Cols, item.Alias)
@@ -371,13 +492,16 @@ func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error
 
 	if !hasAgg {
 		for _, b := range rows {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
 			row := make([]pg.Value, len(rc.Items))
 			for i, item := range rc.Items {
-				v, err := evalExpr(store, item.Expr, b)
+				v, err := ev.evalExpr(item.Expr, b)
 				if err != nil {
 					return nil, err
 				}
-				row[i] = materialize(store, v)
+				row[i] = ev.materialize(v)
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -395,22 +519,33 @@ func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error
 	}
 	groups := map[string]*group{}
 	var order []string
+	// The grouping key is recomputed per row into a reused scratch slice;
+	// only a newly seen group copies it out.
+	keyScratch := make([]pg.Value, 0, len(rc.Items))
 	for _, b := range rows {
-		key := make([]pg.Value, 0, len(rc.Items))
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
+		key := keyScratch[:0]
 		for _, item := range rc.Items {
 			if item.Agg != "" {
 				continue
 			}
-			v, err := evalExpr(store, item.Expr, b)
+			v, err := ev.evalExpr(item.Expr, b)
 			if err != nil {
 				return nil, err
 			}
-			key = append(key, materialize(store, v))
+			key = append(key, ev.materialize(v))
 		}
+		keyScratch = key[:0]
 		ks := valuesKey(key)
 		g, ok := groups[ks]
 		if !ok {
-			g = &group{key: key, counts: make([]int64, len(rc.Items)), seen: make([]map[string]bool, len(rc.Items))}
+			g = &group{
+				key:    append([]pg.Value(nil), key...),
+				counts: make([]int64, len(rc.Items)),
+				seen:   make([]map[string]bool, len(rc.Items)),
+			}
 			groups[ks] = g
 			order = append(order, ks)
 		}
@@ -422,7 +557,7 @@ func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error
 				g.counts[i]++
 				continue
 			}
-			v, err := evalExpr(store, item.Expr, b)
+			v, err := ev.evalExpr(item.Expr, b)
 			if err != nil {
 				return nil, err
 			}
@@ -433,7 +568,7 @@ func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error
 				if g.seen[i] == nil {
 					g.seen[i] = map[string]bool{}
 				}
-				k := pg.FormatValue(materialize(store, v))
+				k := pg.FormatValue(ev.materialize(v))
 				if g.seen[i][k] {
 					continue
 				}
@@ -479,16 +614,16 @@ func project(store *pg.Store, rc *ReturnClause, rows []binding) (*Results, error
 
 // materialize converts binding values to plain result values: nodes render
 // as their iri property (or id), edges as their label.
-func materialize(store *pg.Store, v any) pg.Value {
+func (ev *evaluator) materialize(v any) pg.Value {
 	switch x := v.(type) {
 	case nodeRef:
-		n := store.Node(pg.NodeID(x))
+		n := ev.store.Node(pg.NodeID(x))
 		if iri, ok := n.Props["iri"].(string); ok {
 			return iri
 		}
 		return int64(x)
 	case edgeRef:
-		return store.Edge(pg.EdgeID(x)).Label
+		return ev.store.Edge(pg.EdgeID(x)).Label
 	case nil:
 		return nil
 	default:
@@ -496,16 +631,21 @@ func materialize(store *pg.Store, v any) pg.Value {
 	}
 }
 
+// valuesKey renders a row as a single delimiter-joined string for grouping
+// and dedupe maps, building in place rather than via a parts slice.
 func valuesKey(vals []pg.Value) string {
-	parts := make([]string, len(vals))
+	var sb strings.Builder
 	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(0x1f)
+		}
 		if v == nil {
-			parts[i] = "\x00null"
+			sb.WriteString("\x00null")
 		} else {
-			parts[i] = pg.FormatValue(v)
+			sb.WriteString(pg.FormatValue(v))
 		}
 	}
-	return strings.Join(parts, "\x1f")
+	return sb.String()
 }
 
 func dedupeRows(rows [][]pg.Value) [][]pg.Value {

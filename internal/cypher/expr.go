@@ -16,24 +16,24 @@ func sortSlice[T any](s []T, less func(a, b T) bool) {
 // evalExpr evaluates an expression under a binding. Results follow Cypher's
 // ternary logic loosely: nil propagates and comparisons with nil are nil,
 // which isTrue treats as false.
-func evalExpr(store *pg.Store, e Expr, b binding) (any, error) {
+func (ev *evaluator) evalExpr(e Expr, b binding) (any, error) {
 	switch x := e.(type) {
 	case VarExpr:
-		v, ok := b[x.Name]
+		v, ok := b.get(x.Name)
 		if !ok {
 			return nil, fmt.Errorf("cypher: unbound variable %q", x.Name)
 		}
 		return v, nil
 	case PropExpr:
-		v, ok := b[x.Var]
+		v, ok := b.get(x.Var)
 		if !ok {
 			return nil, fmt.Errorf("cypher: unbound variable %q", x.Var)
 		}
 		switch ref := v.(type) {
 		case nodeRef:
-			return store.Node(pg.NodeID(ref)).Props[x.Key], nil
+			return ev.store.Node(pg.NodeID(ref)).Props[x.Key], nil
 		case edgeRef:
-			return store.Edge(pg.EdgeID(ref)).Props[x.Key], nil
+			return ev.store.Edge(pg.EdgeID(ref)).Props[x.Key], nil
 		case nil:
 			return nil, nil
 		default:
@@ -41,10 +41,16 @@ func evalExpr(store *pg.Store, e Expr, b binding) (any, error) {
 		}
 	case ConstExpr:
 		return x.Value, nil
+	case ParamExpr:
+		v, ok := ev.params[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("cypher: no value supplied for parameter $%s", x.Name)
+		}
+		return v, nil
 	case NullExpr:
 		return nil, nil
 	case NotExpr:
-		v, err := evalExpr(store, x.E, b)
+		v, err := ev.evalExpr(x.E, b)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +59,7 @@ func evalExpr(store *pg.Store, e Expr, b binding) (any, error) {
 		}
 		return !isTrue(v), nil
 	case IsNullExpr:
-		v, err := evalExpr(store, x.E, b)
+		v, err := ev.evalExpr(x.E, b)
 		if err != nil {
 			return nil, err
 		}
@@ -62,36 +68,36 @@ func evalExpr(store *pg.Store, e Expr, b binding) (any, error) {
 		}
 		return v == nil, nil
 	case InExpr:
-		v, err := evalExpr(store, x.E, b)
+		v, err := ev.evalExpr(x.E, b)
 		if err != nil {
 			return nil, err
 		}
 		for _, le := range x.List {
-			lv, err := evalExpr(store, le, b)
+			lv, err := ev.evalExpr(le, b)
 			if err != nil {
 				return nil, err
 			}
-			if pg.ValueEqual(materialize(store, v), materialize(store, lv)) {
+			if pg.ValueEqual(ev.materialize(v), ev.materialize(lv)) {
 				return true, nil
 			}
 		}
 		return false, nil
 	case BinaryExpr:
-		return evalBinary(store, x, b)
+		return ev.evalBinary(x, b)
 	case CallExpr:
-		return evalCall(store, x, b)
+		return ev.evalCall(x, b)
 	default:
 		return nil, fmt.Errorf("cypher: unknown expression %T", e)
 	}
 }
 
-func evalBinary(store *pg.Store, x BinaryExpr, b binding) (any, error) {
-	l, err := evalExpr(store, x.L, b)
+func (ev *evaluator) evalBinary(x BinaryExpr, b binding) (any, error) {
+	l, err := ev.evalExpr(x.L, b)
 	if err != nil {
 		return nil, err
 	}
 	if x.Op == "AND" || x.Op == "OR" {
-		r, err := evalExpr(store, x.R, b)
+		r, err := ev.evalExpr(x.R, b)
 		if err != nil {
 			return nil, err
 		}
@@ -100,14 +106,14 @@ func evalBinary(store *pg.Store, x BinaryExpr, b binding) (any, error) {
 		}
 		return isTrue(l) || isTrue(r), nil
 	}
-	r, err := evalExpr(store, x.R, b)
+	r, err := ev.evalExpr(x.R, b)
 	if err != nil {
 		return nil, err
 	}
 	if l == nil || r == nil {
 		return nil, nil
 	}
-	lv, rv := materialize(store, l), materialize(store, r)
+	lv, rv := ev.materialize(l), ev.materialize(r)
 	switch x.Op {
 	case "=":
 		return pg.ValueEqual(lv, rv), nil
@@ -152,10 +158,10 @@ func compareValues(a, b pg.Value) (int, bool) {
 	return 0, false
 }
 
-func evalCall(store *pg.Store, x CallExpr, b binding) (any, error) {
+func (ev *evaluator) evalCall(x CallExpr, b binding) (any, error) {
 	args := make([]any, len(x.Args))
 	for i, a := range x.Args {
-		v, err := evalExpr(store, a, b)
+		v, err := ev.evalExpr(a, b)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +180,7 @@ func evalCall(store *pg.Store, x CallExpr, b binding) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("cypher: labels() requires a node")
 		}
-		labels := store.Node(pg.NodeID(ref)).Labels
+		labels := ev.store.Node(pg.NodeID(ref)).Labels
 		out := make([]pg.Value, len(labels))
 		for i, l := range labels {
 			out[i] = l
@@ -185,12 +191,12 @@ func evalCall(store *pg.Store, x CallExpr, b binding) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("cypher: type() requires a relationship")
 		}
-		return store.Edge(pg.EdgeID(ref)).Label, nil
+		return ev.store.Edge(pg.EdgeID(ref)).Label, nil
 	case "TOSTRING":
 		if args[0] == nil {
 			return nil, nil
 		}
-		return pg.FormatValue(materialize(store, args[0])), nil
+		return pg.FormatValue(ev.materialize(args[0])), nil
 	case "SIZE":
 		switch v := args[0].(type) {
 		case nil:

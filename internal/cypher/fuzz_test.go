@@ -40,6 +40,9 @@ func FuzzLexer(f *testing.F) {
 func FuzzParse(f *testing.F) {
 	f.Add(`MATCH (p:Person) WHERE p.name = "Alice" OR p.dob < 2000 RETURN p`)
 	f.Add(`MATCH (a)-->(b) RETURN labels(a), type(a) UNION ALL MATCH (c) RETURN c, c`)
+	f.Add(`MATCH (n:Person) WHERE n.name = $who AND n.age >= $min RETURN n.name, $tag`)
+	f.Add(`MATCH (n) WHERE n.x = $ RETURN n`)
+	f.Add(`RETURN $1`)
 	f.Add(`MATCH ((((`)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 2048 {

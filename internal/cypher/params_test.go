@@ -1,0 +1,76 @@
+package cypher_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/cypher"
+	"github.com/s3pg/s3pg/internal/pg"
+)
+
+func runParams(t *testing.T, src string, params map[string]pg.Value) *cypher.Results {
+	t.Helper()
+	q, err := cypher.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := cypher.EvalWith(buildStore(), q, cypher.EvalOptions{Params: params})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return res
+}
+
+func TestParamInWhere(t *testing.T) {
+	res := runParams(t, `MATCH (n:Person) WHERE n.name = $who RETURN n.name AS name`,
+		map[string]pg.Value{"who": "Bob"})
+	if res.Len() != 1 || res.Rows[0][0] != "Bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestParamNumericComparison(t *testing.T) {
+	res := runParams(t, `MATCH (n:Person) WHERE n.age >= $min RETURN n.name AS name`,
+		map[string]pg.Value{"min": int64(30)})
+	if res.Len() != 1 || res.Rows[0][0] != "Alice" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestParamInReturn(t *testing.T) {
+	res := runParams(t, `MATCH (n:Person) RETURN $tag AS tag LIMIT 1`,
+		map[string]pg.Value{"tag": "v1"})
+	if res.Len() != 1 || res.Rows[0][0] != "v1" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestParamMissing(t *testing.T) {
+	q, err := cypher.Parse(`MATCH (n) WHERE n.name = $absent RETURN n.name AS n`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = cypher.EvalWith(buildStore(), q, cypher.EvalOptions{})
+	if err == nil || !strings.Contains(err.Error(), "$absent") {
+		t.Fatalf("err = %v, want missing-parameter error naming $absent", err)
+	}
+}
+
+func TestParamParseErrors(t *testing.T) {
+	if _, err := cypher.Parse(`MATCH (n) WHERE n.x = $ RETURN n`); err == nil {
+		t.Fatal("expected error for bare '$'")
+	}
+}
+
+func TestEvalCtxCanceled(t *testing.T) {
+	q, err := cypher.Parse(`MATCH (a) MATCH (b) MATCH (c) RETURN count(*) AS n`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cypher.EvalWith(buildStore(), q, cypher.EvalOptions{Ctx: ctx}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

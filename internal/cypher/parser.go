@@ -456,6 +456,13 @@ func (p *parser) primary() (Expr, error) {
 		p.lex.eatKeyword("FALSE")
 		return ConstExpr{Value: false}, nil
 	}
+	if p.lex.eatPunct("$") {
+		name, ok := p.lex.eatIdent()
+		if !ok {
+			return nil, p.errf("expected parameter name after '$'")
+		}
+		return ParamExpr{Name: name}, nil
+	}
 	if s, ok := p.lex.eatString(); ok {
 		return ConstExpr{Value: s}, nil
 	}

@@ -512,6 +512,22 @@ func (m *Manager) OutputPath(id, name string) (string, error) {
 	return filepath.Join(m.jobDir(id), name), nil
 }
 
+// QuerySource resolves the retained inputs of a finished job for the query
+// serving tier: the shapes and data files plus the transformation mode. Only
+// done jobs are queryable — their inputs and outputs are committed and
+// immutable in the spool.
+func (m *Manager) QuerySource(id string) (shapesPath, dataPath, mode string, err error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return "", "", "", err
+	}
+	if j.State != StateDone {
+		return "", "", "", fmt.Errorf("%w: job %s is %s, not queryable", ErrInvalid, id, j.State)
+	}
+	dir := m.jobDir(id)
+	return filepath.Join(dir, shapesFile), filepath.Join(dir, dataFile), j.Mode, nil
+}
+
 // Drain stops accepting work, wakes idle workers, cancels running jobs with
 // cause ErrDraining (they checkpoint at their next chunk boundary and
 // requeue), and waits for the pool to quiesce or ctx to expire. After a

@@ -1,0 +1,64 @@
+package pg
+
+// Clone returns a deep copy of the store: nodes, edges, their label and
+// property data, and all indexes. Mutating the clone (or the original)
+// never affects the other, which is what lets the serving layer freeze a
+// consistent snapshot of a live graph while delta application continues on
+// the original.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		nodes:       make([]*Node, len(s.nodes)),
+		edges:       make([]*Edge, len(s.edges)),
+		byLabel:     make(map[string][]NodeID, len(s.byLabel)),
+		byEdgeLabel: make(map[string][]EdgeID, len(s.byEdgeLabel)),
+		out:         make(map[NodeID][]EdgeID, len(s.out)),
+		in:          make(map[NodeID][]EdgeID, len(s.in)),
+		byIRI:       make(map[string]NodeID, len(s.byIRI)),
+	}
+	for i, n := range s.nodes {
+		c.nodes[i] = &Node{
+			ID:     n.ID,
+			Labels: append([]string(nil), n.Labels...),
+			Props:  cloneProps(n.Props),
+		}
+	}
+	for i, e := range s.edges {
+		c.edges[i] = &Edge{
+			ID:    e.ID,
+			From:  e.From,
+			To:    e.To,
+			Label: e.Label,
+			Props: cloneProps(e.Props),
+		}
+	}
+	for l, ids := range s.byLabel {
+		c.byLabel[l] = append([]NodeID(nil), ids...)
+	}
+	for l, ids := range s.byEdgeLabel {
+		c.byEdgeLabel[l] = append([]EdgeID(nil), ids...)
+	}
+	for id, ids := range s.out {
+		c.out[id] = append([]EdgeID(nil), ids...)
+	}
+	for id, ids := range s.in {
+		c.in[id] = append([]EdgeID(nil), ids...)
+	}
+	for iri, id := range s.byIRI {
+		c.byIRI[iri] = id
+	}
+	return c
+}
+
+// cloneProps copies a property map, including multi-valued ([]Value)
+// entries, which AppendProp mutates in place on the original.
+func cloneProps(props map[string]Value) map[string]Value {
+	c := make(map[string]Value, len(props))
+	for k, v := range props {
+		if list, ok := v.([]Value); ok {
+			c[k] = append([]Value(nil), list...)
+			continue
+		}
+		c[k] = v
+	}
+	return c
+}

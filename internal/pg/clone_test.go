@@ -1,0 +1,56 @@
+package pg
+
+import "testing"
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	s := NewStore()
+	a := s.AddNode([]string{"Person"}, map[string]Value{"iri": "http://x/a", "name": "A"})
+	b := s.AddNode([]string{"Dept"}, map[string]Value{"iri": "http://x/b"})
+	s.AddEdge(a.ID, b.ID, "worksFor", map[string]Value{"since": int64(2020)})
+	s.AppendProp(a.ID, "alias", "a1")
+	s.AppendProp(a.ID, "alias", "a2")
+
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+
+	// Mutations on the original must not leak into the clone.
+	s.AddLabel(a.ID, "Admin")
+	s.SetProp(a.ID, "name", "A2")
+	s.AppendProp(a.ID, "alias", "a3")
+	s.AddEdge(b.ID, a.ID, "manages", nil)
+	extra := s.AddNode([]string{"Person"}, map[string]Value{"iri": "http://x/c"})
+	_ = extra
+
+	if c.NumNodes() != 2 || c.NumEdges() != 1 {
+		t.Fatalf("clone grew: %d nodes, %d edges", c.NumNodes(), c.NumEdges())
+	}
+	cn := c.Node(a.ID)
+	if cn.HasLabel("Admin") {
+		t.Fatal("label mutation leaked into clone")
+	}
+	if cn.Props["name"] != "A2" && cn.Props["name"] == "A" {
+		// expected: clone keeps the original value
+	} else if cn.Props["name"] != "A" {
+		t.Fatalf("prop mutation leaked into clone: %v", cn.Props["name"])
+	}
+	if list, ok := cn.Props["alias"].([]Value); !ok || len(list) != 2 {
+		t.Fatalf("multi-valued prop leaked or lost: %v", cn.Props["alias"])
+	}
+	if got := len(c.NodesByLabel("Person")); got != 1 {
+		t.Fatalf("label index leaked: %d Person nodes in clone", got)
+	}
+	if c.NodeByIRI("http://x/c") != nil {
+		t.Fatal("iri index leaked into clone")
+	}
+	if len(c.Out(b.ID)) != 0 {
+		t.Fatal("adjacency index leaked into clone")
+	}
+
+	// And the other direction: mutating the clone leaves the original alone.
+	c.SetProp(b.ID, "name", "B")
+	if _, ok := s.Node(b.ID).Props["name"]; ok {
+		t.Fatal("clone mutation leaked into original")
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"context"
+
+	"github.com/s3pg/s3pg/internal/cypher"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/sparql"
+)
+
+// ErrBadQuery wraps parse and validation failures; the HTTP layer maps it
+// to 400.
+var ErrBadQuery = errors.New("serve: bad query")
+
+// Request is one query against a snapshot.
+type Request struct {
+	// Lang selects the engine: "cypher" runs over the transformed property
+	// graph, "sparql" over the source RDF graph.
+	Lang  string
+	Query string
+	// Params supplies Cypher $name parameters (decoded JSON values).
+	Params map[string]any
+	// MaxRows truncates the answer; 0 means unlimited.
+	MaxRows int
+}
+
+// Response is the answer to a Request. Rows hold JSON-encodable values:
+// property values for Cypher, canonical term strings (tr(µ)) for SPARQL.
+type Response struct {
+	Lang      string   `json:"lang"`
+	LSN       uint64   `json:"lsn"`
+	Cache     string   `json:"cache"`
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	Truncated bool     `json:"truncated,omitempty"`
+}
+
+// Execute runs one query against an immutable snapshot. The ctx deadline is
+// enforced cooperatively inside both engines; MaxRows truncates the
+// materialized answer and sets Truncated.
+func Execute(ctx context.Context, snap *Snapshot, req Request) (*Response, error) {
+	resp := &Response{Lang: req.Lang, LSN: snap.LSN}
+	switch req.Lang {
+	case "cypher":
+		q, err := cypher.Parse(req.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		params, err := convertParams(req.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		res, err := cypher.EvalWith(snap.Store, q, cypher.EvalOptions{Ctx: ctx, Params: params})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		resp.Columns = res.Cols
+		resp.Rows = make([][]any, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			out := make([]any, len(row))
+			for i, v := range row {
+				out[i] = v
+			}
+			resp.Rows = append(resp.Rows, out)
+		}
+	case "sparql":
+		q, err := sparql.Parse(req.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		res, err := sparql.EvalCtx(ctx, snap.Graph, q)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		resp.Columns = res.Vars
+		resp.Rows = make([][]any, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			out := make([]any, len(row))
+			for i, t := range row {
+				out[i] = sparql.CanonicalTerm(t)
+			}
+			resp.Rows = append(resp.Rows, out)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown language %q (want cypher or sparql)", ErrBadQuery, req.Lang)
+	}
+	if req.MaxRows > 0 && len(resp.Rows) > req.MaxRows {
+		resp.Rows = resp.Rows[:req.MaxRows]
+		resp.Truncated = true
+	}
+	return resp, nil
+}
+
+// convertParams maps decoded JSON values onto property graph values.
+// Integral float64 values become int64 so that JSON-supplied numbers
+// compare equal to integer properties.
+func convertParams(in map[string]any) (map[string]pg.Value, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]pg.Value, len(in))
+	for k, v := range in {
+		switch x := v.(type) {
+		case nil:
+			out[k] = nil
+		case string, bool, int64:
+			out[k] = x
+		case float64:
+			if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+				out[k] = int64(x)
+			} else {
+				out[k] = x
+			}
+		default:
+			return nil, fmt.Errorf("parameter %q has unsupported type %T", k, v)
+		}
+	}
+	return out, nil
+}
+
+// ObserveQuery records one served query in the labeled latency histograms:
+// serve.query.seconds{lang,cache}. The caller supplies the cache state
+// ("hit", "miss", or "live" for live-graph snapshots).
+func ObserveQuery(lang, cache string, seconds float64) {
+	obs.Default.Histogram(obs.LabeledName("serve.query.seconds", "lang", lang, "cache", cache)).Observe(seconds)
+}

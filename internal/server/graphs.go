@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/s3pg/s3pg/internal/ckpt"
@@ -30,6 +31,7 @@ import (
 	"github.com/s3pg/s3pg/internal/obs"
 	"github.com/s3pg/s3pg/internal/rdf"
 	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/serve"
 	"github.com/s3pg/s3pg/internal/shacl"
 	"github.com/s3pg/s3pg/internal/wal"
 )
@@ -124,6 +126,14 @@ type graphSession struct {
 	hist      []*core.PGDelta // hist[i] is the delta acknowledged as LSN histBase+i+1
 	histLimit int             // retention window; <= 0 means unbounded
 	drain     bool
+
+	// Query serving (internal/serve). lsn is the latest applied LSN, stored
+	// after each successful apply; snap caches the immutable snapshot last
+	// published for queries. Snapshots are materialized lazily — on the first
+	// query that observes a stale snap — rather than eagerly per apply, so
+	// the delta path never pays for cloning when nobody is querying.
+	lsn  atomic.Uint64
+	snap atomic.Pointer[serve.Snapshot]
 }
 
 // GraphStatus is the GET /graphs/{id} document.
@@ -340,6 +350,7 @@ func (m *GraphManager) loadGraph(id string) (*graphSession, error) {
 		gs.trimHistLocked() // bound restart memory the same way live appends are
 		cGraphRecovered.Inc()
 	}
+	gs.lsn.Store(gs.histBase + uint64(len(gs.hist)))
 	return gs, nil
 }
 
@@ -485,6 +496,9 @@ func (m *GraphManager) applyOne(gs *graphSession, d *rdf.Delta) (*UpdateResult, 
 	gs.hist = append(gs.hist, pd)
 	gs.trimHistLocked()
 	gs.histMu.Unlock()
+	// Publishing the LSN (still under applyMu) invalidates the cached query
+	// snapshot; the next query rebuilds it lazily from the new state.
+	gs.lsn.Store(lsn)
 	gs.cond.Broadcast()
 	cGraphUpdates.Inc()
 	m.cfg.Log.Info("graph_update_applied", "graph", gs.id, "lsn", lsn,
@@ -704,6 +718,45 @@ func (m *GraphManager) Close() error {
 		gs.applyMu.Unlock()
 	}
 	return firstErr
+}
+
+// Snapshot returns an immutable, queryable snapshot of the graph at its
+// latest applied LSN. Fast path is two atomic loads and never blocks — a
+// concurrent delta apply always leaves the previous snapshot intact, so
+// readers see a consistent (if momentarily stale) view. A query issued
+// after an Update's 202 sees at least that Update's LSN (read-your-writes):
+// the LSN is published before the ack, so the fast path misses and the
+// rebuild below runs against the post-apply state.
+func (m *GraphManager) Snapshot(id string) (*serve.Snapshot, error) {
+	gs, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return gs.snapshot()
+}
+
+func (gs *graphSession) snapshot() (*serve.Snapshot, error) {
+	if s := gs.snap.Load(); s != nil && s.LSN == gs.lsn.Load() {
+		return s, nil
+	}
+	// Stale (or first) read: materialize under applyMu so the clone sees a
+	// quiescent state. Queries pay this once per applied batch; the delta
+	// path itself never clones.
+	gs.applyMu.Lock()
+	defer gs.applyMu.Unlock()
+	if gs.broken != nil {
+		// The in-memory state may be ahead of the durable log; refuse to
+		// label it with an LSN. The previously published snapshot (if any)
+		// keeps serving from the fast path above.
+		return nil, fmt.Errorf("%w: %v", ErrGraphBroken, gs.broken)
+	}
+	lsn := gs.lsn.Load() // stable: applies hold applyMu
+	if s := gs.snap.Load(); s != nil && s.LSN == lsn {
+		return s, nil
+	}
+	s := serve.NewSnapshot(gs.state.Graph().Clone(), gs.state.Store().Clone(), gs.state.SchemaDDL(), lsn)
+	gs.snap.Store(s)
+	return s, nil
 }
 
 func (gs *graphSession) lastLSN() uint64 {

@@ -87,6 +87,15 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	j := submitOne(t, srv)
 	waitDone(t, srv, j.ID)
 
+	// Exercise the query tier so its labeled histograms and cache counters
+	// are present in the exposition being linted.
+	qrr, qraw := doJSON(t, srv, "POST", "/query", QueryRequest{
+		Job: j.ID, Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`,
+	})
+	if qrr.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", qrr.Code, qraw)
+	}
+
 	req := httptest.NewRequest("GET", "/metrics", nil)
 	req.Header.Set("Accept", "text/plain")
 	rr := httptest.NewRecorder()
@@ -108,6 +117,9 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"s3pgd_build_info",
 		"s3pgd_uptime_seconds",
 		"s3pgd_http_inflight",
+		`s3pgd_serve_query_seconds_count{cache="miss",lang="cypher"}`,
+		"s3pgd_serve_cache_loads",
+		"s3pgd_serve_cache_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %s:\n%s", want, body)

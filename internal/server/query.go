@@ -1,0 +1,213 @@
+// query.go is the online query surface: POST /query runs Cypher over a
+// transformed property graph or SPARQL over its source RDF graph, against
+// an immutable snapshot resolved from either a live graph session
+// (/graphs/{id}, served at its latest applied LSN) or a finished transform
+// job (loaded once from its spooled outputs into the LRU snapshot cache).
+// Admission, deadlines, and row caps are enforced here; evaluation itself
+// is internal/serve.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/s3pg/s3pg/internal/jobs"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/pg"
+	"github.com/s3pg/s3pg/internal/rio"
+	"github.com/s3pg/s3pg/internal/serve"
+)
+
+var cReqQuery = obs.Default.Counter("server.req.query")
+
+// QueryRequest is the POST /query payload. Exactly one of Graph or Job
+// names the target; Lang selects the engine ("cypher" over the property
+// graph, "sparql" over the source RDF).
+type QueryRequest struct {
+	Graph string `json:"graph,omitempty"`
+	Job   string `json:"job,omitempty"`
+	Lang  string `json:"lang"`
+	Query string `json:"query"`
+	// Params supplies Cypher $name parameters.
+	Params map[string]any `json:"params,omitempty"`
+	// Timeout bounds this query, as a Go duration string; it is clamped to
+	// the server's configured ceiling. Empty means the server default.
+	Timeout string `json:"timeout,omitempty"`
+	// MaxRows truncates the answer; it is clamped to the server's ceiling.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse echoes the target identity around the engine answer.
+type QueryResponse struct {
+	Graph string `json:"graph,omitempty"`
+	Job   string `json:"job,omitempty"`
+	*serve.Response
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	cReqQuery.Inc()
+	if s.lameduck.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request: %w", err))
+		return
+	}
+	if (req.Graph == "") == (req.Job == "") {
+		s.writeError(w, http.StatusBadRequest, errors.New("exactly one of graph or job must be set"))
+		return
+	}
+	timeout := s.cfg.QueryTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("timeout: %w", err))
+			return
+		}
+		if d <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("timeout: must be positive, got %s", d))
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: bounded concurrency + bounded queue, the same 429 contract
+	// as job submission. The snapshot load below runs inside the slot so a
+	// cold cache cannot stack unbounded loads either.
+	if err := s.queryGate.Acquire(ctx); err != nil {
+		if errors.Is(err, serve.ErrBusy) {
+			s.writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("query admission: %w", err))
+		}
+		return
+	}
+	defer s.queryGate.Release()
+
+	var (
+		snap       *serve.Snapshot
+		cacheState string
+		err        error
+	)
+	if req.Graph != "" {
+		if s.cfg.Graphs == nil {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s (graph surface disabled)", ErrUnknownGraph, req.Graph))
+			return
+		}
+		snap, err = s.cfg.Graphs.Snapshot(req.Graph)
+		cacheState = "live"
+	} else {
+		var hit bool
+		snap, hit, err = s.queryCache.Get(ctx, "job:"+req.Job, func() (*serve.Snapshot, error) {
+			return s.loadJobSnapshot(req.Job)
+		})
+		cacheState = "miss"
+		if hit {
+			cacheState = "hit"
+		}
+	}
+	if err != nil {
+		s.writeError(w, querySourceStatus(err), err)
+		return
+	}
+
+	maxRows := req.MaxRows
+	if maxRows <= 0 || maxRows > s.cfg.QueryMaxRows {
+		maxRows = s.cfg.QueryMaxRows
+	}
+	start := time.Now()
+	resp, err := serve.Execute(ctx, snap, serve.Request{
+		Lang: req.Lang, Query: req.Query, Params: req.Params, MaxRows: maxRows,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, serve.ErrBadQuery):
+			s.writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("query deadline exceeded: %w", err))
+		default:
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	serve.ObserveQuery(resp.Lang, cacheState, time.Since(start).Seconds())
+	resp.Cache = cacheState
+	s.writeJSON(w, http.StatusOK, QueryResponse{Graph: req.Graph, Job: req.Job, Response: resp})
+}
+
+// querySourceStatus maps snapshot-resolution failures to HTTP statuses.
+func querySourceStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, jobs.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrInvalid):
+		// Job exists but is not done (or failed): the query is premature.
+		return http.StatusConflict
+	case errors.Is(err, ErrGraphBroken),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// loadJobSnapshot materializes a finished job as a query snapshot: the
+// property graph side is bulk-loaded from the job's exported CSVs (cheaper
+// than re-running the transform), the RDF side re-parsed from the retained
+// source N-Triples. Job outputs are immutable, so the snapshot carries
+// LSN 0 forever and the cache never needs to invalidate it.
+func (s *Server) loadJobSnapshot(id string) (*serve.Snapshot, error) {
+	_, dataPath, _, err := s.cfg.Manager.QuerySource(id)
+	if err != nil {
+		return nil, err
+	}
+	df, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	g, err := rio.LoadNTriples(df)
+	if err != nil {
+		return nil, fmt.Errorf("job %s source: %w", id, err)
+	}
+	paths := make([]string, len(jobs.OutputFiles))
+	for i, name := range jobs.OutputFiles {
+		p, err := s.cfg.Manager.OutputPath(id, name)
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+	nf, err := os.Open(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(paths[1])
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	store, err := pg.LoadCSV(nf, ef)
+	if err != nil {
+		return nil, fmt.Errorf("job %s outputs: %w", id, err)
+	}
+	ddl, err := os.ReadFile(paths[2])
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewSnapshot(g, store, string(ddl), 0), nil
+}

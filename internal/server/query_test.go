@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/jobs"
+)
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (QueryResponse, int, string) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("query response: %v\n%s", err, body)
+		}
+	}
+	return qr, resp.StatusCode, string(body)
+}
+
+// rowCount pulls the single count(*) cell out of a response; JSON numbers
+// decode as float64.
+func rowCount(t *testing.T, qr QueryResponse, raw string) float64 {
+	t.Helper()
+	if qr.Response == nil || len(qr.Rows) != 1 || len(qr.Rows[0]) != 1 {
+		t.Fatalf("unexpected shape: %s", raw)
+	}
+	n, ok := qr.Rows[0][0].(float64)
+	if !ok {
+		t.Fatalf("count cell %T (%v)", qr.Rows[0][0], qr.Rows[0][0])
+	}
+	return n
+}
+
+func TestQueryLiveGraphReadYourWrites(t *testing.T) {
+	ts, _ := newGraphServer(t, GraphConfig{})
+	createUniversityGraph(t, ts, "uni")
+
+	qr, code, raw := postQuery(t, ts, QueryRequest{
+		Graph: "uni", Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	if qr.LSN != 0 || qr.Cache != "live" || qr.Graph != "uni" {
+		t.Fatalf("fresh graph response: %s", raw)
+	}
+	before := rowCount(t, qr, raw)
+
+	// The SPARQL side of the same snapshot: the inserted triple is absent.
+	qr, code, raw = postQuery(t, ts, QueryRequest{
+		Graph: "uni", Lang: "sparql",
+		Query: `ASK { <http://example.org/zed> <http://example.org/name> "Zed" }`,
+	})
+	if code != http.StatusOK || qr.Rows[0][0] != "false" {
+		t.Fatalf("pre-update ask: %d %s", code, raw)
+	}
+
+	res, code, uraw := postUpdate(t, ts, "uni",
+		exPrefixDecl+`INSERT DATA { ex:zed a ex:Person ; ex:name "Zed" . }`)
+	if code != http.StatusAccepted {
+		t.Fatalf("update: %d %s", code, uraw)
+	}
+
+	// Read-your-writes: a query after the 202 sees at least that LSN.
+	qr, code, raw = postQuery(t, ts, QueryRequest{
+		Graph: "uni", Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("post-update query: %d %s", code, raw)
+	}
+	if qr.LSN != res.LSN {
+		t.Fatalf("LSN = %d, want %d (read-your-writes)", qr.LSN, res.LSN)
+	}
+	if after := rowCount(t, qr, raw); after <= before {
+		t.Fatalf("node count %v not above pre-update %v", after, before)
+	}
+	qr, code, raw = postQuery(t, ts, QueryRequest{
+		Graph: "uni", Lang: "sparql",
+		Query: `ASK { <http://example.org/zed> <http://example.org/name> "Zed" }`,
+	})
+	if code != http.StatusOK || qr.Rows[0][0] != "true" {
+		t.Fatalf("post-update ask: %d %s", code, raw)
+	}
+}
+
+func TestQueryJobSnapshotCache(t *testing.T) {
+	srv, _ := newTestServer(t, jobs.Config{})
+	j := submitOne(t, srv)
+	if done := waitDone(t, srv, j.ID); done.State != jobs.StateDone {
+		t.Fatalf("job state %s", done.State)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	qr, code, raw := postQuery(t, ts, QueryRequest{
+		Job: j.ID, Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("job query: %d %s", code, raw)
+	}
+	if qr.Cache != "miss" || qr.Job != j.ID || qr.LSN != 0 {
+		t.Fatalf("first job query: %s", raw)
+	}
+	n := rowCount(t, qr, raw)
+	if n <= 0 {
+		t.Fatalf("transformed job has %v nodes", n)
+	}
+
+	// Second request must be a cache hit with the identical answer.
+	qr2, code, raw2 := postQuery(t, ts, QueryRequest{
+		Job: j.ID, Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`,
+	})
+	if code != http.StatusOK || qr2.Cache != "hit" {
+		t.Fatalf("second job query: %d %s", code, raw2)
+	}
+	if rowCount(t, qr2, raw2) != n {
+		t.Fatalf("hit answer %s != miss answer %s", raw2, raw)
+	}
+
+	// SPARQL runs over the job's retained source RDF.
+	qr, code, raw = postQuery(t, ts, QueryRequest{
+		Job: j.ID, Lang: "sparql", Query: `ASK { ?s ?p ?o }`,
+	})
+	if code != http.StatusOK || qr.Rows[0][0] != "true" {
+		t.Fatalf("job sparql: %d %s", code, raw)
+	}
+}
+
+func TestQueryErrorMapping(t *testing.T) {
+	ts, _ := newGraphServer(t, GraphConfig{})
+	createUniversityGraph(t, ts, "uni")
+
+	cases := []struct {
+		name string
+		req  QueryRequest
+		want int
+	}{
+		{"no target", QueryRequest{Lang: "cypher", Query: "RETURN 1"}, http.StatusBadRequest},
+		{"both targets", QueryRequest{Graph: "uni", Job: "x", Lang: "cypher", Query: "RETURN 1"}, http.StatusBadRequest},
+		{"unknown graph", QueryRequest{Graph: "nope", Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`}, http.StatusNotFound},
+		{"unknown job", QueryRequest{Job: "nope", Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`}, http.StatusNotFound},
+		{"bad lang", QueryRequest{Graph: "uni", Lang: "datalog", Query: "x"}, http.StatusBadRequest},
+		{"bad cypher", QueryRequest{Graph: "uni", Lang: "cypher", Query: "MATCH (("}, http.StatusBadRequest},
+		{"bad sparql", QueryRequest{Graph: "uni", Lang: "sparql", Query: "SELECT"}, http.StatusBadRequest},
+		{"bad timeout", QueryRequest{Graph: "uni", Lang: "cypher", Query: "RETURN 1", Timeout: "banana"}, http.StatusBadRequest},
+		{"negative timeout", QueryRequest{Graph: "uni", Lang: "cypher", Query: "RETURN 1", Timeout: "-1s"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if _, code, raw := postQuery(t, ts, tc.req); code != tc.want {
+			t.Errorf("%s: %d (want %d): %s", tc.name, code, tc.want, raw)
+		}
+	}
+
+	// An already-expired deadline surfaces as 503 with a Retry-After hint.
+	raw, _ := json.Marshal(QueryRequest{
+		Graph: "uni", Lang: "cypher", Query: `MATCH (n) RETURN count(*) AS n`, Timeout: "1ns",
+	})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}

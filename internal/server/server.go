@@ -24,6 +24,7 @@ import (
 	"github.com/s3pg/s3pg/internal/faultio"
 	"github.com/s3pg/s3pg/internal/jobs"
 	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/serve"
 )
 
 // DefaultMaxBodyBytes caps request bodies (shapes + data are inlined in the
@@ -63,19 +64,41 @@ type Config struct {
 	// under /graphs/{id} that accept SPARQL Update batches and stream the
 	// resulting PG deltas to resumable subscribers.
 	Graphs *GraphManager
+
+	// QueryCacheBytes budgets the job-snapshot LRU cache behind POST /query
+	// (approximate resident bytes). 0 means unlimited; the live-graph path
+	// does not count against it (each live graph caches at most one
+	// snapshot of its own).
+	QueryCacheBytes int64
+	// QueryMaxConcurrent bounds queries executing at once; 0 means 64.
+	QueryMaxConcurrent int
+	// QueryMaxQueue bounds callers waiting behind the execution slots
+	// before new queries bounce with 429. 0 means 256; negative means no
+	// waiting at all.
+	QueryMaxQueue int
+	// QueryTimeout is the per-query deadline ceiling (requests may ask for
+	// less, never more). 0 means 30s.
+	QueryTimeout time.Duration
+	// QueryMaxRows caps rows returned per query (requests may ask for
+	// less). 0 means 100000.
+	QueryMaxRows int
 }
 
 // Server is an http.Handler serving the job API.
 type Server struct {
-	cfg      Config
-	mux      *http.ServeMux
-	handler  http.Handler // mux wrapped in the instrumentation middleware
-	start    time.Time
-	lameduck atomic.Bool
+	cfg        Config
+	mux        *http.ServeMux
+	handler    http.Handler // mux wrapped in the instrumentation middleware
+	start      time.Time
+	lameduck   atomic.Bool
+	queryCache *serve.Cache
+	queryGate  *serve.Gate
 }
 
 // New builds the handler. Routes:
 //
+//	POST /query             run Cypher (PG) or SPARQL (RDF) against a live
+//	                        graph or a finished job's snapshot
 //	POST /jobs              accept a transform job (202, or 400/413/429/503)
 //	GET  /jobs              list jobs
 //	GET  /jobs/{id}         job status
@@ -98,7 +121,24 @@ func New(cfg Config) *Server {
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
+	if cfg.QueryMaxConcurrent <= 0 {
+		cfg.QueryMaxConcurrent = 64
+	}
+	if cfg.QueryMaxQueue == 0 {
+		cfg.QueryMaxQueue = 256
+	} else if cfg.QueryMaxQueue < 0 {
+		cfg.QueryMaxQueue = 0
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 30 * time.Second
+	}
+	if cfg.QueryMaxRows <= 0 {
+		cfg.QueryMaxRows = 100000
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.queryCache = serve.NewCache(cfg.QueryCacheBytes)
+	s.queryGate = serve.NewGate(cfg.QueryMaxConcurrent, cfg.QueryMaxQueue)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)

@@ -1,0 +1,97 @@
+package sparql_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/fixtures"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/sparql"
+)
+
+func askBool(t *testing.T, res *sparql.Results) bool {
+	t.Helper()
+	if len(res.Vars) != 1 || res.Vars[0] != "ask" || res.Len() != 1 {
+		t.Fatalf("ask result shape = %v %v", res.Vars, res.Rows)
+	}
+	term := res.Rows[0][0]
+	if !term.IsLiteral() || term.DatatypeIRI() != rdf.XSDBoolean {
+		t.Fatalf("ask answer is not an xsd:boolean: %v", term)
+	}
+	return term.Value == "true"
+}
+
+func TestAskTrue(t *testing.T) {
+	res := evalUni(t, `ASK WHERE { ?s a ex:Person . }`)
+	if !askBool(t, res) {
+		t.Fatal("want true")
+	}
+}
+
+func TestAskFalse(t *testing.T) {
+	res := evalUni(t, `ASK { ?s a ex:Starship . }`)
+	if askBool(t, res) {
+		t.Fatal("want false")
+	}
+}
+
+func TestAskWithoutWhereKeyword(t *testing.T) {
+	// The WHERE keyword is optional for ASK per the SPARQL grammar.
+	res := evalUni(t, `ASK { ex:bob ex:takesCourse ?c . FILTER(ISIRI(?c)) }`)
+	if !askBool(t, res) {
+		t.Fatal("want true")
+	}
+}
+
+func TestAskRejectsTrailingModifiers(t *testing.T) {
+	if _, err := sparql.Parse(`ASK { ?s ?p ?o } LIMIT 1`); err == nil {
+		t.Fatal("expected error for ASK with LIMIT")
+	}
+}
+
+func TestOffset(t *testing.T) {
+	all := evalUni(t, `SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s`)
+	shifted := evalUni(t, `SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s OFFSET 2`)
+	if shifted.Len() != all.Len()-2 {
+		t.Fatalf("offset len = %d, want %d", shifted.Len(), all.Len()-2)
+	}
+	if shifted.Rows[0][0] != all.Rows[2][0] {
+		t.Fatalf("offset first row = %v, want %v", shifted.Rows[0][0], all.Rows[2][0])
+	}
+}
+
+func TestOffsetBeyondEnd(t *testing.T) {
+	res := evalUni(t, `SELECT ?s WHERE { ?s a ex:Person } OFFSET 100`)
+	if res.Len() != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLimitOffsetEitherOrder(t *testing.T) {
+	a := evalUni(t, `SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 2 OFFSET 1`)
+	b := evalUni(t, `SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s OFFSET 1 LIMIT 2`)
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0] != b.Rows[i][0] {
+			t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	// Each clause at most once.
+	if _, err := sparql.Parse(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 1 LIMIT 2`); err == nil {
+		t.Fatal("expected error for duplicate LIMIT")
+	}
+}
+
+func TestEvalCtxCanceled(t *testing.T) {
+	q, err := sparql.Parse(`SELECT ?a ?b ?c WHERE { ?a ?x ?y . ?b ?x2 ?y2 . ?c ?x3 ?y3 }`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sparql.EvalCtx(ctx, fixtures.UniversityGraph(), q); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

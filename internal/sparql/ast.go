@@ -1,7 +1,7 @@
 // Package sparql implements the SPARQL subset used by the evaluation:
-// SELECT queries with basic graph patterns, FILTER expressions, OPTIONAL,
-// UNION, DISTINCT, ORDER BY, LIMIT, and COUNT aggregation, evaluated over
-// the in-memory RDF graph. Query answers over this engine provide the
+// SELECT and ASK queries with basic graph patterns, FILTER expressions,
+// OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET, and COUNT aggregation,
+// evaluated over the in-memory RDF graph. Query answers over this engine provide the
 // ground truth for the Table 6/7 accuracy analysis and the RDF series of
 // Figure 6.
 package sparql
@@ -14,9 +14,12 @@ import (
 	"github.com/s3pg/s3pg/internal/rdf"
 )
 
-// Query is a parsed SELECT query.
+// Query is a parsed SELECT or ASK query.
 type Query struct {
 	Prefixes map[string]string
+	// Ask marks an ASK query: the answer is a single xsd:boolean row under
+	// the variable "ask", true when the pattern has at least one solution.
+	Ask bool
 	// Vars are the projected variable names (without '?'); empty means '*'.
 	Vars     []string
 	Distinct bool
@@ -25,6 +28,7 @@ type Query struct {
 	Where    *Group
 	OrderBy  []OrderKey
 	Limit    int // -1 = none
+	Offset   int // rows skipped after ORDER BY, before LIMIT
 }
 
 // OrderKey is one ORDER BY criterion.

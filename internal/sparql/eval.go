@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
@@ -22,11 +23,54 @@ func (b binding) clone() binding {
 	return c
 }
 
+// evalEnv carries the graph and the cancellation context through pattern
+// matching so a deadline bounds runaway joins.
+type evalEnv struct {
+	g     *rdf.Graph
+	ctx   context.Context
+	steps int
+}
+
+// tick is the cooperative cancellation point, amortized so the common case
+// is one increment and a mask test.
+func (ev *evalEnv) tick() error {
+	ev.steps++
+	if ev.steps&255 == 0 && ev.ctx != nil {
+		if err := ev.ctx.Err(); err != nil {
+			return fmt.Errorf("sparql: query canceled: %w", err)
+		}
+	}
+	return nil
+}
+
 // Eval evaluates a query against a graph.
 func Eval(g *rdf.Graph, q *Query) (*Results, error) {
-	sols, err := evalGroup(g, q.Where, []binding{{}})
+	return EvalCtx(nil, g, q)
+}
+
+// EvalCtx is Eval with cooperative cancellation: the match pipeline checks
+// ctx every few hundred bindings. A nil ctx disables the checks.
+func EvalCtx(ctx context.Context, g *rdf.Graph, q *Query) (*Results, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sparql: query canceled: %w", err)
+		}
+	}
+	ev := &evalEnv{g: g, ctx: ctx}
+	sols, err := ev.evalGroup(q.Where, []binding{{}})
 	if err != nil {
 		return nil, err
+	}
+
+	if q.Ask {
+		val := "false"
+		if len(sols) > 0 {
+			val = "true"
+		}
+		return &Results{
+			Vars: []string{"ask"},
+			Rows: [][]rdf.Term{{rdf.NewTypedLiteral(val, rdf.XSDBoolean)}},
+		}, nil
 	}
 
 	if q.CountVar != "" {
@@ -87,6 +131,13 @@ func Eval(g *rdf.Graph, q *Query) (*Results, error) {
 		})
 	}
 
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = res.Rows[:0]
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
 	if q.Limit >= 0 && len(res.Rows) > q.Limit {
 		res.Rows = res.Rows[:q.Limit]
 	}
@@ -151,21 +202,21 @@ func collectVars(g *Group) []string {
 	return out
 }
 
-func evalGroup(g *rdf.Graph, group *Group, input []binding) ([]binding, error) {
+func (ev *evalEnv) evalGroup(group *Group, input []binding) ([]binding, error) {
 	cur := input
 	for _, el := range group.Elements {
 		var err error
 		switch e := el.(type) {
 		case BGP:
-			cur, err = evalBGP(g, e.Patterns, cur)
+			cur, err = ev.evalBGP(e.Patterns, cur)
 		case Filter:
 			cur, err = evalFilter(e.Expr, cur)
 		case Optional:
-			cur, err = evalOptional(g, e.Group, cur)
+			cur, err = ev.evalOptional(e.Group, cur)
 		case Union:
 			var all []binding
 			for _, branch := range e.Branches {
-				part, berr := evalGroup(g, branch, cur)
+				part, berr := ev.evalGroup(branch, cur)
 				if berr != nil {
 					return nil, berr
 				}
@@ -187,7 +238,7 @@ func evalGroup(g *rdf.Graph, group *Group, input []binding) ([]binding, error) {
 
 // evalBGP joins the patterns greedily: at each step it picks the pattern
 // with the most positions bound under the variables seen so far.
-func evalBGP(g *rdf.Graph, patterns []TriplePattern, input []binding) ([]binding, error) {
+func (ev *evalEnv) evalBGP(patterns []TriplePattern, input []binding) ([]binding, error) {
 	remaining := append([]TriplePattern(nil), patterns...)
 	bound := make(map[string]bool)
 	for _, b := range input {
@@ -213,7 +264,11 @@ func evalBGP(g *rdf.Graph, patterns []TriplePattern, input []binding) ([]binding
 		}
 		p := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		cur = matchPattern(g, p, cur)
+		var err error
+		cur, err = ev.matchPattern(p, cur)
+		if err != nil {
+			return nil, err
+		}
 		for _, v := range p.vars() {
 			bound[v] = true
 		}
@@ -225,13 +280,16 @@ func evalBGP(g *rdf.Graph, patterns []TriplePattern, input []binding) ([]binding
 }
 
 // matchPattern extends every binding with the triples matching the pattern.
-func matchPattern(g *rdf.Graph, p TriplePattern, input []binding) []binding {
+func (ev *evalEnv) matchPattern(p TriplePattern, input []binding) ([]binding, error) {
 	var out []binding
 	for _, b := range input {
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
 		s := resolve(p.S, b)
 		pr := resolve(p.P, b)
 		o := resolve(p.O, b)
-		g.Match(s, pr, o, func(t rdf.Triple) bool {
+		ev.g.Match(s, pr, o, func(t rdf.Triple) bool {
 			nb := b
 			cloned := false
 			set := func(tv TermOrVar, val rdf.Term) bool {
@@ -257,7 +315,7 @@ func matchPattern(g *rdf.Graph, p TriplePattern, input []binding) []binding {
 			return true
 		})
 	}
-	return out
+	return out, nil
 }
 
 // resolve returns the constant for a pattern position under a binding, or
@@ -288,10 +346,10 @@ func evalFilter(e Expr, input []binding) ([]binding, error) {
 	return out, nil
 }
 
-func evalOptional(g *rdf.Graph, sub *Group, input []binding) ([]binding, error) {
+func (ev *evalEnv) evalOptional(sub *Group, input []binding) ([]binding, error) {
 	var out []binding
 	for _, b := range input {
-		ext, err := evalGroup(g, sub, []binding{b})
+		ext, err := ev.evalGroup(sub, []binding{b})
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("SELECT DISTINCT ?s WHERE { ?s ?p ?o . FILTER(isLiteral(?o) && REGEX(?o, \"^A\")) } ORDER BY ?s LIMIT 5")
 	f.Add("SELECT (COUNT(?s) AS ?n) WHERE { { ?s a ?c } UNION { ?s ?p ?o } OPTIONAL { ?s ?q ?v } }")
 	f.Add("SELECT ?x WHERE { FILTER((((((?x > 1)))))) }")
+	f.Add("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 10 OFFSET 5")
+	f.Add("SELECT ?s WHERE { ?s ?p ?o } OFFSET 3 LIMIT 2")
+	f.Add("ASK WHERE { ?s a ?c . FILTER(BOUND(?s)) }")
+	f.Add("ASK { ?s ?p ?o }")
+	f.Add("ASK {")
 	f.Add("SELECT")
 	f.Add("\x00\xff SELECT ?s WHERE {")
 	f.Fuzz(func(t *testing.T, src string) {

@@ -67,8 +67,26 @@ func (p *parser) parse() error {
 		}
 		p.q.Prefixes[name] = iri
 	}
+	if p.keyword("ASK") {
+		// ASK [WHERE] { ... } — the WHERE keyword is optional per the
+		// SPARQL grammar.
+		p.q.Ask = true
+		p.ws()
+		p.keyword("WHERE")
+		p.ws()
+		group, err := p.group()
+		if err != nil {
+			return err
+		}
+		p.q.Where = group
+		p.ws()
+		if p.pos < len(p.src) {
+			return p.errf("trailing input after ASK group")
+		}
+		return nil
+	}
 	if !p.keyword("SELECT") {
-		return p.errf("expected SELECT")
+		return p.errf("expected SELECT or ASK")
 	}
 	p.ws()
 	if p.keyword("DISTINCT") {
@@ -166,14 +184,31 @@ func (p *parser) parse() error {
 			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v, Desc: desc})
 		}
 	}
-	p.ws()
-	if p.keyword("LIMIT") {
+	// LIMIT and OFFSET are accepted in either order, each at most once.
+	sawLimit, sawOffset := false, false
+	for {
 		p.ws()
-		n, err := p.number()
-		if err != nil {
-			return err
+		switch {
+		case !sawLimit && p.keyword("LIMIT"):
+			p.ws()
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			p.q.Limit = int(n)
+			sawLimit = true
+			continue
+		case !sawOffset && p.keyword("OFFSET"):
+			p.ws()
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			p.q.Offset = int(n)
+			sawOffset = true
+			continue
 		}
-		p.q.Limit = int(n)
+		break
 	}
 	p.ws()
 	if p.pos < len(p.src) {
