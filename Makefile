@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-obs bench-dist bench-delta bench-serve verify fuzz chaos dist-chaos delta-chaos experiments
+.PHONY: build test bench bench-json bench-obs bench-dist bench-delta bench-serve bench-oocore verify fuzz chaos dist-chaos delta-chaos experiments
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,18 @@ bench-serve:
 	$(GO) test -race -count=1 ./internal/serve
 	$(GO) run ./cmd/benchjson -mode serve -out BENCH_serve.json \
 		-scale 0.0002 -serve-clients $(SERVE_CLIENTS) -serve-duration $(SERVE_DURATION)
+
+# bench-oocore gates the out-of-core transformation path: an XL-profile
+# dataset whose in-RAM graph footprint is ≥ 3× OOCORE_BUDGET_MB is ingested
+# under the spill governor, held under the budget on disk, and transformed
+# over paged reads, writing BENCH_oocore.json. All gates are hard and
+# CPU-independent: the 3× dataset-to-budget ratio, the post-spill residency
+# ceiling, at least one spill, and byte-equality of nodes.csv/edges.csv/
+# schema.ddl with the unconstrained in-RAM run.
+OOCORE_BUDGET_MB ?= 16
+bench-oocore:
+	$(GO) run ./cmd/benchjson -mode oocore -out BENCH_oocore.json \
+		-oocore-budget-mb $(OOCORE_BUDGET_MB)
 
 # verify is the pre-commit gate: static checks, formatting, the racy
 # packages (the obs instruments and the core transformer they instrument)

@@ -1,5 +1,5 @@
 // Command benchjson measures the pipeline and emits machine-readable JSON
-// for CI trend tracking and regression gates. It has five modes.
+// for CI trend tracking and regression gates. It has six modes.
 //
 // -mode parallel (the default, BENCH_parallel.json) measures the parallel
 // pipeline's speedup over the sequential path. It generates a seeded
@@ -42,12 +42,20 @@
 // snapshot cache must record zero loads during the run (hits never touch
 // the load path).
 //
+// -mode oocore (BENCH_oocore.json) gates the out-of-core path: an XL-profile
+// dataset whose in-RAM graph footprint is at least 3× -oocore-budget-mb is
+// ingested under the spill governor, held under the budget on disk, and
+// transformed over paged reads; byte-equality of nodes.csv, edges.csv, and
+// schema.ddl with the unconstrained in-RAM run is a hard gate, as are the
+// 3× dataset-to-budget ratio and the post-spill residency ceiling.
+//
 // Usage:
 //
-//	benchjson [-mode parallel|obs|dist|delta|serve] [-out FILE] [-scale 0.002] [-reps 3]
+//	benchjson [-mode parallel|obs|dist|delta|serve|oocore] [-out FILE] [-scale 0.002] [-reps 3]
 //	          [-min-speedup 0] [-workers 1,2,4] [-max-overhead-pct 0]
 //	          [-dist-workers 3] [-dist-shards 8]
 //	          [-serve-clients 1000] [-serve-duration 3s]
+//	          [-oocore-budget-mb 16]
 //
 // With -min-speedup s > 0 (parallel mode) the command exits nonzero when the
 // highest configured worker count's speedup falls below s; with
@@ -124,6 +132,7 @@ func main() {
 	distShards := flag.Int("dist-shards", 8, "dist mode: shard `count` the coordinator splits the input into")
 	serveClients := flag.Int("serve-clients", 1000, "serve mode: concurrent query clients")
 	serveDuration := flag.Duration("serve-duration", 3*time.Second, "serve mode: load-phase `duration`")
+	oocoreBudget := flag.Int("oocore-budget-mb", 16, "oocore mode: heap `budget` (MiB) the governed run must hold the graph under")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersSpec)
@@ -156,8 +165,25 @@ func main() {
 			*out = "BENCH_serve.json"
 		}
 		err = runServe(*out, *scale, *serveClients, *serveDuration)
+	case "oocore":
+		if *out == "" {
+			*out = "BENCH_oocore.json"
+		}
+		// The global -scale default is sized for DBpedia2022's 22M base
+		// instances; the XL profile's base is 100k, so an untouched -scale
+		// gets the mode's own default instead of a 200-instance graph.
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			*scale = 0.3
+		}
+		err = runOocore(*out, *scale, *oocoreBudget)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, obs, dist, delta, or serve)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, obs, dist, delta, serve, or oocore)", *mode)
 	}
 	if err != nil {
 		fatal(err)

@@ -99,6 +99,7 @@ type ckptFlags struct {
 	interval time.Duration
 	resume   bool
 	maxMemMB int
+	spill    string
 }
 
 func addCkptFlags(fs *flag.FlagSet) *ckptFlags {
@@ -107,25 +108,42 @@ func addCkptFlags(fs *flag.FlagSet) *ckptFlags {
 	fs.IntVar(&ck.every, "checkpoint-every", 50000, "statements per chunk (checkpoint saves happen at chunk boundaries)")
 	fs.DurationVar(&ck.interval, "checkpoint-interval", 0, "minimum `duration` between checkpoint saves (0 = every chunk)")
 	fs.BoolVar(&ck.resume, "resume", false, "continue from the checkpoint file instead of starting over")
-	fs.IntVar(&ck.maxMemMB, "max-mem", 0, "soft heap watermark in `MiB`: checkpoint and exit with status 5 when exceeded (0 = off)")
+	fs.IntVar(&ck.maxMemMB, "max-mem", 0, "soft heap watermark in `MiB` (0 = off): without -checkpoint the graph spills to disk (-spill) and the run continues out-of-core; with -checkpoint the run checkpoints and exits with status 5")
+	fs.StringVar(&ck.spill, "spill", "auto", "out-of-core `policy` when -max-mem trips without -checkpoint: auto (spill beside the data file), off (disable; -max-mem then requires -checkpoint), or a spill directory")
 	return ck
 }
 
+// spillEnabled reports whether the out-of-core escape is available; with
+// -spill=off the pre-spill contract holds (-max-mem requires -checkpoint and
+// the watermark still means checkpoint-and-exit-5).
+func (ck *ckptFlags) spillEnabled() bool { return ck.spill != "off" }
+
+// spillDir resolves the spill directory for a run over dataPath.
+func (ck *ckptFlags) spillDir(dataPath string) string {
+	if ck.spill == "auto" {
+		return dataPath + ".spill"
+	}
+	return ck.spill
+}
+
 func (ck *ckptFlags) validate() error {
+	if ck.spill == "" {
+		return usagef("-spill must be auto, off, or a directory")
+	}
+	if ck.maxMemMB < 0 {
+		return usagef("-max-mem must be non-negative")
+	}
 	if ck.path == "" {
 		if ck.resume {
 			return usagef("-resume requires -checkpoint")
 		}
-		if ck.maxMemMB != 0 {
-			return usagef("-max-mem requires -checkpoint")
+		if ck.maxMemMB != 0 && !ck.spillEnabled() {
+			return usagef("-max-mem with -spill=off requires -checkpoint (with spilling disabled there is nowhere to shed memory)")
 		}
 		return nil
 	}
 	if ck.every <= 0 {
 		return usagef("-checkpoint-every must be positive")
-	}
-	if ck.maxMemMB < 0 {
-		return usagef("-max-mem must be non-negative")
 	}
 	return nil
 }

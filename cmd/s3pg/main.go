@@ -41,8 +41,14 @@
 //	                          (0 = save at every chunk boundary)
 //	-resume                   continue from the checkpoint file instead of
 //	                          starting over
-//	-max-mem n                soft heap watermark in MiB: when exceeded, the
-//	                          run checkpoints and exits with status 5
+//	-max-mem n                soft heap watermark in MiB: without -checkpoint
+//	                          the graph spills to disk and the run continues
+//	                          out-of-core; with -checkpoint the run
+//	                          checkpoints and exits with status 5
+//	-spill policy             out-of-core policy for -max-mem without
+//	                          -checkpoint: auto (spill beside the data file,
+//	                          the default), off (disable spilling; -max-mem
+//	                          then requires -checkpoint), or a directory
 //
 // All file outputs are committed atomically (temp file + rename), so an
 // interrupted run leaves either the previous complete file or the new
@@ -76,6 +82,7 @@ import (
 	"github.com/s3pg/s3pg/internal/ckpt"
 	"github.com/s3pg/s3pg/internal/core"
 	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/rdf"
 	"github.com/s3pg/s3pg/internal/rio"
 	"github.com/s3pg/s3pg/internal/shacl"
 )
@@ -520,7 +527,15 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := loadData(ctx, *dataPath, rf, span)
+	var g *s3pg.Graph
+	var gov *rdf.Governor
+	if ck.maxMemMB > 0 {
+		// Whole-graph path under a heap budget: governed sequential ingest,
+		// spilling the graph out-of-core at the watermark instead of dying.
+		g, gov, err = loadDataGoverned(ctx, *dataPath, rf, span, ck, *dataPath, stderr)
+	} else {
+		g, err = loadData(ctx, *dataPath, rf, span)
+	}
 	if err != nil {
 		return err
 	}
@@ -557,6 +572,10 @@ func cmdData(args []string, stdout, stderr io.Writer) error {
 	if err := writeOut(*schemaOut, s3pg.WriteDDL(schema), stdout); err != nil {
 		return err
 	}
+	if gov != nil && gov.Spills() > 0 {
+		fmt.Fprintf(stderr, "s3pg: ran out-of-core: %d spill(s) to %s\n", gov.Spills(), gov.Dir())
+	}
+	cleanupSpill(gov, g)
 	fmt.Fprintf(stderr, "transformed %d triples into %d nodes, %d edges (%d relationship types)\n",
 		g.Len(), store.NumNodes(), store.NumEdges(), store.RelTypes())
 	return finish()

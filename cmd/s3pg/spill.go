@@ -1,0 +1,200 @@
+package main
+
+// Out-of-core support for the whole-graph data path (DESIGN.md §10): when
+// -max-mem is set without -checkpoint, the ingest loop runs under a
+// memory-pressure governor that spills the graph's dictionary, triple log,
+// and posting lists to a CRC-framed on-disk generation and continues over
+// paged reads, instead of dying at the watermark. The chunked (-checkpoint)
+// path keeps its checkpoint-and-exit-5 contract: its cumulative memory lives
+// in the transformer, which graph spilling cannot shrink.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/s3pg/s3pg"
+	"github.com/s3pg/s3pg/internal/ckpt"
+	"github.com/s3pg/s3pg/internal/faultio"
+	"github.com/s3pg/s3pg/internal/obs"
+	"github.com/s3pg/s3pg/internal/rdf"
+	"github.com/s3pg/s3pg/internal/rio"
+)
+
+// crashDuringSpillEnv is the spill crash hook: S3PG_CRASH_DURING_SPILL=N
+// kills the process (exit 86, no cleanup) immediately before the N-th atomic
+// rename of a spill commit — mid-spill, with earlier generation files
+// already durable and later ones absent or still temporaries.
+const crashDuringSpillEnv = "S3PG_CRASH_DURING_SPILL"
+
+// governEvery is how many scanned statements pass between heap checks; a
+// runtime.ReadMemStats per statement would dominate ingest.
+const governEvery = 4096
+
+// spillCrashFS counts atomic renames and crashes the process before the
+// target one completes, simulating a SIGKILL mid-spill.
+type spillCrashFS struct {
+	ckpt.FS
+	after int
+	count *int
+}
+
+func (s spillCrashFS) Rename(oldpath, newpath string) error {
+	*s.count++
+	if *s.count == s.after {
+		os.Exit(crashExitCode) // test hook: simulated crash, no cleanup
+	}
+	return s.FS.Rename(oldpath, newpath)
+}
+
+// retryFS retries transient faults around each filesystem operation of a
+// spill commit — the same per-commit resilience the checkpoint path gets
+// from commitAtomic. Without it, one transient fault anywhere in a spill's
+// multi-file commit sequence would restart the entire spill, which under a
+// deterministic fault schedule never converges.
+type retryFS struct {
+	inner ckpt.FS
+}
+
+func (r retryFS) retry(fn func() error) error {
+	return faultio.Retry(context.Background(), commitRetryPolicy(), fn)
+}
+
+func (r retryFS) CreateTemp(dir, pattern string) (ckpt.File, error) {
+	var f ckpt.File
+	err := r.retry(func() error {
+		var cerr error
+		f, cerr = r.inner.CreateTemp(dir, pattern)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return retryFile{f, r}, nil
+}
+
+func (r retryFS) Rename(oldpath, newpath string) error {
+	return r.retry(func() error { return r.inner.Rename(oldpath, newpath) })
+}
+
+func (r retryFS) Remove(name string) error { return r.inner.Remove(name) }
+
+func (r retryFS) Chmod(name string, mode os.FileMode) error {
+	return r.retry(func() error { return r.inner.Chmod(name, mode) })
+}
+
+func (r retryFS) SyncDir(dir string) error {
+	return r.retry(func() error { return r.inner.SyncDir(dir) })
+}
+
+// retryFile retries transient sync faults; an injected sync fault fires
+// before the real fsync, so the retry syncs the same complete file.
+type retryFile struct {
+	ckpt.File
+	r retryFS
+}
+
+func (f retryFile) Sync() error { return f.r.retry(func() error { return f.File.Sync() }) }
+
+// spillCommitFS is the filesystem spill writes go through: the process-wide
+// commit FS (possibly fault-injecting via S3PG_FAULT_FS) behind per-op
+// transient retries, optionally wrapped with the crash-during-spill hook
+// (outermost, so it counts logical renames, not retry attempts).
+func spillCommitFS() ckpt.FS {
+	base := ckpt.FS(retryFS{inner: commitFS()})
+	if n, _ := strconv.Atoi(os.Getenv(crashDuringSpillEnv)); n > 0 {
+		count := 0
+		return spillCrashFS{FS: base, after: n, count: &count}
+	}
+	return base
+}
+
+// loadDataGoverned streams the input sequentially under a memory-pressure
+// governor: every governEvery statements the heap is checked against the
+// -max-mem watermark, and when it trips the graph spills to disk and the
+// ingest continues out-of-core. Parallel ingest is not used here — the
+// governor needs to interleave with admission, and a run that asked for a
+// heap budget has opted into trading speed for footprint.
+func loadDataGoverned(ctx context.Context, path string, rf *resFlags, span *obs.Span, ck *ckptFlags, dataPath string, stderr io.Writer) (*s3pg.Graph, *rdf.Governor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	gv := rdf.NewGovernor(rdf.SpillConfig{
+		Dir:    ck.spillDir(dataPath),
+		FS:     spillCommitFS(),
+		HighMB: ck.maxMemMB,
+	})
+	var sp *obs.Span
+	if span != nil {
+		sp = span.StartSpan("ingest")
+	}
+	g := rdf.NewGraph()
+	sc := rio.NewNTriplesScanner(f, rf.rioOptions())
+	// A failed Spill leaves the graph untouched (the in-memory swap happens
+	// only after every file commits), so retrying a transient fault is safe:
+	// the retry rewrites the same generation from scratch.
+	maybeSpill := func() (bool, error) {
+		var spilled bool
+		err := faultio.Retry(ctx, commitRetryPolicy(), func() error {
+			var gerr error
+			spilled, gerr = gv.Maybe(g)
+			return gerr
+		})
+		return spilled, err
+	}
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return nil, nil, err
+		}
+		t, ok, serr := sc.Scan()
+		if serr != nil {
+			sp.End()
+			return nil, nil, serr
+		}
+		if !ok {
+			break
+		}
+		g.Add(t)
+		n++
+		if n%governEvery == 0 {
+			spilled, gerr := maybeSpill()
+			if gerr != nil {
+				sp.End()
+				return nil, nil, fmt.Errorf("spill: %w", gerr)
+			}
+			if spilled {
+				fmt.Fprintf(stderr, "s3pg: heap over -max-mem %d MiB: spilled %d triple slots to %s, continuing out-of-core\n",
+					ck.maxMemMB, g.NumSlots(), gv.Dir())
+			}
+		}
+	}
+	// Final governed check so the transform starts from a shed heap when the
+	// tail grew past the watermark since the last boundary.
+	if spilled, gerr := maybeSpill(); gerr != nil {
+		sp.End()
+		return nil, nil, fmt.Errorf("spill: %w", gerr)
+	} else if spilled {
+		fmt.Fprintf(stderr, "s3pg: heap over -max-mem %d MiB: spilled %d triple slots to %s, continuing out-of-core\n",
+			ck.maxMemMB, g.NumSlots(), gv.Dir())
+	}
+	sp.Count("triples", int64(g.Len()))
+	sp.End()
+	return g, gv, nil
+}
+
+// cleanupSpill removes the run's spill directory after the outputs are
+// committed: spilled state is scratch, not a recovery artifact (the
+// whole-graph path recovers by re-running), so leaving it would only leak
+// disk. Best-effort; open handles keep working via POSIX unlink semantics.
+func cleanupSpill(gv *rdf.Governor, g *s3pg.Graph) {
+	if gv == nil || !g.Spilled() {
+		return
+	}
+	os.RemoveAll(g.SpillDir())
+}

@@ -1,0 +1,217 @@
+package main
+
+// Crash matrix for the out-of-core spill path (DESIGN.md §10): a run under
+// -max-mem without -checkpoint must survive being killed at any point inside
+// a spill commit, and injected filesystem faults on spill writes, without
+// ever leaving a torn generation — recovery (a plain rerun) is byte-identical
+// to an undisturbed run, and LoadSpilled over the crashed directory either
+// opens a fully-committed generation or reports none at all.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/s3pg/s3pg/internal/rdf"
+)
+
+// spillArgsFor builds a whole-graph (no -checkpoint) data invocation under a
+// 1 MiB heap budget — far below any real Go heap, so the governor spills at
+// every opportunity.
+func spillArgsFor(shapes, data, nodes, edges, schema, spillDir string, extra ...string) []string {
+	args := []string{"data", "-shapes", shapes, "-data", data,
+		"-nodes", nodes, "-edges", edges, "-schema", schema,
+		"-max-mem", "1", "-spill", spillDir}
+	return append(args, extra...)
+}
+
+// TestSpillRunMatchesUnconstrained: the hard out-of-core gate at test scale —
+// a governed run under a 1 MiB watermark must spill (the heap is always past
+// that) and still produce outputs byte-identical to the unconstrained run.
+func TestSpillRunMatchesUnconstrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.5, false)
+
+	bn, be, bs, _ := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, "data", "-shapes", shapes, "-data", data,
+		"-nodes", bn, "-edges", be, "-schema", bs); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	n, e, s, _ := outPaths(t, filepath.Join(dir, "spill"))
+	spillDir := filepath.Join(dir, "graph.spill")
+	code, _, errOut := execCLI(t, nil, spillArgsFor(shapes, data, n, e, s, spillDir)...)
+	if code != 0 {
+		t.Fatalf("governed run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "out-of-core") {
+		t.Fatalf("governed run did not report spilling: %s", errOut)
+	}
+	if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+		!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+		!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+		t.Fatal("governed out-of-core outputs differ from the unconstrained run")
+	}
+	// Spilled state is scratch: a completed run cleans it up.
+	if _, err := os.Stat(spillDir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("completed run left spill directory %s", spillDir)
+	}
+}
+
+// TestMaxMemWithoutCheckpointSpillOff: the pre-spill contract is pinned
+// behind -spill=off — without a checkpoint there is then nowhere to shed
+// memory, so the combination is a usage error.
+func TestMaxMemWithoutCheckpointSpillOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.05, false)
+	n, e, s, _ := outPaths(t, filepath.Join(dir, "out"))
+	code, _, errOut := execCLI(t, nil, "data", "-shapes", shapes, "-data", data,
+		"-nodes", n, "-edges", e, "-schema", s, "-max-mem", "1", "-spill", "off")
+	if code != exitUsage {
+		t.Fatalf("exit %d, want usage error %d (stderr: %s)", code, exitUsage, errOut)
+	}
+	if !strings.Contains(errOut, "-spill=off") {
+		t.Fatalf("usage message should name the conflicting flags: %s", errOut)
+	}
+}
+
+// TestCrashDuringSpillRecovery kills the process immediately before the N-th
+// spill-file rename, for N sweeping the whole commit sequence of a
+// generation (7 data files + MANIFEST), and asserts the two recovery
+// invariants: the spill directory is never torn (LoadSpilled opens a
+// complete generation or reports ErrNoSpill), and a plain rerun over the
+// leftovers converges to byte-identical outputs.
+func TestCrashDuringSpillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.5, false)
+
+	bn, be, bs, _ := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, "data", "-shapes", shapes, "-data", data,
+		"-nodes", bn, "-edges", be, "-schema", bs); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	for _, crashAt := range []int{1, 2, 4, 7, 8} {
+		t.Run(fmt.Sprintf("rename-%d", crashAt), func(t *testing.T) {
+			caseDir := filepath.Join(dir, fmt.Sprintf("crash-%d", crashAt))
+			n, e, s, _ := outPaths(t, caseDir)
+			spillDir := filepath.Join(caseDir, "graph.spill")
+
+			code, _, errOut := execCLI(t, []string{fmt.Sprintf("%s=%d", crashDuringSpillEnv, crashAt)},
+				spillArgsFor(shapes, data, n, e, s, spillDir)...)
+			if code != crashExitCode {
+				t.Fatalf("crashed run exit %d, want %d (stderr: %s)", code, crashExitCode, errOut)
+			}
+			for _, p := range []string{n, e, s} {
+				if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+					t.Fatalf("crashed run left output %s", p)
+				}
+			}
+
+			// Never torn: the directory holds either a complete committed
+			// generation or none — a partial one must not load.
+			if g, err := rdf.LoadSpilled(spillDir); err == nil {
+				if g.NumSlots() == 0 {
+					t.Fatal("LoadSpilled returned an empty committed generation")
+				}
+			} else if !errors.Is(err, rdf.ErrNoSpill) {
+				t.Fatalf("crashed spill dir is torn: %v", err)
+			}
+
+			// Recovery: rerun from scratch over the leftover partial files.
+			code, _, errOut = execCLI(t, nil, spillArgsFor(shapes, data, n, e, s, spillDir)...)
+			if code != 0 {
+				t.Fatalf("recovery rerun exit %d: %s", code, errOut)
+			}
+			if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+				!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+				!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+				t.Fatal("post-crash recovery outputs differ from the unconstrained run")
+			}
+		})
+	}
+}
+
+// TestFaultInjectedSpill drives the governed run through the fault-injecting
+// filesystem. Transient regimes must be absorbed by the retry policy and
+// converge to byte-identical outputs in one run; hard regimes must fail the
+// run cleanly — no committed outputs, no torn spill generation — after which
+// a fault-free rerun recovers byte-identically.
+func TestFaultInjectedSpill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	shapes, data := writeGeneratedDataset(t, dir, 0.5, false)
+
+	bn, be, bs, _ := outPaths(t, filepath.Join(dir, "base"))
+	if code, _, errOut := execCLI(t, nil, "data", "-shapes", shapes, "-data", data,
+		"-nodes", bn, "-edges", be, "-schema", bs); code != 0 {
+		t.Fatalf("baseline exit %d: %s", code, errOut)
+	}
+
+	cases := []struct {
+		name, spec string
+		transient  bool
+	}{
+		// The nested nodes+edges commit spans 8 counted FS ops per attempt,
+		// so the transient period must exceed that or every retry of the
+		// output commit deterministically re-faults.
+		{"transient-fs", "fstransientevery=30", true},
+		{"hard-sync", "failsync=1", false},
+		{"hard-rename", "failrename=2", false},
+		// shortevery=1 makes every write short: per-file fault schedules
+		// restart with each retry's fresh temp file, so this regime never
+		// converges and must fail cleanly instead.
+		{"short-writes", "seed=7,shortevery=1", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			caseDir := filepath.Join(dir, "fault-"+tc.name)
+			n, e, s, _ := outPaths(t, caseDir)
+			spillDir := filepath.Join(caseDir, "graph.spill")
+
+			code, _, errOut := execCLI(t, []string{faultFSEnv + "=" + tc.spec},
+				spillArgsFor(shapes, data, n, e, s, spillDir)...)
+			if tc.transient {
+				if code != 0 {
+					t.Fatalf("transient faults should be retried to success, got exit %d: %s", code, errOut)
+				}
+			} else if code == 0 {
+				t.Fatalf("hard fault regime %q did not fail the run", tc.spec)
+			} else {
+				for _, p := range []string{n, e, s} {
+					if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+						t.Fatalf("failed run left output %s", p)
+					}
+				}
+				if _, err := rdf.LoadSpilled(spillDir); err != nil && !errors.Is(err, rdf.ErrNoSpill) {
+					t.Fatalf("faulted spill dir is torn: %v", err)
+				}
+				// Fault-free recovery rerun.
+				code, _, errOut = execCLI(t, nil, spillArgsFor(shapes, data, n, e, s, spillDir)...)
+				if code != 0 {
+					t.Fatalf("recovery rerun exit %d: %s", code, errOut)
+				}
+			}
+			if !bytes.Equal(readFile(t, n), readFile(t, bn)) ||
+				!bytes.Equal(readFile(t, e), readFile(t, be)) ||
+				!bytes.Equal(readFile(t, s), readFile(t, bs)) {
+				t.Fatal("fault-regime outputs differ from the unconstrained run")
+			}
+		})
+	}
+}

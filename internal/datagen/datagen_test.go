@@ -136,6 +136,51 @@ func TestUniversityProfile(t *testing.T) {
 	}
 }
 
+// TestXLProfile pins what the out-of-core stress profile is for: a dense,
+// deterministic graph whose triple count per instance is high enough that
+// in-memory footprint dominates serialized size (deep co-typing + pooled
+// multi-valued literals + dense links), and which still runs the full
+// pipeline.
+func TestXLProfile(t *testing.T) {
+	p := datagen.XL()
+	a := datagen.Generate(p, 0.01, 7)
+	if b := datagen.Generate(p, 0.01, 7); !a.Equal(b) {
+		t.Fatal("same seed must generate the same graph")
+	}
+
+	// Density: the profile exists to blow a heap budget per input byte, so
+	// the triples-per-instance ratio is a contract, not an accident. Every
+	// Record carries 5 co-types + ~15 property values; conservatively pin
+	// ≥12 triples per instance.
+	instances := 0
+	for _, cls := range []string{"Record", "Batch", "Entry", "Group"} {
+		n := len(a.InstancesOf(rdf.NewIRI("http://example.org/xlgen/" + cls)))
+		if cls == "Record" || cls == "Batch" {
+			if n == 0 {
+				t.Fatalf("no %s instances", cls)
+			}
+			instances += n
+		} else if n == 0 {
+			t.Fatalf("co-typing with %s missing", cls)
+		}
+	}
+	if ratio := float64(a.Len()) / float64(instances); ratio < 12 {
+		t.Fatalf("XL density %.1f triples/instance, want ≥12", ratio)
+	}
+
+	// Deep co-typing: a Record instance is typed with its whole ancestry.
+	recs := a.InstancesOf(rdf.NewIRI("http://example.org/xlgen/Record"))
+	if types := a.TypesOf(recs[0]); len(types) != 6 {
+		t.Fatalf("record types = %v, want 6 (Record + 5 parents)", types)
+	}
+
+	// The pipeline must still accept it (shapes extract, transform runs).
+	sg := shapeex.Extract(a, shapeex.Options{MinSupport: 0.02})
+	if _, _, err := core.Transform(a, sg, core.Parsimonious); err != nil {
+		t.Fatalf("XL graph fails transform: %v", err)
+	}
+}
+
 func TestEvolveChurn(t *testing.T) {
 	p := datagen.DBpedia2022()
 	g := datagen.Generate(p, testScale, 5)

@@ -271,12 +271,55 @@ func University() *Profile {
 	}
 }
 
-// Profiles returns the three evaluation profiles keyed by their Table 2
-// column names.
+// XL is the out-of-core stress profile (DESIGN.md §10): it maximizes the
+// ratio of in-memory graph footprint to serialized size, so a modest input
+// deterministically blows past a small heap budget. Every instance is
+// co-typed deep into a class hierarchy (each rdf:type triple costs index
+// entries but almost no dictionary), carries wide multi-valued properties
+// drawn from tiny pooled vocabularies (many triples, few distinct terms),
+// and links densely across classes. The result is a graph whose heap cost
+// is dominated by exactly the structures spilling sheds — triple slots and
+// posting lists — rather than by string data.
+func XL() *Profile {
+	pool := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	record := ClassSpec{
+		Name: "Record", Weight: 6,
+		Parents: []string{"Entry", "Item", "Resource", "Node", "Thing"},
+		Props: []PropSpec{
+			{Name: "tag", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 6, Pool: pool},
+			{Name: "grade", Kind: STLit, Datatypes: intOnly, Coverage: 1, MaxVals: 4},
+			{Name: "stamp", Kind: MTLit, Datatypes: mixedLit, Coverage: 0.9, MaxVals: 3},
+			{Name: "next", Kind: STRes, Targets: []string{"Record"}, Coverage: 1, MaxVals: 4},
+			{Name: "bucket", Kind: MTRes, Targets: []string{"Batch", "Record"}, Coverage: 0.9, MaxVals: 3},
+			{Name: "ref", Kind: Hetero, Datatypes: strOnly, Targets: []string{"Batch"},
+				Coverage: 0.5, MaxVals: 2, LiteralFrac: 0.4, NumericFirstFrac: 0.05},
+		},
+	}
+	batch := ClassSpec{
+		Name: "Batch", Weight: 1,
+		Parents: []string{"Group", "Resource", "Node", "Thing"},
+		Props: []PropSpec{
+			{Name: "tag", Kind: STLit, Datatypes: strOnly, Coverage: 1, MaxVals: 4, Pool: pool},
+			{Name: "member", Kind: STRes, Targets: []string{"Record"}, Coverage: 1, MaxVals: 6},
+			{Name: "parent", Kind: STRes, Targets: []string{"Batch"}, Coverage: 0.8, MaxVals: 2},
+		},
+	}
+	return &Profile{
+		Name:          "XL",
+		NS:            "http://example.org/xlgen/",
+		BaseInstances: 100_000,
+		Classes:       []ClassSpec{record, batch},
+	}
+}
+
+// Profiles returns the generator profiles by name: the three evaluation
+// profiles keyed by their Table 2 column names, plus the XL out-of-core
+// stress profile.
 func Profiles() map[string]*Profile {
 	return map[string]*Profile{
 		"DBpedia2020": DBpedia2020(),
 		"DBpedia2022": DBpedia2022(),
 		"Bio2RDFCT":   Bio2RDFCT(),
+		"XL":          XL(),
 	}
 }

@@ -229,6 +229,50 @@ func TestAdmissionMemWatermark(t *testing.T) {
 	runtime.KeepAlive(ballast)
 }
 
+// TestAdmissionMemHysteresis: the pressure latch sets at the MaxMemMB high
+// watermark and clears only under the MemLowMB low one — inside the band the
+// decision holds whatever side it last latched to, so admission cannot flap
+// while the heap hovers around a single threshold.
+func TestAdmissionMemHysteresis(t *testing.T) {
+	shapes, data := testDataset()
+	cfg := testConfig(t)
+	cfg.MaxMemMB = 100
+	cfg.MemLowMB = 80
+	m := mustOpen(t, cfg)
+	heap := uint64(50) << 20
+	m.readHeap = func() uint64 { return heap }
+
+	if err := m.Ready(); err != nil {
+		t.Fatalf("under the band: %v", err)
+	}
+	// Climb into the band from below: still ready (latch not set).
+	heap = 90 << 20
+	if err := m.Ready(); err != nil {
+		t.Fatalf("in band from below: %v", err)
+	}
+	// Cross the high watermark: latch sets, admission closes.
+	heap = 101 << 20
+	if err := m.Ready(); !errors.Is(err, ErrMemPressure) {
+		t.Fatalf("over high watermark: %v", err)
+	}
+	if _, err := m.Submit(Spec{}, shapes, data); !errors.Is(err, ErrMemPressure) {
+		t.Fatalf("submit over high watermark: %v", err)
+	}
+	// Fall back into the band: the latch holds, still shedding.
+	heap = 90 << 20
+	if err := m.Ready(); !errors.Is(err, ErrMemPressure) {
+		t.Fatalf("in band from above must stay latched: %v", err)
+	}
+	// Only under the low watermark does admission reopen.
+	heap = 79 << 20
+	if err := m.Ready(); err != nil {
+		t.Fatalf("under low watermark: %v", err)
+	}
+	if _, err := m.Submit(Spec{}, shapes, data); err != nil {
+		t.Fatalf("submit after latch cleared: %v", err)
+	}
+}
+
 func TestAdmissionDraining(t *testing.T) {
 	shapes, data := testDataset()
 	m := mustOpen(t, testConfig(t))

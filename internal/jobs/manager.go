@@ -54,6 +54,9 @@ var (
 	cCommitRetry  = obs.Default.Counter("jobs.commit.retries")
 	gQueued       = obs.Default.Gauge("jobs.queued")
 	gRunning      = obs.Default.Gauge("jobs.running")
+	// gMemPressure mirrors the admission hysteresis latch: 1 from the
+	// moment the heap crosses MaxMemMB until it falls under MemLowMB.
+	gMemPressure = obs.Default.Gauge("jobs.mem.pressure")
 
 	// Latency distributions (seconds): time spent waiting in the queue
 	// before a worker pickup, whole-attempt run time, and per-checkpoint
@@ -81,9 +84,15 @@ type Config struct {
 	// Resume byte-identity is guaranteed against runs with the same chunk
 	// size (see DESIGN.md §4d), so restarts must reuse it. Default 50000.
 	ChunkSize int
-	// MaxMemMB is the soft heap watermark: while exceeded, submissions are
-	// rejected with ErrMemPressure and readiness reports not-ready. 0 = off.
+	// MaxMemMB is the soft high heap watermark: once exceeded, submissions
+	// are rejected with ErrMemPressure and readiness reports not-ready until
+	// the heap falls back under the low watermark. 0 = off.
 	MaxMemMB int
+	// MemLowMB is the low watermark of the admission hysteresis band: the
+	// pressure latch set at MaxMemMB clears only once the heap drops under
+	// it, so admission does not flap around a single threshold while the
+	// heap hovers there. 0 defaults to 80% of MaxMemMB.
+	MemLowMB int
 	// MaxAttempts bounds worker pickups per job before a retryable commit
 	// failure becomes permanent (drain requeues do not consume attempts).
 	// Default 5.
@@ -125,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.FS == nil {
 		c.FS = ckpt.OSFS
 	}
+	if c.MemLowMB <= 0 || c.MemLowMB > c.MaxMemMB {
+		c.MemLowMB = c.MaxMemMB * 4 / 5
+	}
 	return c
 }
 
@@ -146,6 +158,13 @@ type Manager struct {
 	running   int
 	draining  bool
 	seq       int64
+	// memLatched is the admission hysteresis latch: set when the heap
+	// crosses MaxMemMB, cleared only once it drops under MemLowMB.
+	memLatched bool
+
+	// readHeap samples the live heap; overridable in tests. Nil means
+	// runtime.ReadMemStats HeapAlloc.
+	readHeap func() uint64
 
 	wg sync.WaitGroup
 }
@@ -303,14 +322,37 @@ func (m *Manager) updateGauges() {
 	gRunning.Set(int64(m.running))
 }
 
-// memPressure reports whether the heap exceeds the configured watermark.
+// memPressure reports the admission hysteresis latch: it sets when the heap
+// crosses the MaxMemMB high watermark and clears only once the heap falls
+// back under MemLowMB, so admission decisions do not flap while the heap
+// hovers around a single threshold. The jobs.mem.pressure gauge mirrors the
+// latch on /metrics.
 func (m *Manager) memPressure() bool {
 	if m.cfg.MaxMemMB <= 0 {
 		return false
 	}
+	heap := m.heapBytes()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.memLatched {
+		if heap <= uint64(m.cfg.MemLowMB)<<20 {
+			m.memLatched = false
+			gMemPressure.Set(0)
+		}
+	} else if heap > uint64(m.cfg.MaxMemMB)<<20 {
+		m.memLatched = true
+		gMemPressure.Set(1)
+	}
+	return m.memLatched
+}
+
+func (m *Manager) heapBytes() uint64 {
+	if m.readHeap != nil {
+		return m.readHeap()
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return ms.HeapAlloc > uint64(m.cfg.MaxMemMB)<<20
+	return ms.HeapAlloc
 }
 
 // Ready reports whether the manager should be advertised as ready for new

@@ -101,25 +101,21 @@ func (g *Graph) buildIndexesParallel(workers int) {
 }
 
 // NumSlots returns the number of triple slots, live and tombstoned. Slot
-// indexes are stable for the life of the graph and usable with EncodedAt.
-func (g *Graph) NumSlots() int { return len(g.triples) }
+// indexes are stable for the life of the graph and usable with EncodedAt;
+// spilling does not renumber them.
+func (g *Graph) NumSlots() int { return g.numSlots() }
 
 // EncodedAt returns the encoded triple in slot i and whether it is live.
 func (g *Graph) EncodedAt(i int) (s, p, o TermID, live bool) {
-	e := g.triples[i]
-	return e.s, e.p, e.o, !g.dead[i]
+	e := g.encAt(i)
+	return e.s, e.p, e.o, !g.slotDead(i)
 }
 
 // ForEachEncoded calls fn for every live triple slot in admission order (the
 // same order ForEach observes) until fn returns false, passing the slot
 // index and the encoded components.
 func (g *Graph) ForEachEncoded(fn func(slot int, s, p, o TermID) bool) {
-	for i, e := range g.triples {
-		if g.dead[i] {
-			continue
-		}
-		if !fn(i, e.s, e.p, e.o) {
-			return
-		}
-	}
+	g.forEachSlot(func(slot int, e encTriple) bool {
+		return fn(slot, e.s, e.p, e.o)
+	})
 }

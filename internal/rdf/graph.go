@@ -25,9 +25,15 @@ const noID = ^TermID(0)
 // Dict interns RDF terms to dense ids. A Dict may be shared between graphs
 // (for example between two snapshots of an evolving KG) so that ids are
 // comparable across them.
+//
+// A spilled dictionary (see Graph.Spill) keeps ids [0, base) in a disk
+// arena and only terms interned afterwards in the resident tail; id
+// assignment is identical either way.
 type Dict struct {
-	ids   map[Term]TermID
-	terms []Term
+	ids   map[Term]TermID // resident tail: term → id (all ids when unspilled)
+	terms []Term          // resident tail: ids [base, base+len)
+	arena *termArena      // disk-backed ids [0, base); nil when unspilled
+	base  TermID          // arena term count; 0 when unspilled
 }
 
 // NewDict returns an empty dictionary.
@@ -40,7 +46,12 @@ func (d *Dict) Intern(t Term) TermID {
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
-	id := TermID(len(d.terms))
+	if d.arena != nil {
+		if id, ok := d.arena.lookup(t); ok {
+			return id
+		}
+	}
+	id := d.base + TermID(len(d.terms))
 	d.ids[t] = id
 	d.terms = append(d.terms, t)
 	cDictTerms.Inc()
@@ -49,36 +60,53 @@ func (d *Dict) Intern(t Term) TermID {
 
 // Lookup returns the id for the term and whether it is interned.
 func (d *Dict) Lookup(t Term) (TermID, bool) {
-	id, ok := d.ids[t]
-	return id, ok
+	if id, ok := d.ids[t]; ok {
+		return id, true
+	}
+	if d.arena != nil {
+		return d.arena.lookup(t)
+	}
+	return 0, false
 }
 
 // Term returns the term for an id. It panics on an out-of-range id,
 // which always indicates a bug (ids are only produced by Intern).
-func (d *Dict) Term(id TermID) Term { return d.terms[id] }
+func (d *Dict) Term(id TermID) Term {
+	if d.arena != nil && id < d.base {
+		return d.arena.term(id)
+	}
+	return d.terms[id-d.base]
+}
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int { return int(d.base) + len(d.terms) }
 
 // encTriple is a dictionary-encoded triple: 12 bytes, comparable.
 type encTriple struct {
 	s, p, o TermID
 }
 
-// Graph is an in-memory RDF graph. Triples are dictionary encoded and
-// indexed by subject, predicate, and object, supporting wildcard pattern
-// matching for BGP evaluation. Graph is not safe for concurrent mutation;
-// concurrent readers are safe once loading is complete.
+// Graph is a dictionary-encoded RDF graph indexed by subject, predicate,
+// and object, supporting wildcard pattern matching for BGP evaluation.
+// Graph is not safe for concurrent mutation (Spill counts as mutation);
+// concurrent readers are safe once loading is complete, spilled or not.
+//
+// A spilled graph (see Spill) keeps slots [0, spill.slots) on disk and only
+// slots admitted afterwards in the resident tail fields below; slot
+// numbering, admission order, and duplicate semantics are identical either
+// way, so spilling is invisible to every accessor.
 type Graph struct {
 	dict    *Dict
-	triples []encTriple
-	dead    []bool // tombstones for removed triples
+	triples []encTriple // resident tail (all slots when unspilled)
+	dead    []bool      // tombstones for tail slots
 	present map[encTriple]int32
-	nDead   int
+	nDead   int // tombstone count across spilled and tail slots
 
 	bySubj map[TermID][]int32
 	byPred map[TermID][]int32
 	byObj  map[TermID][]int32
+
+	spill *graphSpill // disk-backed slots [0, spill.slots); nil when unspilled
 }
 
 // NewGraph returns an empty graph with a fresh dictionary.
@@ -99,7 +127,143 @@ func NewGraphWithDict(d *Dict) *Graph {
 func (g *Graph) Dict() *Dict { return g.dict }
 
 // Len returns the number of live triples.
-func (g *Graph) Len() int { return len(g.triples) - g.nDead }
+func (g *Graph) Len() int { return g.numSlots() - g.nDead }
+
+// Spill-aware internal accessors. Every method that used to touch
+// g.triples/g.dead/g.present/g.by* directly goes through these, which is
+// the entire integration surface of the out-of-core representation.
+
+// spillBase returns the number of disk-resident slots.
+func (g *Graph) spillBase() int {
+	if g.spill == nil {
+		return 0
+	}
+	return g.spill.slots
+}
+
+// numSlots returns the total slot count, spilled plus tail.
+func (g *Graph) numSlots() int { return g.spillBase() + len(g.triples) }
+
+// encAt returns the encoded triple in (global) slot i.
+func (g *Graph) encAt(i int) encTriple {
+	if sp := g.spill; sp != nil {
+		if i < sp.slots {
+			return sp.log.triple(i)
+		}
+		return g.triples[i-sp.slots]
+	}
+	return g.triples[i]
+}
+
+// slotDead reports whether (global) slot i is tombstoned.
+func (g *Graph) slotDead(i int) bool {
+	if sp := g.spill; sp != nil {
+		if i < sp.slots {
+			return sp.isDead(i)
+		}
+		return g.dead[i-sp.slots]
+	}
+	return g.dead[i]
+}
+
+// killSlot tombstones (global) slot i.
+func (g *Graph) killSlot(i int) {
+	if sp := g.spill; sp != nil && i < sp.slots {
+		sp.setDead(i)
+	} else {
+		g.dead[i-g.spillBase()] = true
+	}
+	g.nDead++
+}
+
+// forEachSlot calls fn for every live slot in admission order until fn
+// returns false. The spilled prefix streams page by page, so a full scan
+// over an out-of-core graph keeps only one page resident at a time.
+func (g *Graph) forEachSlot(fn func(slot int, e encTriple) bool) {
+	if sp := g.spill; sp != nil {
+		for pg := 0; pg < sp.log.numPages(); pg++ {
+			base := pg * pageTriples
+			for j, e := range sp.log.page(pg) {
+				slot := base + j
+				if sp.isDead(slot) {
+					continue
+				}
+				if !fn(slot, e) {
+					return
+				}
+			}
+		}
+	}
+	base := g.spillBase()
+	for i, e := range g.triples {
+		if g.dead[i] {
+			continue
+		}
+		if !fn(base+i, e) {
+			return
+		}
+	}
+}
+
+// tailPost returns the resident tail posting map for index k (0=subject,
+// 1=predicate, 2=object).
+func (g *Graph) tailPost(k int) map[TermID][]int32 {
+	switch k {
+	case 0:
+		return g.bySubj
+	case 1:
+		return g.byPred
+	default:
+		return g.byObj
+	}
+}
+
+// postingFor returns the full posting list for id on index k, spilled part
+// first (slots ascend across the concatenation, preserving the admission-
+// order invariant). The result must not be mutated; it aliases cache or
+// index state unless both parts are non-empty.
+func (g *Graph) postingFor(k int, id TermID) []int32 {
+	tail := g.tailPost(k)[id]
+	if g.spill == nil {
+		return tail
+	}
+	spilled := g.spill.post[k].posting(id)
+	if len(tail) == 0 {
+		return spilled
+	}
+	if len(spilled) == 0 {
+		return tail
+	}
+	merged := make([]int32, 0, len(spilled)+len(tail))
+	merged = append(merged, spilled...)
+	return append(merged, tail...)
+}
+
+// slotOf finds the live slot holding e, consulting the tail's hash map
+// first and falling back to a scan of the shortest spilled posting list
+// (the spilled prefix has no resident hash: that is the point of spilling).
+func (g *Graph) slotOf(e encTriple) (int32, bool) {
+	if idx, ok := g.present[e]; ok {
+		return idx, true
+	}
+	sp := g.spill
+	if sp == nil {
+		return 0, false
+	}
+	best := sp.post[0].posting(e.s)
+	if l := sp.post[1].posting(e.p); len(l) < len(best) {
+		best = l
+	}
+	if l := sp.post[2].posting(e.o); len(l) < len(best) {
+		best = l
+	}
+	for _, idx := range best {
+		if !sp.isDead(int(idx)) && sp.log.triple(int(idx)) == e {
+			return idx, true
+		}
+	}
+	return 0, false
+}
 
 // Add inserts a triple, returning false if it was already present.
 // It panics on a malformed triple, which indicates a caller bug.
@@ -112,10 +276,10 @@ func (g *Graph) Add(t Triple) bool {
 }
 
 func (g *Graph) addEnc(e encTriple) bool {
-	if _, ok := g.present[e]; ok {
+	if _, ok := g.slotOf(e); ok {
 		return false
 	}
-	idx := int32(len(g.triples))
+	idx := int32(g.numSlots())
 	g.triples = append(g.triples, e)
 	g.dead = append(g.dead, false)
 	g.present[e] = idx
@@ -143,13 +307,12 @@ func (g *Graph) Remove(t Triple) bool {
 		return false
 	}
 	e := encTriple{s, p, o}
-	idx, ok := g.present[e]
+	idx, ok := g.slotOf(e)
 	if !ok {
 		return false
 	}
-	delete(g.present, e)
-	g.dead[idx] = true
-	g.nDead++
+	delete(g.present, e) // no-op when the slot is spilled
+	g.killSlot(int(idx))
 	return true
 }
 
@@ -167,7 +330,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	_, ok = g.present[encTriple{s, p, o}]
+	_, ok = g.slotOf(encTriple{s, p, o})
 	return ok
 }
 
@@ -185,14 +348,9 @@ func (g *Graph) decode(e encTriple) Triple {
 // scan paths, ForEachEncoded, and the posting-list indexes all observe this
 // same order; the parallel ingest and transform merges depend on it.
 func (g *Graph) ForEach(fn func(Triple) bool) {
-	for i, e := range g.triples {
-		if g.dead[i] {
-			continue
-		}
-		if !fn(g.decode(e)) {
-			return
-		}
-	}
+	g.forEachSlot(func(_ int, e encTriple) bool {
+		return fn(g.decode(e))
+	})
 }
 
 // Triples returns all live triples in admission order (see ForEach for the
@@ -236,10 +394,10 @@ func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
 }
 
 func (g *Graph) matchEnc(se, pe, oe TermID, fn func(Triple) bool) {
-	// Fully bound: hash lookup.
+	// Fully bound: hash (or spilled posting-intersection) lookup.
 	if se != noID && pe != noID && oe != noID {
 		e := encTriple{se, pe, oe}
-		if _, ok := g.present[e]; ok {
+		if _, ok := g.slotOf(e); ok {
 			fn(g.decode(e))
 		}
 		return
@@ -247,21 +405,16 @@ func (g *Graph) matchEnc(se, pe, oe TermID, fn func(Triple) bool) {
 	list, bound := g.candidateList(se, pe, oe)
 	if !bound {
 		// No bound component: full scan.
-		for i, e := range g.triples {
-			if g.dead[i] {
-				continue
-			}
-			if !fn(g.decode(e)) {
-				return
-			}
-		}
+		g.forEachSlot(func(_ int, e encTriple) bool {
+			return fn(g.decode(e))
+		})
 		return
 	}
 	for _, idx := range list {
-		if g.dead[idx] {
+		if g.slotDead(int(idx)) {
 			continue
 		}
-		e := g.triples[idx]
+		e := g.encAt(int(idx))
 		if se != noID && e.s != se {
 			continue
 		}
@@ -283,17 +436,18 @@ func (g *Graph) matchEnc(se, pe, oe TermID, fn func(Triple) bool) {
 func (g *Graph) candidateList(se, pe, oe TermID) ([]int32, bool) {
 	var best []int32
 	have := false
-	consider := func(l []int32, bound bool) {
+	consider := func(k int, id TermID, bound bool) {
 		if !bound {
 			return
 		}
+		l := g.postingFor(k, id)
 		if !have || len(l) < len(best) {
 			best, have = l, true
 		}
 	}
-	consider(g.bySubj[se], se != noID)
-	consider(g.byObj[oe], oe != noID)
-	consider(g.byPred[pe], pe != noID)
+	consider(0, se, se != noID)
+	consider(2, oe, oe != noID)
+	consider(1, pe, pe != noID)
 	return best, have
 }
 
@@ -372,12 +526,10 @@ func (g *Graph) Classes() []Term {
 // Predicates returns all distinct predicate IRIs, sorted.
 func (g *Graph) Predicates() []Term {
 	seen := make(map[TermID]struct{})
-	for i, e := range g.triples {
-		if g.dead[i] {
-			continue
-		}
+	g.forEachSlot(func(_ int, e encTriple) bool {
 		seen[e.p] = struct{}{}
-	}
+		return true
+	})
 	out := make([]Term, 0, len(seen))
 	for id := range seen {
 		out = append(out, g.dict.Term(id))
@@ -435,11 +587,50 @@ func (g *Graph) AddAll(other *Graph) int {
 	return n
 }
 
-// Clone returns a deep copy of the graph with its own dictionary.
+// Clone returns a deep logical copy: mutations on either side are invisible
+// to the other. For a resident graph it re-interns into a fresh dictionary
+// (compacting tombstones, as before). For a spilled graph it shares the
+// immutable on-disk generation — paying only for the resident tail and the
+// tombstone bitset — so snapshotting an out-of-core graph stays cheap; slot
+// indexes and term ids are preserved in that case.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph()
-	c.AddAll(g)
+	if g.spill == nil {
+		c := NewGraph()
+		c.AddAll(g)
+		return c
+	}
+	d := &Dict{
+		ids:   make(map[Term]TermID, len(g.dict.ids)),
+		terms: append([]Term(nil), g.dict.terms...),
+		arena: g.dict.arena,
+		base:  g.dict.base,
+	}
+	for t, id := range g.dict.ids {
+		d.ids[t] = id
+	}
+	c := &Graph{
+		dict:    d,
+		triples: append([]encTriple(nil), g.triples...),
+		dead:    append([]bool(nil), g.dead...),
+		present: make(map[encTriple]int32, len(g.present)),
+		nDead:   g.nDead,
+		bySubj:  clonePostings(g.bySubj),
+		byPred:  clonePostings(g.byPred),
+		byObj:   clonePostings(g.byObj),
+		spill:   g.spill.share(),
+	}
+	for e, idx := range g.present {
+		c.present[e] = idx
+	}
 	return c
+}
+
+func clonePostings(m map[TermID][]int32) map[TermID][]int32 {
+	out := make(map[TermID][]int32, len(m))
+	for k, v := range m {
+		out[k] = append([]int32(nil), v...)
+	}
+	return out
 }
 
 // Equal reports whether two graphs contain exactly the same triple set.

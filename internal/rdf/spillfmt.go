@@ -1,0 +1,182 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// This file holds the low-level on-disk encoding shared by the spill files
+// (DESIGN.md §10): CRC-framed blocks, varint primitives, the corruption
+// error that quarantines a bad file, and the small LRU that bounds how much
+// of a spilled structure is resident at once.
+//
+// Every spill file is a sequence of frames:
+//
+//	[u32le payload length][payload][u32le CRC-32 (IEEE) of payload]
+//
+// A frame is the unit of both paged reads and integrity: a reader never
+// hands out bytes whose checksum it has not verified, so a flipped bit on
+// disk surfaces as ErrSpillCorrupt — loudly — instead of as wrong data.
+
+const frameOverhead = 8 // 4-byte length prefix + 4-byte CRC suffix
+
+// ErrSpillCorrupt is the sentinel wrapped by every CRC/format failure on a
+// spill file. Callers match it with errors.Is.
+var ErrSpillCorrupt = errors.New("spill data corrupt")
+
+// CorruptSpillError reports a spill file that failed its integrity check.
+// The file is quarantined (renamed aside) by the loader so the same bytes
+// are never trusted twice.
+type CorruptSpillError struct {
+	File   string // path of the corrupt file
+	Offset int64  // frame offset at which the check failed
+	Detail string
+}
+
+func (e *CorruptSpillError) Error() string {
+	return fmt.Sprintf("rdf: spill file quarantined: %s: frame at byte %d: %s", e.File, e.Offset, e.Detail)
+}
+
+func (e *CorruptSpillError) Unwrap() error { return ErrSpillCorrupt }
+
+// quarantineFile renames a corrupt spill file aside (best effort) so a
+// retry cannot silently re-read the same bad bytes, and returns the error
+// that loaders propagate.
+func quarantineFile(path string, off int64, detail string) error {
+	os.Rename(path, path+".quarantined")
+	return &CorruptSpillError{File: path, Offset: off, Detail: detail}
+}
+
+// appendFrame wraps payload in a length+CRC frame and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(payload))
+	return append(dst, hdr[:]...)
+}
+
+// readFrameAt reads and verifies the frame starting at off in f, returning
+// its payload and the offset of the next frame. maxPayload bounds the length
+// prefix so a corrupt header cannot drive a huge allocation.
+func readFrameAt(f *os.File, off int64, maxPayload int) (payload []byte, next int64, err error) {
+	var hdr [4]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, &CorruptSpillError{File: f.Name(), Offset: off, Detail: "short frame header: " + err.Error()}
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > maxPayload {
+		return nil, 0, &CorruptSpillError{File: f.Name(), Offset: off,
+			Detail: fmt.Sprintf("frame length %d exceeds limit %d", n, maxPayload)}
+	}
+	buf := make([]byte, int(n)+4)
+	if _, err := f.ReadAt(buf, off+4); err != nil {
+		return nil, 0, &CorruptSpillError{File: f.Name(), Offset: off, Detail: "short frame body: " + err.Error()}
+	}
+	payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, 0, &CorruptSpillError{File: f.Name(), Offset: off,
+			Detail: fmt.Sprintf("crc mismatch: stored %08x, computed %08x", sum, got)}
+	}
+	return payload, off + 4 + int64(n) + 4, nil
+}
+
+// uvarint helpers over byte slices (append-style write, cursor-style read).
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func readUvarint(buf []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("truncated varint at %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+// lruCache is a tiny int-keyed LRU used for decoded spill frames (term
+// blocks, posting segments, triple pages). It is NOT goroutine-safe; owners
+// guard it with their own mutex.
+type lruCache[V any] struct {
+	cap     int
+	entries map[int]*lruEntry[V]
+	head    *lruEntry[V] // most recent
+	tail    *lruEntry[V] // least recent
+}
+
+type lruEntry[V any] struct {
+	key        int
+	val        V
+	prev, next *lruEntry[V]
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{cap: capacity, entries: make(map[int]*lruEntry[V], capacity)}
+}
+
+func (c *lruCache[V]) get(k int) (V, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.touch(e)
+	return e.val, true
+}
+
+func (c *lruCache[V]) put(k int, v V) {
+	if e, ok := c.entries[k]; ok {
+		e.val = v
+		c.touch(e)
+		return
+	}
+	e := &lruEntry[V]{key: k, val: v}
+	c.entries[k] = e
+	c.pushFront(e)
+	if len(c.entries) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.key)
+	}
+}
+
+func (c *lruCache[V]) touch(e *lruEntry[V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *lruCache[V]) pushFront(e *lruEntry[V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache[V]) unlink(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

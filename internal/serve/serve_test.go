@@ -198,6 +198,58 @@ func TestExecuteCypherAndSparql(t *testing.T) {
 	}
 }
 
+// TestExecuteOverSpilledSnapshot pins the serve/out-of-core contract
+// (DESIGN.md §10): a snapshot can point at a Clone of a spilled graph — the
+// clone shares the immutable on-disk generation — and queries read through
+// the paged files to the same answers as an in-RAM snapshot, concurrently,
+// and isolated from later writes to the original graph.
+func TestExecuteOverSpilledSnapshot(t *testing.T) {
+	g := rdf.NewGraph()
+	st := pg.NewStore()
+	const n = 500
+	for i := 0; i < n; i++ {
+		iri := fmt.Sprintf("http://x/n%d", i)
+		g.Add(rdf.NewTriple(rdf.NewIRI(iri), rdf.A, rdf.NewIRI("http://x/T")))
+		g.Add(rdf.NewTriple(rdf.NewIRI(iri), rdf.NewIRI("http://x/v"), rdf.NewLiteral(fmt.Sprint(i))))
+		st.AddNode([]string{"T"}, map[string]pg.Value{"iri": iri})
+	}
+	if err := g.Spill(t.TempDir(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Spilled() {
+		t.Fatal("graph not spilled")
+	}
+	snap := NewSnapshot(g.Clone(), st, "CREATE NODE TABLE T(...)", 3)
+
+	// Writes to the original after the clone must not leak into the snapshot.
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://x/late"), rdf.A, rdf.NewIRI("http://x/T")))
+
+	queries := []Request{
+		{Lang: "sparql", Query: `SELECT (COUNT(*) AS ?n) WHERE { ?s a <http://x/T> }`},
+		{Lang: "sparql", Query: `SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/v> ?o }`},
+		{Lang: "cypher", Query: `MATCH (m:T) RETURN count(*) AS n`},
+	}
+	wants := []any{fmt.Sprint(n), fmt.Sprint(n), int64(n)}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				r, err := Execute(context.Background(), snap, q)
+				if err != nil {
+					t.Errorf("%s over spilled snapshot: %v", q.Lang, err)
+					return
+				}
+				if len(r.Rows) != 1 || r.Rows[0][0] != wants[i] {
+					t.Errorf("%s %q = %+v, want %v", q.Lang, q.Query, r.Rows, wants[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestExecuteParams(t *testing.T) {
 	snap := testSnapshot(0, 0)
 	r, err := Execute(context.Background(), snap, Request{

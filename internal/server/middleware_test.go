@@ -120,6 +120,14 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		`s3pgd_serve_query_seconds_count{cache="miss",lang="cypher"}`,
 		"s3pgd_serve_cache_loads",
 		"s3pgd_serve_cache_bytes",
+		// Out-of-core families (DESIGN.md §10): the admission-hysteresis
+		// latch and the spill counters/gauge must lint and be scrapeable
+		// even when the process has never spilled (zero-valued).
+		"s3pgd_jobs_mem_pressure",
+		"s3pgd_rdf_spill_bytes",
+		"s3pgd_rdf_spill_segments",
+		"s3pgd_rdf_spill_ops",
+		"s3pgd_rdf_spill_pressure",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %s:\n%s", want, body)

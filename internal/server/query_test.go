@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"github.com/s3pg/s3pg/internal/jobs"
@@ -181,5 +182,41 @@ func TestQueryErrorMapping(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestQueryAndUpdateBodyTooLarge pins the -max-body contract on the two
+// body-bearing serve endpoints: an oversized payload is a 413, not a
+// malformed-request 400 (the JSON decoder surfaces the MaxBytesReader cutoff
+// as a decode error, which must not be conflated with bad syntax).
+func TestQueryAndUpdateBodyTooLarge(t *testing.T) {
+	mgr, err := jobs.Open(jobs.Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	gm := newGraphManager(t, GraphConfig{})
+	ts := httptest.NewServer(New(Config{Manager: mgr, Graphs: gm, MaxBodyBytes: 1024}))
+	t.Cleanup(ts.Close)
+
+	big := strings.Repeat("x", 2048)
+	for _, tc := range []struct{ name, path, body string }{
+		{"query", "/query", `{"graph":"g","lang":"cypher","query":"` + big + `"}`},
+		{"update", "/graphs/g/update", `{"update":"` + big + `"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("POST %s: %d (want 413): %s", tc.path, resp.StatusCode, raw)
+			}
+			if !strings.Contains(string(raw), "1024") {
+				t.Errorf("413 body should name the limit: %s", raw)
+			}
+		})
 	}
 }
